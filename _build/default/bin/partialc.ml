@@ -1,0 +1,386 @@
+(* partialc — compile variational benchmark circuits under the four
+   compilation strategies and inspect the results.
+
+   Subcommands:
+     partialc compile --benchmark lih [--strategy flexible] [--numeric]
+     partialc tables                      # Tables 1-3 benchmark stats
+     partialc vqe --molecule h2           # end-to-end VQE
+     partialc qaoa --nodes 6 --p 2        # end-to-end QAOA
+     partialc grape --gate cx             # numeric GRAPE on one gate *)
+
+module Rng = Pqc_util.Rng
+module Table = Pqc_util.Table
+module Param = Pqc_quantum.Param
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Gate_times = Pqc_pulse.Gate_times
+module Hamiltonian = Pqc_grape.Hamiltonian
+module Grape = Pqc_grape.Grape
+open Pqc_core
+
+let benchmark_circuit name =
+  match Pqc_vqe.Molecule.find name with
+  | Some m -> Ok (Pqc_vqe.Uccsd.ansatz m)
+  | None ->
+    (* QAOA spec: "<kind><nodes>p<rounds>", e.g. 3reg6p2, er8p1, k4p3. *)
+    let parse () =
+      match String.split_on_char 'p' (String.lowercase_ascii name) with
+      | [ head; p ] ->
+        let p = int_of_string p in
+        let rng = Rng.create 2019 in
+        let graph =
+          if String.length head > 4 && String.sub head 0 4 = "3reg" then
+            Pqc_qaoa.Graph.random_regular rng ~degree:3
+              (int_of_string (String.sub head 4 (String.length head - 4)))
+          else if String.length head > 2 && String.sub head 0 2 = "er" then
+            Pqc_qaoa.Graph.erdos_renyi rng ~p:0.5
+              (int_of_string (String.sub head 2 (String.length head - 2)))
+          else if String.length head > 1 && head.[0] = 'k' then
+            Pqc_qaoa.Graph.clique
+              (int_of_string (String.sub head 1 (String.length head - 1)))
+          else failwith "unknown benchmark"
+        in
+        Ok (Pqc_qaoa.Qaoa.circuit graph ~p)
+      | _ -> failwith "unknown benchmark"
+    in
+    (try parse ()
+     with _ ->
+       Error
+         (Printf.sprintf
+            "unknown benchmark %S (molecules: h2 lih beh2 nah h2o; QAOA: \
+             3reg6p2, er8p1, k4p3, ...)"
+            name))
+
+let theta_for seed c =
+  let rng = Rng.create seed in
+  let n = match List.rev (Circuit.depends c) with [] -> 0 | v :: _ -> v + 1 in
+  Array.init n (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
+
+(* --- compile --- *)
+
+let run_compile benchmark strategy numeric seed =
+  match benchmark_circuit benchmark with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok circuit ->
+    let prepared = Compiler.prepare circuit in
+    let theta = theta_for seed prepared in
+    let engine = if numeric then Engine.numeric () else Engine.model in
+    let strategies =
+      match strategy with
+      | None -> Compiler.all_strategies
+      | Some s -> [ s ]
+    in
+    Printf.printf "%s: %d qubits, %d gates, %d parameters (seed %d)\n" benchmark
+      (Circuit.n_qubits prepared) (Circuit.length prepared)
+      (List.length (Circuit.depends prepared))
+      seed;
+    let baseline = Compiler.gate_based prepared ~theta in
+    let table =
+      Table.create [ "strategy"; "pulse (ns)"; "speedup"; "latency/iter"; "precompute" ]
+    in
+    List.iter
+      (fun s ->
+        let r = Compiler.compile ~engine s prepared ~theta in
+        Table.add_row table
+          [ r.Strategy.strategy;
+            Table.cell_f r.Strategy.duration_ns;
+            Table.cell_x (Strategy.speedup ~baseline r);
+            Printf.sprintf "%.2f s" r.Strategy.per_iteration.Engine.seconds;
+            Printf.sprintf "%.2f s" r.Strategy.precompute.Engine.seconds ])
+      strategies;
+    Table.print table;
+    0
+
+(* --- tables --- *)
+
+let run_tables () =
+  print_endline "Table 1: gate pulse durations (ns)";
+  let t1 = Table.create [ "gate"; "pulse (ns)" ] in
+  List.iter (fun (g, d) -> Table.add_row t1 [ g; Table.cell_f d ]) Gate_times.table;
+  Table.print t1;
+  print_newline ();
+  print_endline "Table 2: VQE-UCCSD benchmarks";
+  let t2 = Table.create [ "molecule"; "qubits"; "params"; "gate-based (ns)" ] in
+  List.iter
+    (fun m ->
+      let c = Compiler.prepare (Pqc_vqe.Uccsd.ansatz m) in
+      Table.add_row t2
+        [ m.Pqc_vqe.Molecule.name;
+          string_of_int m.Pqc_vqe.Molecule.n_qubits;
+          string_of_int (Pqc_vqe.Molecule.n_params m);
+          Table.cell_f (Gate_times.circuit_duration c) ])
+    Pqc_vqe.Molecule.all;
+  Table.print t2;
+  0
+
+(* --- vqe --- *)
+
+let run_vqe molecule =
+  match Pqc_vqe.Molecule.find molecule with
+  | None ->
+    Printf.eprintf "unknown molecule %S\n" molecule;
+    1
+  | Some m when m.Pqc_vqe.Molecule.name <> "H2" ->
+    (* Only H2 has a chemistry-accurate Hamiltonian (DESIGN.md); wider
+       molecules run against a seeded synthetic operator. *)
+    let h = Pqc_vqe.Chemistry.synthetic ~seed:7 ~n_qubits:m.Pqc_vqe.Molecule.n_qubits in
+    let ansatz = Pqc_vqe.Uccsd.ansatz m in
+    let r = Pqc_vqe.Vqe.run ~max_evals:400 ~hamiltonian:h ~ansatz () in
+    Printf.printf "%s (synthetic Hamiltonian): E = %.6f in %d iterations\n"
+      m.Pqc_vqe.Molecule.name r.energy r.evaluations;
+    0
+  | Some m ->
+    let prep = Circuit.of_gates 2 [ (Gate.X, [ 0 ]) ] in
+    let ansatz = Circuit.concat prep (Pqc_vqe.Uccsd.ansatz m) in
+    let r = Pqc_vqe.Vqe.run ~hamiltonian:Pqc_vqe.Chemistry.h2 ~ansatz () in
+    Printf.printf "H2: E = %.6f Ha (exact %.6f) in %d iterations\n" r.energy
+      Pqc_vqe.Chemistry.h2_exact_energy r.evaluations;
+    0
+
+(* --- qaoa --- *)
+
+let run_qaoa nodes p seed =
+  let rng = Rng.create seed in
+  let graph = Pqc_qaoa.Graph.random_regular rng ~degree:3 nodes in
+  let o = Pqc_qaoa.Qaoa.optimize ~seed graph ~p in
+  Printf.printf "3-regular %d-node MAXCUT, p = %d: cut %.2f / %d (ratio %.3f) in %d iterations\n"
+    nodes p o.expected_cut o.optimum o.approximation_ratio o.evaluations;
+  0
+
+(* --- grape --- *)
+
+let run_grape gate =
+  let target =
+    match String.lowercase_ascii gate with
+    | "x" -> Some (1, Circuit.of_gates 1 [ (Gate.X, [ 0 ]) ], 5.0)
+    | "h" -> Some (1, Circuit.of_gates 1 [ (Gate.H, [ 0 ]) ], 4.0)
+    | "rz" -> Some (1, Circuit.of_gates 1 [ (Gate.Rz (Param.const Float.pi), [ 0 ]) ], 2.0)
+    | "cx" -> Some (2, Circuit.of_gates 2 [ (Gate.CX, [ 0; 1 ]) ], 8.0)
+    | "swap" -> Some (2, Circuit.of_gates 2 [ (Gate.Swap, [ 0; 1 ]) ], 10.0)
+    | _ -> None
+  in
+  match target with
+  | None ->
+    Printf.eprintf "unknown gate %S (x, h, rz, cx, swap)\n" gate;
+    1
+  | Some (n, circuit, upper) ->
+    let sys = Hamiltonian.gmon n in
+    let settings =
+      { Grape.fast_settings with Grape.dt = 0.1; max_iters = 400;
+        target_fidelity = 0.999 }
+    in
+    (match
+       Grape.minimal_time ~settings ~upper_bound:upper sys
+         ~target:(Circuit.unitary circuit)
+     with
+    | Some s ->
+      Printf.printf
+        "%s: minimal pulse %.2f ns (lookup %.1f ns), fidelity %.4f, %d GRAPE \
+         iterations over %d probes\n"
+        gate s.minimal.total_time
+        (Gate_times.circuit_duration circuit)
+        s.minimal.fidelity s.grape_iterations_total (List.length s.probes);
+      0
+    | None ->
+      Printf.printf "%s: did not converge\n" gate;
+      1)
+
+(* --- export --- *)
+
+let run_export benchmark strategy out seed =
+  match benchmark_circuit benchmark with
+  | Error e -> prerr_endline e; 1
+  | Ok circuit ->
+    let prepared = Compiler.prepare circuit in
+    let theta = theta_for seed prepared in
+    let r = Compiler.compile ~engine:Engine.model strategy prepared ~theta in
+    let qasm = Pqc_quantum.Qasm.to_qasm ~theta prepared in
+    let json = Pqc_pulse.Pulse.to_json r.Strategy.pulse in
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    write (out ^ ".qasm") qasm;
+    write (out ^ ".pulse.json") json;
+    Printf.printf "%s under %s: %.1f ns over %d segments\n" benchmark
+      r.Strategy.strategy r.Strategy.duration_ns
+      (List.length r.Strategy.pulse.Pqc_pulse.Pulse.segments);
+    0
+
+(* --- qasm --- *)
+
+let run_qasm_file path seed =
+  match
+    (try
+       let ic = open_in path in
+       let n = in_channel_length ic in
+       let s = really_input_string ic n in
+       close_in ic;
+       Ok s
+     with Sys_error e -> Error e)
+  with
+  | Error e -> prerr_endline e; 1
+  | Ok source ->
+    (match Pqc_quantum.Qasm.of_qasm source with
+    | exception Pqc_quantum.Qasm.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" path line message;
+      1
+    | circuit ->
+      let prepared = Compiler.prepare circuit in
+      let theta = theta_for seed prepared in
+      Printf.printf "%s: %d qubits, %d gates\n" path
+        (Circuit.n_qubits prepared) (Circuit.length prepared);
+      let baseline = Compiler.gate_based prepared ~theta in
+      let t = Table.create [ "strategy"; "pulse (ns)"; "speedup" ] in
+      List.iter
+        (fun s ->
+          let r = Compiler.compile ~engine:Engine.model s prepared ~theta in
+          Table.add_row t
+            [ r.Strategy.strategy; Table.cell_f r.Strategy.duration_ns;
+              Table.cell_x (Strategy.speedup ~baseline r) ])
+        Compiler.all_strategies;
+      Table.print t;
+      0)
+
+(* --- slices --- *)
+
+let run_slices benchmark =
+  match benchmark_circuit benchmark with
+  | Error e -> prerr_endline e; 1
+  | Ok circuit ->
+    let module Slice = Pqc_transpile.Slice in
+    let prepared = Compiler.prepare circuit in
+    let show title slices =
+      Printf.printf "%s: %d slices\n" title (List.length slices);
+      List.iteri
+        (fun k (s : Slice.slice) ->
+          match s.Slice.var with
+          | Some v ->
+            Printf.printf "  %3d  theta_%-3d %d gate\n" k v
+              (Circuit.length s.Slice.circuit)
+          | None ->
+            Printf.printf "  %3d  fixed     %d gates on qubits {%s}\n" k
+              (Circuit.length s.Slice.circuit)
+              (String.concat ","
+                 (List.map string_of_int
+                    (List.filter
+                       (Circuit.qubit_used s.Slice.circuit)
+                       (List.init (Circuit.n_qubits prepared) Fun.id)))))
+        slices
+    in
+    Printf.printf "%s: %d qubits, %d gates, monotone=%b\n\n" benchmark
+      (Circuit.n_qubits prepared) (Circuit.length prepared)
+      (Slice.is_monotone prepared);
+    show "strict (regions)" (Slice.strict prepared);
+    print_newline ();
+    show "flexible (single-parameter)" (Slice.flexible prepared);
+    0
+
+(* --- cmdliner plumbing --- *)
+
+open Cmdliner
+
+let strategy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "gate" | "gate-based" -> Ok (Some Compiler.Gate_based)
+    | "strict" | "strict-partial" -> Ok (Some Compiler.Strict_partial)
+    | "flexible" | "flexible-partial" -> Ok (Some Compiler.Flexible_partial)
+    | "grape" | "full-grape" -> Ok (Some Compiler.Full_grape)
+    | "all" -> Ok None
+    | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "all"
+    | Some s -> Format.pp_print_string fmt (Compiler.strategy_name s)
+  in
+  Arg.conv (parse, print)
+
+let compile_cmd =
+  let benchmark =
+    Arg.(value & opt string "lih" & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit.")
+  in
+  let strategy =
+    Arg.(value & opt strategy_conv None & info [ "strategy"; "s" ] ~doc:"Strategy or 'all'.")
+  in
+  let numeric =
+    Arg.(value & flag & info [ "numeric" ] ~doc:"Use the real GRAPE engine (slow).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Parametrization seed.") in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a benchmark under the four strategies")
+    Term.(const run_compile $ benchmark $ strategy $ numeric $ seed)
+
+let tables_cmd =
+  Cmd.v (Cmd.info "tables" ~doc:"Print the Table 1/2 benchmark statistics")
+    Term.(const run_tables $ const ())
+
+let vqe_cmd =
+  let molecule =
+    Arg.(value & opt string "h2" & info [ "molecule"; "m" ] ~doc:"Molecule name.")
+  in
+  Cmd.v (Cmd.info "vqe" ~doc:"Run end-to-end VQE") Term.(const run_vqe $ molecule)
+
+let qaoa_cmd =
+  let nodes = Arg.(value & opt int 6 & info [ "nodes"; "n" ] ~doc:"Graph nodes.") in
+  let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"QAOA rounds.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Graph/start seed.") in
+  Cmd.v (Cmd.info "qaoa" ~doc:"Run end-to-end QAOA MAXCUT")
+    Term.(const run_qaoa $ nodes $ p $ seed)
+
+let grape_cmd =
+  let gate = Arg.(value & opt string "h" & info [ "gate"; "g" ] ~doc:"Gate name.") in
+  Cmd.v (Cmd.info "grape" ~doc:"Numeric GRAPE minimal-time search for one gate")
+    Term.(const run_grape $ gate)
+
+let export_cmd =
+  let benchmark =
+    Arg.(value & opt string "h2" & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit.")
+  in
+  let strategy_one =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "gate" | "gate-based" -> Ok Compiler.Gate_based
+      | "strict" | "strict-partial" -> Ok Compiler.Strict_partial
+      | "flexible" | "flexible-partial" -> Ok Compiler.Flexible_partial
+      | "grape" | "full-grape" -> Ok Compiler.Full_grape
+      | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+    in
+    let print fmt s = Format.pp_print_string fmt (Compiler.strategy_name s) in
+    Arg.conv (parse, print)
+  in
+  let strategy =
+    Arg.(value & opt strategy_one Compiler.Strict_partial
+        & info [ "strategy"; "s" ] ~doc:"Strategy to export.")
+  in
+  let out =
+    Arg.(value & opt string "compiled" & info [ "out"; "o" ] ~doc:"Output prefix.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Parametrization seed.") in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a compiled benchmark as OpenQASM + pulse JSON")
+    Term.(const run_export $ benchmark $ strategy $ out $ seed)
+
+let qasm_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Parametrization seed.") in
+  Cmd.v (Cmd.info "qasm" ~doc:"Compile an external OpenQASM 2.0 file")
+    Term.(const run_qasm_file $ path $ seed)
+
+let slices_cmd =
+  let benchmark =
+    Arg.(value & opt string "h2" & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit.")
+  in
+  Cmd.v (Cmd.info "slices" ~doc:"Show the strict/flexible slicing of a benchmark")
+    Term.(const run_slices $ benchmark)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "partialc" ~version:"1.0.0"
+      ~doc:"Partial compilation of variational quantum algorithms"
+  in
+  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd ]))

@@ -1,0 +1,1 @@
+examples/grape_pulse.ml: Array Float Grape Hamiltonian List Pqc_grape Pqc_pulse Pqc_quantum Pqc_util Printf String

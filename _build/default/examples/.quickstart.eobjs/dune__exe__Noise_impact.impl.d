@@ -1,0 +1,1 @@
+examples/noise_impact.ml: Array Chemistry Compiler Engine Float List Molecule Pqc_core Pqc_pulse Pqc_quantum Pqc_transpile Pqc_util Pqc_vqe Printf Strategy Uccsd Vqe

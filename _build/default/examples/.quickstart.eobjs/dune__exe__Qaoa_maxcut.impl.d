@@ -1,0 +1,1 @@
+examples/qaoa_maxcut.ml: Compiler Engine Format Graph List Maxcut Pqc_core Pqc_qaoa Pqc_util Printf Qaoa Strategy

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Engine Format List Pqc_core Pqc_pulse Pqc_quantum Pqc_util Printf Strategy

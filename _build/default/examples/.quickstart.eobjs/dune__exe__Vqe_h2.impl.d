@@ -1,0 +1,1 @@
+examples/vqe_h2.ml: Chemistry Compiler Engine Float List Molecule Pqc_core Pqc_quantum Pqc_util Pqc_vqe Printf Strategy Uccsd Vqe

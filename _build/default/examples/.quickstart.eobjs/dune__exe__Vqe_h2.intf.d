@@ -1,0 +1,1 @@
+examples/vqe_h2.mli:

@@ -1,0 +1,76 @@
+(* Run the real numeric GRAPE engine on the compiler's basis gates and
+   compare the discovered minimal pulse durations against the Table 1
+   lookup values.  Also demonstrates the control-field asymmetry story of
+   Section 5.1: GRAPE realizes H with mostly flux (Z) drive, rediscovering
+   the Rz Rx Rz decomposition instead of the textbook Rx Rz Rx.
+
+   This example runs actual optimal-control optimizations: expect a minute
+   or two of compute.
+
+   Run with: dune exec examples/grape_pulse.exe *)
+
+module Param = Pqc_quantum.Param
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Gate_times = Pqc_pulse.Gate_times
+module Table = Pqc_util.Table
+open Pqc_grape
+
+let settings =
+  { Grape.fast_settings with Grape.dt = 0.1; max_iters = 400;
+    target_fidelity = 0.999 }
+
+let minimal name n gates upper =
+  let circuit = Circuit.of_gates n gates in
+  let sys = Hamiltonian.gmon n in
+  match
+    Grape.minimal_time ~settings ~upper_bound:upper sys
+      ~target:(Circuit.unitary circuit)
+  with
+  | Some s -> (name, Gate_times.circuit_duration circuit, Some s.minimal)
+  | None -> (name, Gate_times.circuit_duration circuit, None)
+
+(* Total drive "area" per channel family, to show where the H pulse's
+   effort goes. *)
+let channel_area (sys : Hamiltonian.t) (r : Grape.result) prefix =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun j (c : Hamiltonian.control) ->
+      if String.length c.label > 0 && c.label.[0] = prefix then
+        Array.iter (fun u -> total := !total +. Float.abs u) r.controls.(j))
+    sys.Hamiltonian.controls;
+  !total *. settings.Grape.dt
+
+let () =
+  print_endline "Minimal GRAPE pulse durations vs the Table 1 lookup:";
+  let rows =
+    [ minimal "Rz(pi)" 1 [ (Gate.Rz (Param.const Float.pi), [ 0 ]) ] 2.0;
+      minimal "Rx(pi)" 1 [ (Gate.Rx (Param.const Float.pi), [ 0 ]) ] 5.0;
+      minimal "H" 1 [ (Gate.H, [ 0 ]) ] 4.0;
+      minimal "CX" 2 [ (Gate.CX, [ 0; 1 ]) ] 8.0;
+      minimal "SWAP" 2 [ (Gate.Swap, [ 0; 1 ]) ] 10.0 ]
+  in
+  let table = Table.create [ "gate"; "lookup (ns)"; "GRAPE (ns)"; "fidelity" ] in
+  List.iter
+    (fun (name, lookup, result) ->
+      match result with
+      | Some (r : Grape.result) ->
+        Table.add_row table
+          [ name; Table.cell_f lookup; Table.cell_f r.total_time;
+            Table.cell_f ~decimals:4 r.fidelity ]
+      | None -> Table.add_row table [ name; Table.cell_f lookup; "did not converge" ])
+    rows;
+  Table.print table;
+
+  (* The H gate's discovered pulse leans on the 15x-faster flux drive. *)
+  print_newline ();
+  let sys = Hamiltonian.gmon 1 in
+  let h = Grape.optimize ~settings sys ~target:(Circuit.unitary (Circuit.of_gates 1 [ (Gate.H, [ 0 ]) ])) ~total_time:1.5 in
+  let charge = channel_area sys h 'c' and flux = channel_area sys h 'f' in
+  Printf.printf
+    "H pulse drive areas: charge (X-axis) %.2f rad, flux (Z-axis) %.2f rad\n"
+    charge flux;
+  Printf.printf
+    "Flux/charge ratio %.1f: GRAPE leans on the fast Z drive, the\n\
+     Rz.Rx.Rz trick of Section 5.1 (one X quarter-turn instead of two).\n"
+    (flux /. charge)

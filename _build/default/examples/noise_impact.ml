@@ -1,0 +1,72 @@
+(* Why pulse duration is existential, not cosmetic: simulate the H2 VQE
+   circuit on a decohering device (density-matrix simulation with T1/T2
+   channels) and watch the measured ground-state energy drift away from the
+   ideal as qubit lifetimes shrink — then watch partial compilation pull it
+   back by compressing the schedule.
+
+   Run with: dune exec examples/noise_impact.exe *)
+
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Statevec = Pqc_quantum.Statevec
+module Density = Pqc_quantum.Density
+module Schedule = Pqc_transpile.Schedule
+module Gate_times = Pqc_pulse.Gate_times
+module Table = Pqc_util.Table
+open Pqc_vqe
+open Pqc_core
+
+let () =
+  (* Converge VQE noiselessly first; then study execution noise at the
+     optimum. *)
+  let prep = Circuit.of_gates 2 [ (Gate.X, [ 0 ]) ] in
+  let ansatz = Circuit.concat prep (Uccsd.ansatz Molecule.h2) in
+  let vqe = Vqe.run ~hamiltonian:Chemistry.h2 ~ansatz () in
+  Printf.printf "Ideal VQE energy: %.6f Ha (exact %.6f)\n\n" vqe.energy
+    Chemistry.h2_exact_energy;
+
+  let bound = Circuit.bind ansatz vqe.theta in
+  let ideal_state = Statevec.run bound in
+  let sched = Schedule.schedule ~duration:Gate_times.instr_duration bound in
+  let timings =
+    Array.to_list
+      (Array.map
+         (fun (e : Schedule.entry) ->
+           { Density.instr = e.instr; start_time = e.start_time;
+             duration = e.finish_time -. e.start_time })
+         sched.entries)
+  in
+
+  let prepared = Compiler.prepare ansatz in
+  let baseline = Compiler.gate_based prepared ~theta:vqe.theta in
+  let engine = Engine.model in
+  let t2 = 2_000.0 (* a pessimistic 2 us device *) in
+  Printf.printf "Noisy execution at T1 = 3 us, T2 = 2 us:\n";
+  let table =
+    Table.create [ "strategy"; "pulse (ns)"; "state fidelity"; "energy (Ha)"; "error (mHa)" ]
+  in
+  List.iter
+    (fun strategy ->
+      let r = Compiler.compile ~engine strategy prepared ~theta:vqe.theta in
+      let scale = r.Strategy.duration_ns /. baseline.Strategy.duration_ns in
+      let scaled =
+        List.map
+          (fun (tm : Density.timing) ->
+            { tm with Density.start_time = tm.start_time *. scale;
+              duration = tm.duration *. scale })
+          timings
+      in
+      let rho = Density.run_noisy ~t1_ns:3_000.0 ~t2_ns:t2 ~n:2 scaled in
+      let energy = Density.expectation Chemistry.h2 rho in
+      Table.add_row table
+        [ r.Strategy.strategy;
+          Table.cell_f r.Strategy.duration_ns;
+          Table.cell_f ~decimals:4 (Density.fidelity_to rho ideal_state);
+          Table.cell_f ~decimals:5 energy;
+          Table.cell_f ~decimals:2 (1000.0 *. Float.abs (energy -. vqe.energy)) ])
+    Compiler.all_strategies;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "The same variational circuit, the same parameters — only the pulse\n\
+     compilation differs.  Shorter pulses keep the answer chemical."

@@ -1,0 +1,48 @@
+(* End-to-end QAOA MAXCUT on a seeded 6-node 3-regular graph.
+
+   Runs the full hybrid loop at several circuit depths p, reports the
+   approximation ratio, and compiles the final circuit of each depth under
+   all four strategies — reproducing in miniature the trade-off of the
+   paper's Figure 6: strict gains little on QAOA (parametrized gates are
+   dense), flexible recovers the full-GRAPE speedup.
+
+   Run with: dune exec examples/qaoa_maxcut.exe *)
+
+module Rng = Pqc_util.Rng
+module Table = Pqc_util.Table
+open Pqc_qaoa
+open Pqc_core
+
+let () =
+  let rng = Rng.create 2019 in
+  let graph = Graph.random_regular rng ~degree:3 6 in
+  Format.printf "%a@." Graph.pp graph;
+  Printf.printf "Brute-force MAXCUT optimum: %d\n\n" (Maxcut.optimum graph);
+
+  let engine = Engine.model in
+  let table =
+    Table.create
+      [ "p"; "approx ratio"; "gate (ns)"; "strict"; "flexible"; "grape" ]
+  in
+  List.iter
+    (fun p ->
+      let outcome = Qaoa.optimize ~max_evals:400 ~seed:7 graph ~p in
+      let prepared = Compiler.prepare (Qaoa.circuit graph ~p) in
+      let compile strategy =
+        (Compiler.compile ~engine strategy prepared ~theta:outcome.theta)
+          .Strategy.duration_ns
+      in
+      Table.add_row table
+        [ string_of_int p;
+          Table.cell_f ~decimals:3 outcome.approximation_ratio;
+          Table.cell_f (compile Compiler.Gate_based);
+          Table.cell_f (compile Compiler.Strict_partial);
+          Table.cell_f (compile Compiler.Flexible_partial);
+          Table.cell_f (compile Compiler.Full_grape) ])
+    [ 1; 2; 3 ];
+  Table.print table;
+  print_newline ();
+  print_endline
+    "Shorter pulses matter beyond wall time: decoherence error grows\n\
+     exponentially with pulse duration, so the flexible-partial column is\n\
+     the difference between a usable and an unusable computation."

@@ -1,0 +1,62 @@
+(* Quickstart: build a small variational circuit, compile it under all four
+   strategies, and compare pulse durations and compilation latencies.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Gate = Pqc_quantum.Gate
+module Param = Pqc_quantum.Param
+module Circuit = Pqc_quantum.Circuit
+module Table = Pqc_util.Table
+open Pqc_core
+
+(* A 3-qubit, 2-parameter variational circuit in the QAOA mold:
+   entangle, phase by theta_0, mix by theta_1. *)
+let variational_circuit () =
+  let b = Circuit.Builder.create 3 in
+  List.iter (fun q -> Circuit.Builder.add b Gate.H [ q ]) [ 0; 1; 2 ];
+  List.iter
+    (fun (u, v) ->
+      Circuit.Builder.add b Gate.CX [ u; v ];
+      Circuit.Builder.add b (Gate.Rz (Param.var 0)) [ v ];
+      Circuit.Builder.add b Gate.CX [ u; v ])
+    [ (0, 1); (1, 2) ];
+  List.iter
+    (fun q -> Circuit.Builder.add b (Gate.Rx (Param.var ~scale:2.0 1)) [ q ])
+    [ 0; 1; 2 ];
+  Circuit.Builder.to_circuit b
+
+let () =
+  let circuit = variational_circuit () in
+  Format.printf "Variational circuit:@.%a@." Circuit.pp circuit;
+
+  (* Transpile: optimization passes + routing to a line device. *)
+  let prepared = Compiler.prepare circuit in
+  Printf.printf "Prepared: %d gates after optimization and routing\n\n"
+    (Circuit.length prepared);
+
+  (* This iteration's parameters (a variational optimizer would supply
+     new values every iteration). *)
+  let theta = [| 0.8; 0.35 |] in
+
+  let engine = Engine.model in
+  let table =
+    Table.create
+      [ "strategy"; "pulse (ns)"; "speedup"; "latency/iter"; "precompute" ]
+  in
+  let gate = Compiler.gate_based prepared ~theta in
+  List.iter
+    (fun strategy ->
+      let r = Compiler.compile ~engine strategy prepared ~theta in
+      Table.add_row table
+        [ r.Strategy.strategy;
+          Table.cell_f r.Strategy.duration_ns;
+          Table.cell_x (Strategy.speedup ~baseline:gate r);
+          Printf.sprintf "%.2f s" r.Strategy.per_iteration.Engine.seconds;
+          Printf.sprintf "%.2f s" r.Strategy.precompute.Engine.seconds ])
+    Compiler.all_strategies;
+  Table.print table;
+
+  print_newline ();
+  print_endline "Pulse schedule under strict partial compilation:";
+  let strict = Compiler.strict_partial ~engine prepared ~theta in
+  Format.printf "%a@." Pqc_pulse.Pulse.pp strict.Strategy.pulse

@@ -1,0 +1,58 @@
+(* End-to-end Variational Quantum Eigensolver on the H2 molecule.
+
+   The real 2-qubit H2 Hamiltonian (published coefficients), a
+   Hartree-Fock-prepared UCCSD-structured ansatz, and Nelder-Mead — with
+   per-iteration compilation-latency accounting that shows why partial
+   compilation matters: full GRAPE's latency is paid at every one of the
+   variational iterations, partial compilation's is not (paper Section 8.4).
+
+   Run with: dune exec examples/vqe_h2.exe *)
+
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Table = Pqc_util.Table
+open Pqc_vqe
+open Pqc_core
+
+let () =
+  (* Hartree-Fock reference state |10> then the UCCSD ansatz. *)
+  let prep = Circuit.of_gates 2 [ (Gate.X, [ 0 ]) ] in
+  let ansatz = Circuit.concat prep (Uccsd.ansatz Molecule.h2) in
+  Printf.printf "H2 UCCSD ansatz: %d qubits, %d parameters, %d gates\n"
+    (Circuit.n_qubits ansatz)
+    (List.length (Circuit.depends ansatz))
+    (Circuit.length ansatz);
+
+  (* The hybrid loop: quantum expectation values on the state-vector
+     simulator, classical Nelder-Mead updates. *)
+  let result = Vqe.run ~hamiltonian:Chemistry.h2 ~ansatz () in
+  Printf.printf "VQE energy:   %.6f Ha\n" result.energy;
+  Printf.printf "Exact energy: %.6f Ha\n" Chemistry.h2_exact_energy;
+  Printf.printf "Error:        %.2e Ha in %d variational iterations\n\n"
+    (Float.abs (result.energy -. Chemistry.h2_exact_energy))
+    result.evaluations;
+
+  (* What would each compilation strategy have cost over this run? *)
+  let prepared = Compiler.prepare ansatz in
+  let engine = Engine.model in
+  let iterations = result.evaluations in
+  let table =
+    Table.create [ "strategy"; "pulse (ns)"; "total compile latency" ]
+  in
+  List.iter
+    (fun strategy ->
+      let r = Compiler.compile ~engine strategy prepared ~theta:result.theta in
+      let total =
+        r.Strategy.precompute.Engine.seconds
+        +. (float_of_int iterations *. r.Strategy.per_iteration.Engine.seconds)
+      in
+      Table.add_row table
+        [ r.Strategy.strategy;
+          Table.cell_f r.Strategy.duration_ns;
+          Printf.sprintf "%.1f s over %d iterations" total iterations ])
+    Compiler.all_strategies;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "Full GRAPE pays its search at every iteration; strict partial\n\
+     compilation pays a one-off precompute and then compiles for free."

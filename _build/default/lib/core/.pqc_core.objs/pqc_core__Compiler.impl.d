@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Array Engine Float List Pqc_pulse Pqc_quantum Pqc_transpile Printf Strategy String

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Engine Pqc_quantum Pqc_transpile Strategy

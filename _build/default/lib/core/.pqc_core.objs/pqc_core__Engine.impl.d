@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Buffer Float Hashtbl Latency_model List Pqc_grape Pqc_hyperopt Pqc_pulse Pqc_quantum Pqc_util Printf Pulse_model Sys

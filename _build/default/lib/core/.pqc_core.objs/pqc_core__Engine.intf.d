@@ -1,0 +1,1 @@
+lib/core/engine.mli: Pqc_grape Pqc_quantum

@@ -1,0 +1,1 @@
+lib/core/latency_model.mli:

@@ -1,0 +1,1 @@
+lib/core/pulse_model.ml: Array Float Hashtbl Pqc_pulse Pqc_quantum Printf

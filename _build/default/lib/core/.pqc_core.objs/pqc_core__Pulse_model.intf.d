@@ -1,0 +1,1 @@
+lib/core/pulse_model.mli: Pqc_quantum

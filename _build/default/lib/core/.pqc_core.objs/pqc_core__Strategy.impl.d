@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Engine Float List Pqc_pulse

@@ -1,0 +1,172 @@
+module Circuit = Pqc_quantum.Circuit
+module Pass = Pqc_transpile.Pass
+module Route = Pqc_transpile.Route
+module Topology = Pqc_transpile.Topology
+module Block = Pqc_transpile.Block
+module Slice = Pqc_transpile.Slice
+module Gate_times = Pqc_pulse.Gate_times
+module Pulse = Pqc_pulse.Pulse
+
+let prepare ?topology c =
+  let topo =
+    match topology with Some t -> t | None -> Topology.line (Circuit.n_qubits c)
+  in
+  let optimized = Pass.optimize c in
+  let routed = (Route.route topo optimized).routed in
+  Pass.optimize routed
+
+let lookup_jobs c =
+  Array.to_list (Circuit.instrs c)
+  |> List.map (fun (i : Circuit.instr) ->
+         { Strategy.label = Pqc_quantum.Gate.name i.gate;
+           qubits = Array.to_list i.qubits;
+           duration = Gate_times.instr_duration i })
+
+let gate_based c ~theta =
+  let bound = Circuit.bind c theta in
+  let duration = Gate_times.circuit_duration bound in
+  let segments =
+    Array.to_list (Circuit.instrs bound) |> List.map Pulse.lookup_gate
+  in
+  { Strategy.strategy = "gate-based"; duration_ns = duration;
+    precompute = Engine.zero_cost; per_iteration = Engine.zero_cost;
+    pulse = Pulse.of_segments segments }
+
+(* Blocks of a (bound) circuit as schedulable jobs with engine durations;
+   also accumulates the engine search cost. *)
+let block_jobs ~max_width ~engine bound =
+  let blocks = Block.partition ~max_width bound in
+  let cost = ref Engine.zero_cost in
+  let jobs =
+    List.map
+      (fun (b : Block.block) ->
+        let r = Engine.search engine (Block.extract b) in
+        cost := Engine.add_cost !cost r.Engine.search_cost;
+        { Strategy.label = Printf.sprintf "block[%s]"
+            (String.concat "," (List.map string_of_int b.qubits));
+          qubits = b.qubits;
+          duration = r.Engine.duration_ns })
+      blocks
+  in
+  (jobs, !cost)
+
+let pulse_of_jobs jobs =
+  Pulse.of_segments
+    (List.map
+       (fun (j : Strategy.job) ->
+         Pulse.Optimized { label = j.label; duration = j.duration; samples = None })
+       jobs)
+
+let full_grape ?(max_width = 4) ~engine c ~theta =
+  let bound = Circuit.bind c theta in
+  let jobs, cost = block_jobs ~max_width ~engine bound in
+  { Strategy.strategy = "full-grape";
+    duration_ns = Strategy.makespan ~n:(Circuit.n_qubits c) jobs;
+    precompute = Engine.zero_cost;
+    (* The binding changes every iteration, so the whole search repeats
+       every iteration: this is the latency that makes out-of-the-box
+       GRAPE untenable (Section 1). *)
+    per_iteration = cost;
+    pulse = pulse_of_jobs jobs }
+
+let strict_jobs ~max_width ~engine ~theta slices =
+  let precompute = ref Engine.zero_cost in
+  let jobs =
+    List.concat_map
+      (fun (s : Slice.slice) ->
+        match s.var with
+        | None ->
+          (* Fixed slice: GRAPE-precompiled offline, blocked to width. *)
+          let jobs, cost = block_jobs ~max_width ~engine s.circuit in
+          precompute := Engine.add_cost !precompute cost;
+          jobs
+        | Some _ ->
+          (* Parametrized gate: lookup-table pulse at runtime. *)
+          lookup_jobs (Circuit.bind s.circuit theta))
+      slices
+  in
+  (jobs, !precompute)
+
+let strict_partial ?(max_width = 4) ~engine c ~theta =
+  let n = Circuit.n_qubits c in
+  (* Both slicings are zero-latency at runtime, so the compiler
+     precompiles both offline and keeps whichever schedule is shorter
+     (region slicing wins when parameters are dense, linear slicing when
+     they are sparse enough that deep runs survive whole). *)
+  let region_jobs, region_cost =
+    strict_jobs ~max_width ~engine ~theta (Slice.strict c)
+  in
+  let linear_jobs, linear_cost =
+    strict_jobs ~max_width ~engine ~theta (Slice.strict_linear c)
+  in
+  let region_span = Strategy.makespan ~n region_jobs in
+  let linear_span = Strategy.makespan ~n linear_jobs in
+  let jobs, precompute, raw =
+    if region_span <= linear_span then (region_jobs, region_cost, region_span)
+    else (linear_jobs, linear_cost, linear_span)
+  in
+  let precompute = ref precompute in
+  (* Strict partial compilation is never worse than gate-based: both have
+     zero runtime latency, so the compiler keeps whichever schedule is
+     shorter (relevant only when blocking serializes an unusually parallel
+     circuit). *)
+  let fallback = Gate_times.circuit_duration (Circuit.bind c theta) in
+  { Strategy.strategy = "strict-partial";
+    duration_ns = Float.min raw fallback;
+    precompute = !precompute;
+    per_iteration = Engine.zero_cost;
+    pulse = pulse_of_jobs jobs }
+
+let flexible_partial ?(max_width = 4) ~engine c ~theta =
+  let n = Circuit.n_qubits c in
+  let slices = Slice.flexible c in
+  let precompute = ref Engine.zero_cost in
+  let per_iteration = ref Engine.zero_cost in
+  let jobs =
+    List.concat_map
+      (fun (s : Slice.slice) ->
+        let blocks = Block.partition ~max_width s.circuit in
+        List.map
+          (fun (b : Block.block) ->
+            let bound = Circuit.bind (Block.extract b) theta in
+            let r = Engine.search engine bound in
+            (* Offline: the minimal-time search plus hyperparameter
+               tuning, once per slice block. *)
+            precompute :=
+              Engine.add_cost !precompute
+                (Engine.add_cost r.Engine.search_cost
+                   (Engine.hyperopt_cost engine bound
+                      ~duration:r.Engine.duration_ns));
+            (* Online: one tuned GRAPE run at the known duration. *)
+            per_iteration :=
+              Engine.add_cost !per_iteration
+                (Engine.tuned_run_cost engine bound ~duration:r.Engine.duration_ns);
+            { Strategy.label = Printf.sprintf "slice[t%s]"
+                (match s.var with Some v -> string_of_int v | None -> "-");
+              qubits = b.qubits;
+              duration = r.Engine.duration_ns })
+          blocks)
+      slices
+  in
+  { Strategy.strategy = "flexible-partial";
+    duration_ns = Strategy.makespan ~n jobs;
+    precompute = !precompute;
+    per_iteration = !per_iteration;
+    pulse = pulse_of_jobs jobs }
+
+type strategy = Gate_based | Strict_partial | Flexible_partial | Full_grape
+
+let all_strategies = [ Gate_based; Strict_partial; Flexible_partial; Full_grape ]
+
+let strategy_name = function
+  | Gate_based -> "gate-based"
+  | Strict_partial -> "strict-partial"
+  | Flexible_partial -> "flexible-partial"
+  | Full_grape -> "full-grape"
+
+let compile ?(max_width = 4) ~engine strategy c ~theta =
+  match strategy with
+  | Gate_based -> gate_based c ~theta
+  | Strict_partial -> strict_partial ~max_width ~engine c ~theta
+  | Flexible_partial -> flexible_partial ~max_width ~engine c ~theta
+  | Full_grape -> full_grape ~max_width ~engine c ~theta

@@ -1,0 +1,57 @@
+module Circuit = Pqc_quantum.Circuit
+module Topology = Pqc_transpile.Topology
+(** The four compilation strategies (paper Sections 2.3, 5, 6, 7).
+
+    All strategies consume a {e prepared} variational circuit (already
+    optimized and routed — use {!prepare}) plus a concrete parameter
+    binding, and report the compiled pulse duration together with the
+    classical compilation cost split into one-off precompute and
+    per-variational-iteration work:
+
+    - {!gate_based}: per-gate lookup-table pulses, concatenated along the
+      parallel schedule.  Zero compilation latency, longest pulses.
+    - {!full_grape}: block into <= [max_width]-qubit subcircuits and run a
+      full minimal-time GRAPE search per block, {e every iteration}
+      (the binding changes every iteration).  Shortest pulses, untenable
+      latency.
+    - {!strict_partial}: GRAPE-precompile the parametrization-independent
+      Fixed blocks once; at runtime concatenate them with lookup pulses
+      for the theta gates.  Zero per-iteration latency, pulse speedup
+      governed by Fixed-block depth.
+    - {!flexible_partial}: slice by parameter monotonicity into
+      single-parameter subcircuits, precompute per-slice GRAPE
+      hyperparameters; per iteration, one tuned GRAPE run per block
+      recovers full-GRAPE pulse durations at a fraction of its latency. *)
+
+val prepare : ?topology:Topology.t -> Circuit.t -> Circuit.t
+(** Optimization passes + routing (defaults to a line topology of the
+    circuit's width) + a final optimization sweep — the paper's fair
+    gate-based baseline pipeline. *)
+
+val gate_based : Circuit.t -> theta:float array -> Strategy.compiled
+
+val full_grape :
+  ?max_width:int -> engine:Engine.t -> Circuit.t -> theta:float array ->
+  Strategy.compiled
+(** [max_width] defaults to 4 (Section 5.2). *)
+
+val strict_partial :
+  ?max_width:int -> engine:Engine.t -> Circuit.t -> theta:float array ->
+  Strategy.compiled
+
+val flexible_partial :
+  ?max_width:int -> engine:Engine.t -> Circuit.t -> theta:float array ->
+  Strategy.compiled
+(** Requires parameter monotonicity (guaranteed for {!Pqc_vqe.Uccsd} and
+    {!Pqc_qaoa.Qaoa} circuits). *)
+
+type strategy = Gate_based | Strict_partial | Flexible_partial | Full_grape
+
+val all_strategies : strategy list
+(** In the paper's presentation order. *)
+
+val strategy_name : strategy -> string
+
+val compile :
+  ?max_width:int -> engine:Engine.t -> strategy -> Circuit.t ->
+  theta:float array -> Strategy.compiled

@@ -1,0 +1,48 @@
+module Circuit = Pqc_quantum.Circuit
+module Grape = Pqc_grape.Grape
+module Hamiltonian = Pqc_grape.Hamiltonian
+(** Pulse-duration engine: how strategies obtain the minimal GRAPE pulse
+    duration (and compilation cost) of a block.
+
+    [Model] prices blocks with the calibrated {!Pulse_model} and
+    {!Latency_model} — instant, used for the full benchmark sweeps.
+    [Numeric] runs the real {!Pqc_grape.Grape} optimizer — the ground
+    truth, tractable on small blocks; it is what validates the model
+    (EXPERIMENTS.md).  Results are memoized per bound block. *)
+
+type cost = { grape_runs : int; grape_iterations : int; seconds : float }
+(** Classical compilation work: optimize calls, total optimizer
+    iterations, and (measured or modelled) wall-clock seconds. *)
+
+val zero_cost : cost
+val add_cost : cost -> cost -> cost
+
+type block_result = {
+  duration_ns : float;  (** Minimal pulse duration found/modelled. *)
+  search_cost : cost;  (** Full minimal-time search, default hyperparams. *)
+  fidelity : float option;  (** Achieved fidelity ([Numeric] only). *)
+}
+
+type t
+
+val model : t
+(** The calibrated analytic engine. *)
+
+val numeric :
+  ?settings:Grape.settings -> ?system_for:(int -> Hamiltonian.t) -> unit -> t
+(** The real GRAPE engine.  [settings] default to {!Grape.fast_settings};
+    [system_for] maps block width to a system Hamiltonian (default: gmon
+    on a line). *)
+
+val is_numeric : t -> bool
+
+val search : t -> Circuit.t -> block_result
+(** Minimal pulse duration of a parameter-free block (width <= 4, operands
+    of two-qubit gates adjacent under the engine's topology). *)
+
+val tuned_run_cost : t -> Circuit.t -> duration:float -> cost
+(** Cost of one GRAPE run at a known duration with per-slice tuned
+    hyperparameters — flexible partial compilation's per-iteration work. *)
+
+val hyperopt_cost : t -> Circuit.t -> duration:float -> cost
+(** Offline hyperparameter-tuning cost for one slice (grid search). *)

@@ -1,0 +1,23 @@
+module Pulse = Pqc_pulse.Pulse
+
+type job = { label : string; qubits : int list; duration : float }
+
+let makespan ~n jobs =
+  let free = Array.make n 0.0 in
+  List.fold_left
+    (fun acc job ->
+      let start = List.fold_left (fun t q -> Float.max t free.(q)) 0.0 job.qubits in
+      let finish = start +. job.duration in
+      List.iter (fun q -> free.(q) <- finish) job.qubits;
+      Float.max acc finish)
+    0.0 jobs
+
+type compiled = {
+  strategy : string;
+  duration_ns : float;
+  precompute : Engine.cost;
+  per_iteration : Engine.cost;
+  pulse : Pulse.t;
+}
+
+let speedup ~baseline c = baseline.duration_ns /. c.duration_ns

@@ -1,0 +1,28 @@
+module Pulse = Pqc_pulse.Pulse
+(** Shared result types and block-level scheduling for the compilation
+    strategies. *)
+
+type job = {
+  label : string;
+  qubits : int list;  (** Original-register qubits the job occupies. *)
+  duration : float;  (** Pulse duration, ns. *)
+}
+
+val makespan : n:int -> job list -> float
+(** ASAP schedule of jobs over the register: each job starts when all its
+    qubits are free (jobs listed in a dependency-respecting order, as
+    produced by slicing/blocking).  This is how block pulses from
+    different slices overlap in time when they touch disjoint qubits. *)
+
+type compiled = {
+  strategy : string;
+  duration_ns : float;  (** Pulse duration of the compiled circuit. *)
+  precompute : Engine.cost;  (** One-off offline work (before iteration 1). *)
+  per_iteration : Engine.cost;
+      (** Compilation work repeated at {e every} variational iteration —
+          the quantity partial compilation attacks. *)
+  pulse : Pulse.t;  (** Segment-level pulse schedule. *)
+}
+
+val speedup : baseline:compiled -> compiled -> float
+(** [baseline.duration / c.duration]. *)

@@ -1,0 +1,1 @@
+lib/grape/adam.ml: Array

@@ -1,0 +1,1 @@
+lib/grape/grape.ml: Adam Array Complex Float Hamiltonian List Option Pqc_linalg Pqc_pulse Pqc_util Sys

@@ -1,0 +1,1 @@
+lib/grape/grape.mli: Hamiltonian Pqc_linalg Pqc_pulse

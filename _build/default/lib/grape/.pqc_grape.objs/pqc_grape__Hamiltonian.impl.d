@@ -1,0 +1,1 @@
+lib/grape/hamiltonian.ml: Array Complex Float Fun List Pqc_linalg Pqc_transpile Printf

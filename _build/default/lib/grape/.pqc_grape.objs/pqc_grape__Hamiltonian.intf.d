@@ -1,0 +1,1 @@
+lib/grape/hamiltonian.mli: Pqc_linalg Pqc_transpile

@@ -1,0 +1,15 @@
+(** ADAM first-order optimizer over flat parameter vectors, with the
+    learning-rate/decay hyperparameters that flexible partial compilation
+    tunes per subcircuit (Section 7.2). *)
+
+type t
+
+val create : ?beta1:float -> ?beta2:float -> ?epsilon:float -> int -> t
+(** [create dim]; defaults beta1 = 0.9, beta2 = 0.999, epsilon = 1e-8. *)
+
+val step :
+  t -> learning_rate:float -> params:float array -> grad:float array -> unit
+(** One in-place update of [params].  [learning_rate] is supplied per call so
+    callers can apply decay schedules. *)
+
+val reset : t -> unit

@@ -1,0 +1,276 @@
+module Cmat = Pqc_linalg.Cmat
+module Expm = Pqc_linalg.Expm
+module Rng = Pqc_util.Rng
+
+type hyperparams = { learning_rate : float; decay : float }
+
+type settings = {
+  dt : float;
+  max_iters : int;
+  target_fidelity : float;
+  hyperparams : hyperparams;
+  amp_penalty : float;
+  smoothness_penalty : float;
+  envelope : bool;
+  seed : int;
+}
+
+let default_settings =
+  { dt = 0.05; max_iters = 600; target_fidelity = 0.999;
+    hyperparams = { learning_rate = 0.3; decay = 0.998 }; amp_penalty = 1e-4;
+    smoothness_penalty = 0.0; envelope = false; seed = 0 }
+
+let fast_settings =
+  { default_settings with dt = 0.25; max_iters = 300; target_fidelity = 0.99 }
+
+let realistic_settings =
+  (* The paper samples at 1 GSa/s; with first-order gradients (rather than
+     exact automatic differentiation) the slice exponential's linearization
+     needs dt <= 0.5 ns at the gmon flux amplitudes, so "realistic" here
+     means 2 GSa/s — still 10x coarser than the standard 20 GSa/s mode. *)
+  { default_settings with dt = 0.5; max_iters = 1000;
+    target_fidelity = 0.99; smoothness_penalty = 1e-3; envelope = true }
+
+type result = {
+  fidelity : float;
+  iterations : int;
+  converged : bool;
+  total_time : float;
+  n_steps : int;
+  controls : float array array;
+  wall_time_s : float;
+}
+
+(* Build H(u_k) = drift + sum_j u.(j).(k) H_j into [dst]. *)
+let build_slice_hamiltonian (sys : Hamiltonian.t) u k ~dst =
+  Cmat.blit ~src:sys.drift ~dst;
+  Array.iteri
+    (fun j (ctrl : Hamiltonian.control) ->
+      Cmat.axpy ~alpha:{ Complex.re = u.(j).(k); im = 0.0 } ~x:ctrl.matrix ~y:dst)
+    sys.controls
+
+let propagate (sys : Hamiltonian.t) ~dt u =
+  let dim = sys.dim in
+  let n_steps = if Array.length u = 0 then 0 else Array.length u.(0) in
+  let ws = Expm.make_ws dim in
+  let h = Cmat.create dim dim in
+  let gen = Cmat.create dim dim in
+  let uk = Cmat.create dim dim in
+  let acc = ref (Cmat.identity dim) in
+  for k = 0 to n_steps - 1 do
+    build_slice_hamiltonian sys u k ~dst:h;
+    Cmat.scale_into ~dst:gen { Complex.re = 0.0; im = -.dt } h;
+    Expm.expm_into ws ~dst:uk gen;
+    acc := Cmat.mul uk !acc
+  done;
+  !acc
+
+let subspace_overlap sys target_embedded u_total =
+  let o = Cmat.inner target_embedded u_total in
+  let d = float_of_int (Hamiltonian.subspace_dim sys) in
+  (o, Complex.norm2 o /. (d *. d))
+
+let fidelity_of_controls sys ~target ~dt u =
+  let embedded = Hamiltonian.embed_target sys target in
+  snd (subspace_overlap sys embedded (propagate sys ~dt u))
+
+let optimize ?(settings = default_settings) (sys : Hamiltonian.t) ~target
+    ~total_time =
+  let t0 = Sys.time () in
+  let dim = sys.dim in
+  let nc = Array.length sys.controls in
+  let n_steps = max 2 (int_of_float (Float.round (total_time /. settings.dt))) in
+  let dt = settings.dt in
+  let dsub2 =
+    let d = float_of_int (Hamiltonian.subspace_dim sys) in
+    d *. d
+  in
+  let embedded = Hamiltonian.embed_target sys target in
+  let rng = Rng.create settings.seed in
+  (* Small random start; zero would be a stationary point of the fidelity
+     for many targets. *)
+  let u =
+    Array.init nc (fun j ->
+        let amp = 0.1 *. sys.controls.(j).max_amp in
+        Array.init n_steps (fun _ -> Rng.uniform rng ~lo:(-.amp) ~hi:amp))
+  in
+  let grad = Array.init nc (fun _ -> Array.make n_steps 0.0) in
+  let flat_dim = nc * n_steps in
+  let adam = Adam.create flat_dim in
+  let flat_params = Array.make flat_dim 0.0 in
+  let flat_grad = Array.make flat_dim 0.0 in
+  (* Workspaces reused across iterations. *)
+  let ws = Expm.make_ws dim in
+  let h_buf = Cmat.create dim dim in
+  let gen_buf = Cmat.create dim dim in
+  let slice_u = Array.init n_steps (fun _ -> Cmat.create dim dim) in
+  let prefix = Array.init n_steps (fun _ -> Cmat.create dim dim) in
+  let m_buf = ref (Cmat.create dim dim) in
+  let m_next = ref (Cmat.create dim dim) in
+  let w_buf = Cmat.create dim dim in
+  let target_dag = Cmat.dagger embedded in
+  let best_fidelity = ref 0.0 in
+  let best_u = Array.map Array.copy u in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (try
+     for iter = 1 to settings.max_iters do
+       iterations := iter;
+       (* Forward pass: slice propagators and cumulative products. *)
+       for k = 0 to n_steps - 1 do
+         build_slice_hamiltonian sys u k ~dst:h_buf;
+         Cmat.scale_into ~dst:gen_buf { Complex.re = 0.0; im = -.dt } h_buf;
+         Expm.expm_into ws ~dst:slice_u.(k) gen_buf;
+         if k = 0 then Cmat.blit ~src:slice_u.(0) ~dst:prefix.(0)
+         else Cmat.mul_into ~dst:prefix.(k) slice_u.(k) prefix.(k - 1)
+       done;
+       let overlap, fid = subspace_overlap sys embedded prefix.(n_steps - 1) in
+       if fid > !best_fidelity then begin
+         best_fidelity := fid;
+         Array.iteri (fun j row -> Array.blit row 0 best_u.(j) 0 n_steps) u
+       end;
+       if fid >= settings.target_fidelity then begin
+         converged := true;
+         raise Exit
+       end;
+       (* Backward pass: M_k = T† R_k with R_k = U_T ... U_{k+1}. *)
+       Cmat.blit ~src:target_dag ~dst:!m_buf;
+       for k = n_steps - 1 downto 0 do
+         (* W = P_k M_k, so Tr(M_k H_j P_k) = Tr(W H_j). *)
+         Cmat.mul_into ~dst:w_buf prefix.(k) !m_buf;
+         Array.iteri
+           (fun j (ctrl : Hamiltonian.control) ->
+             (* s = Tr(W H_j); gradient of |O|^2/d^2 via dO = -i dt s. *)
+             let s = Cmat.trace_of_product w_buf ctrl.matrix in
+             let d_o = Complex.mul { Complex.re = 0.0; im = -.dt } s in
+             let d_fid =
+               2.0 /. dsub2 *. ((Complex.conj overlap).re *. d_o.re
+                                -. (Complex.conj overlap).im *. d_o.im)
+             in
+             (* Cost = 1 - F + penalties: descend -dF plus penalty grads. *)
+             let amp_grad =
+               2.0 *. settings.amp_penalty *. u.(j).(k)
+               /. (ctrl.max_amp *. ctrl.max_amp)
+             in
+             grad.(j).(k) <- -.d_fid +. amp_grad)
+           sys.controls;
+         if k > 0 then begin
+           Cmat.mul_into ~dst:!m_next !m_buf slice_u.(k);
+           let tmp = !m_buf in
+           m_buf := !m_next;
+           m_next := tmp
+         end
+       done;
+       (* Smoothness / envelope regularization. *)
+       if settings.smoothness_penalty > 0.0 then
+         for j = 0 to nc - 1 do
+           let row = u.(j) and g = grad.(j) in
+           let lambda = settings.smoothness_penalty in
+           for k = 0 to n_steps - 2 do
+             let diff = row.(k + 1) -. row.(k) in
+             g.(k) <- g.(k) -. (2.0 *. lambda *. diff);
+             g.(k + 1) <- g.(k + 1) +. (2.0 *. lambda *. diff)
+           done;
+           if settings.envelope then begin
+             g.(0) <- g.(0) +. (2.0 *. lambda *. row.(0));
+             g.(n_steps - 1) <- g.(n_steps - 1) +. (2.0 *. lambda *. row.(n_steps - 1))
+           end
+         done;
+       (* ADAM step on the flattened parameters, then clip to drive bounds. *)
+       for j = 0 to nc - 1 do
+         Array.blit u.(j) 0 flat_params (j * n_steps) n_steps;
+         Array.blit grad.(j) 0 flat_grad (j * n_steps) n_steps
+       done;
+       let lr =
+         settings.hyperparams.learning_rate
+         *. (settings.hyperparams.decay ** float_of_int (iter - 1))
+       in
+       Adam.step adam ~learning_rate:lr ~params:flat_params ~grad:flat_grad;
+       for j = 0 to nc - 1 do
+         let cap = sys.controls.(j).max_amp in
+         for k = 0 to n_steps - 1 do
+           let v = flat_params.((j * n_steps) + k) in
+           u.(j).(k) <- Float.max (-.cap) (Float.min cap v)
+         done
+       done
+     done
+   with Exit -> ());
+  { fidelity = !best_fidelity; iterations = !iterations; converged = !converged;
+    total_time = float_of_int n_steps *. dt; n_steps; controls = best_u;
+    wall_time_s = Sys.time () -. t0 }
+
+let optimize_multistart ?(settings = default_settings) ?(starts = 3) sys
+    ~target ~total_time =
+  if starts <= 0 then invalid_arg "Grape.optimize_multistart: starts must be positive";
+  let rec go k best =
+    if k >= starts then best
+    else begin
+      let r =
+        optimize ~settings:{ settings with seed = settings.seed + k } sys
+          ~target ~total_time
+      in
+      let merged =
+        let keep = if r.fidelity >= best.fidelity then r else best in
+        { keep with
+          iterations = best.iterations + r.iterations;
+          wall_time_s = best.wall_time_s +. r.wall_time_s }
+      in
+      if merged.converged then merged else go (k + 1) merged
+    end
+  in
+  let first =
+    optimize ~settings sys ~target ~total_time
+  in
+  if first.converged then first else go 1 first
+
+let to_pulse ?(label = "grape") r =
+  let dt = if r.n_steps = 0 then 0.0 else r.total_time /. float_of_int r.n_steps in
+  Pqc_pulse.Pulse.of_segments
+    [ Pqc_pulse.Pulse.Optimized
+        { label; duration = r.total_time;
+          samples = Some { Pqc_pulse.Pulse.dt; controls = r.controls } } ]
+
+type search = {
+  minimal : result;
+  probes : (float * bool) list;
+  grape_iterations_total : int;
+}
+
+let minimal_time ?(settings = default_settings) ?(precision = 0.3) ~upper_bound
+    sys ~target =
+  let probes = ref [] in
+  let iters = ref 0 in
+  let attempt time =
+    let r = optimize ~settings sys ~target ~total_time:time in
+    probes := (time, r.converged) :: !probes;
+    iters := !iters + r.iterations;
+    r
+  in
+  let finish best =
+    Option.map
+      (fun r ->
+        { minimal = r; probes = List.rev !probes;
+          grape_iterations_total = !iters })
+      best
+  in
+  (* Establish a converging upper bound (one doubling allowed). *)
+  let r0 = attempt upper_bound in
+  let hi_result =
+    if r0.converged then Some r0
+    else begin
+      let r1 = attempt (2.0 *. upper_bound) in
+      if r1.converged then Some r1 else None
+    end
+  in
+  match hi_result with
+  | None -> finish None
+  | Some hi_r ->
+    let rec bisect lo hi best =
+      if hi -. lo <= precision then finish (Some best)
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        let r = attempt mid in
+        if r.converged then bisect lo mid r else bisect mid hi best
+      end
+    in
+    bisect 0.0 hi_r.total_time hi_r

@@ -1,0 +1,137 @@
+module Cmat = Pqc_linalg.Cmat
+module Topology = Pqc_transpile.Topology
+
+type level = Qubit | Qutrit
+
+type control = { label : string; matrix : Cmat.t; max_amp : float }
+
+type t = {
+  n_qubits : int;
+  level : level;
+  dim : int;
+  drift : Cmat.t;
+  controls : control array;
+}
+
+let two_pi = 2.0 *. Float.pi
+
+let charge_amp_max = two_pi *. 0.1
+let flux_amp_max = two_pi *. 1.5
+let coupling_amp_max = two_pi *. 0.05
+let anharmonicity = -.two_pi *. 0.2
+
+let levels = function Qubit -> 2 | Qutrit -> 3
+
+let re x = { Complex.re = x; im = 0.0 }
+
+(* a† + a truncated to d levels: entries sqrt(m+1) on the (m, m+1) and
+   (m+1, m) positions. *)
+let charge_op d =
+  let m = Cmat.create d d in
+  for k = 0 to d - 2 do
+    let v = re (sqrt (float_of_int (k + 1))) in
+    Cmat.set m k (k + 1) v;
+    Cmat.set m (k + 1) k v
+  done;
+  m
+
+(* a† a = diag(0, 1, ..., d-1). *)
+let number_op d =
+  let m = Cmat.create d d in
+  for k = 0 to d - 1 do
+    Cmat.set m k k (re (float_of_int k))
+  done;
+  m
+
+(* |d-1><d-1| for the anharmonic detuning of the top level. *)
+let top_projector d =
+  let m = Cmat.create d d in
+  Cmat.set m (d - 1) (d - 1) (re 1.0);
+  m
+
+(* Lift a single-site operator to site [j] of an [n]-site register. *)
+let lift_1 ~n ~d op j =
+  let acc = ref (Cmat.identity 1) in
+  for site = 0 to n - 1 do
+    acc := Cmat.kron !acc (if site = j then op else Cmat.identity d)
+  done;
+  !acc
+
+let lift_2 ~n ~d op_a j op_b k =
+  let acc = ref (Cmat.identity 1) in
+  for site = 0 to n - 1 do
+    let factor =
+      if site = j then op_a else if site = k then op_b else Cmat.identity d
+    in
+    acc := Cmat.kron !acc factor
+  done;
+  !acc
+
+let gmon ?(level = Qubit) ?topology n =
+  if n <= 0 then invalid_arg "Hamiltonian.gmon: positive qubit count required";
+  let topo = match topology with Some t -> t | None -> Topology.line n in
+  if Topology.n_qubits topo <> n then
+    invalid_arg "Hamiltonian.gmon: topology size mismatch";
+  let d = levels level in
+  let dim = int_of_float (float_of_int d ** float_of_int n +. 0.5) in
+  let charge = charge_op d and number = number_op d in
+  let singles =
+    List.concat_map
+      (fun j ->
+        [ { label = Printf.sprintf "c%d" j;
+            matrix = lift_1 ~n ~d charge j;
+            max_amp = charge_amp_max };
+          { label = Printf.sprintf "f%d" j;
+            matrix = lift_1 ~n ~d number j;
+            max_amp = flux_amp_max } ])
+      (List.init n Fun.id)
+  in
+  let couplers =
+    List.map
+      (fun (a, b) ->
+        { label = Printf.sprintf "g%d-%d" a b;
+          matrix = lift_2 ~n ~d charge a charge b;
+          max_amp = coupling_amp_max })
+      (Topology.edges topo)
+  in
+  let drift =
+    match level with
+    | Qubit -> Cmat.create dim dim
+    | Qutrit ->
+      let acc = ref (Cmat.create dim dim) in
+      for j = 0 to n - 1 do
+        acc :=
+          Cmat.add !acc
+            (Cmat.scale (re anharmonicity) (lift_1 ~n ~d (top_projector d) j))
+      done;
+      !acc
+  in
+  { n_qubits = n; level; dim; drift; controls = Array.of_list (singles @ couplers) }
+
+let subspace_dim t = 1 lsl t.n_qubits
+
+(* Index of the computational basis state [b] (an n-bit integer, qubit 0 most
+   significant) inside the d^n-dimensional space. *)
+let subspace_index t b =
+  let d = levels t.level in
+  let idx = ref 0 in
+  for j = 0 to t.n_qubits - 1 do
+    let bit = (b lsr (t.n_qubits - 1 - j)) land 1 in
+    idx := (!idx * d) + bit
+  done;
+  !idx
+
+let embed_target t target =
+  let sub = subspace_dim t in
+  if Cmat.rows target <> sub || Cmat.cols target <> sub then
+    invalid_arg "Hamiltonian.embed_target: dimension mismatch";
+  match t.level with
+  | Qubit -> Cmat.copy target
+  | Qutrit ->
+    let m = Cmat.create t.dim t.dim in
+    for i = 0 to sub - 1 do
+      for j = 0 to sub - 1 do
+        Cmat.set m (subspace_index t i) (subspace_index t j) (Cmat.get target i j)
+      done
+    done;
+    m

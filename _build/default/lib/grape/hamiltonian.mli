@@ -1,0 +1,60 @@
+module Cmat = Pqc_linalg.Cmat
+module Topology = Pqc_transpile.Topology
+(** The gmon system Hamiltonian (paper Appendix A).
+
+    Each qubit j carries two control fields:
+    - a {e charge} drive  Omega_c,j(t) (a† + a)_j  — X-axis rotations,
+      |Omega_c| <= 2 pi x 0.1 GHz;
+    - a {e flux} drive    Omega_f,j(t) (a† a)_j    — Z-axis rotations,
+      |Omega_f| <= 2 pi x 1.5 GHz (the 15x Z/X asymmetry GRAPE exploits);
+
+    and each connected pair (j, k) a coupler field
+    g(t) (a† + a)_j (a† + a)_k with |g| <= 2 pi x 50 MHz (iSWAP-type
+    interaction).
+
+    Operators can be truncated to the qubit subspace (binary approximation,
+    the paper's standard setting) or kept at three levels ({e qutrit}) to
+    model leakage for the "more realistic" Table 5 experiments; the qutrit
+    drift term carries the transmon anharmonicity that detunes the leakage
+    level. *)
+
+type level = Qubit | Qutrit
+
+type control = {
+  label : string;  (** e.g. "c0" (charge), "f0" (flux), "g0-1" (coupler). *)
+  matrix : Cmat.t;  (** Hermitian generator H_k, full system dimension. *)
+  max_amp : float;  (** Amplitude bound, rad/ns. *)
+}
+
+type t = {
+  n_qubits : int;
+  level : level;
+  dim : int;  (** 2^n or 3^n. *)
+  drift : Cmat.t;  (** Control-independent term (anharmonicity; 0 for qubits). *)
+  controls : control array;
+}
+
+val charge_amp_max : float
+(** 2 pi x 0.1 rad/ns. *)
+
+val flux_amp_max : float
+(** 2 pi x 1.5 rad/ns. *)
+
+val coupling_amp_max : float
+(** 2 pi x 0.05 rad/ns. *)
+
+val anharmonicity : float
+(** -2 pi x 0.2 rad/ns, qutrit drift detuning of level |2>. *)
+
+val gmon : ?level:level -> ?topology:Topology.t -> int -> t
+(** [gmon n] builds the system for [n] qubits.  [topology] defaults to a
+    line (the 1-D slice of the rectangular grid the paper considers);
+    couplers are created for every topology edge. *)
+
+val embed_target : t -> Cmat.t -> Cmat.t
+(** Lift a 2^n x 2^n computational-subspace unitary to the full system
+    dimension (identity lift for [Qubit]; zero-padded block for [Qutrit],
+    suitable for subspace-fidelity evaluation). *)
+
+val subspace_dim : t -> int
+(** Always 2^n — the dimension fidelities are normalized by. *)

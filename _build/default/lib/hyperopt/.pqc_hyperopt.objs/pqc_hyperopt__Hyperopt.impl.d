@@ -1,0 +1,1 @@
+lib/hyperopt/hyperopt.ml: Array Hashtbl List Option Pqc_grape Pqc_linalg Pqc_util

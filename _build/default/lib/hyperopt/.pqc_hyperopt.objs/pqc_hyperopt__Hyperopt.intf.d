@@ -1,0 +1,1 @@
+lib/hyperopt/hyperopt.mli: Pqc_grape Pqc_linalg

@@ -1,0 +1,1 @@
+lib/linalg/cvec.mli: Complex

@@ -1,0 +1,1 @@
+lib/linalg/expm.ml: Cmat Complex Float

@@ -1,0 +1,263 @@
+type t = { r : int; c : int; d : float array }
+(* Row-major, interleaved: entry (i, j) has real part at d.(2*(i*c + j)) and
+   imaginary part at the following index. *)
+
+let rows m = m.r
+let cols m = m.c
+
+let create r c = { r; c; d = Array.make (2 * r * c) 0.0 }
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.d.(2 * ((i * n) + i)) <- 1.0
+  done;
+  m
+
+let copy m = { m with d = Array.copy m.d }
+
+let dims_equal a b = a.r = b.r && a.c = b.c
+
+let blit ~src ~dst =
+  assert (dims_equal src dst);
+  Array.blit src.d 0 dst.d 0 (Array.length src.d)
+
+let get m i j =
+  let k = 2 * ((i * m.c) + j) in
+  { Complex.re = m.d.(k); im = m.d.(k + 1) }
+
+let set m i j (z : Complex.t) =
+  let k = 2 * ((i * m.c) + j) in
+  m.d.(k) <- z.re;
+  m.d.(k + 1) <- z.im
+
+let of_array a =
+  let r = Array.length a in
+  assert (r > 0);
+  let c = Array.length a.(0) in
+  let m = create r c in
+  for i = 0 to r - 1 do
+    assert (Array.length a.(i) = c);
+    for j = 0 to c - 1 do
+      set m i j a.(i).(j)
+    done
+  done;
+  m
+
+let to_array m = Array.init m.r (fun i -> Array.init m.c (fun j -> get m i j))
+
+let add_into ~dst a b =
+  assert (dims_equal a b && dims_equal a dst);
+  for k = 0 to Array.length a.d - 1 do
+    dst.d.(k) <- a.d.(k) +. b.d.(k)
+  done
+
+let add a b =
+  let dst = create a.r a.c in
+  add_into ~dst a b;
+  dst
+
+let sub a b =
+  assert (dims_equal a b);
+  let dst = create a.r a.c in
+  for k = 0 to Array.length a.d - 1 do
+    dst.d.(k) <- a.d.(k) -. b.d.(k)
+  done;
+  dst
+
+let scale_into ~dst (z : Complex.t) a =
+  assert (dims_equal a dst);
+  for k = 0 to (Array.length a.d / 2) - 1 do
+    let re = a.d.(2 * k) and im = a.d.((2 * k) + 1) in
+    dst.d.(2 * k) <- (z.re *. re) -. (z.im *. im);
+    dst.d.((2 * k) + 1) <- (z.re *. im) +. (z.im *. re)
+  done
+
+let scale z a =
+  let dst = create a.r a.c in
+  scale_into ~dst z a;
+  dst
+
+let axpy ~alpha:(z : Complex.t) ~x ~y =
+  assert (dims_equal x y);
+  for k = 0 to (Array.length x.d / 2) - 1 do
+    let re = x.d.(2 * k) and im = x.d.((2 * k) + 1) in
+    y.d.(2 * k) <- y.d.(2 * k) +. ((z.re *. re) -. (z.im *. im));
+    y.d.((2 * k) + 1) <- y.d.((2 * k) + 1) +. ((z.re *. im) +. (z.im *. re))
+  done
+
+let mul_into ~dst a b =
+  assert (a.c = b.r && dst.r = a.r && dst.c = b.c);
+  assert (dst != a && dst != b);
+  let n = a.r and p = a.c and q = b.c in
+  let ad = a.d and bd = b.d and dd = dst.d in
+  for i = 0 to n - 1 do
+    let ai = i * p and di = i * q in
+    for j = 0 to q - 1 do
+      let sre = ref 0.0 and sim = ref 0.0 in
+      for k = 0 to p - 1 do
+        let ka = 2 * (ai + k) and kb = 2 * ((k * q) + j) in
+        let are = ad.(ka) and aim = ad.(ka + 1) in
+        let bre = bd.(kb) and bim = bd.(kb + 1) in
+        sre := !sre +. ((are *. bre) -. (aim *. bim));
+        sim := !sim +. ((are *. bim) +. (aim *. bre))
+      done;
+      let kd = 2 * (di + j) in
+      dd.(kd) <- !sre;
+      dd.(kd + 1) <- !sim
+    done
+  done
+
+let mul a b =
+  let dst = create a.r b.c in
+  mul_into ~dst a b;
+  dst
+
+let dagger_into ~dst a =
+  assert (dst.r = a.c && dst.c = a.r && dst != a);
+  for i = 0 to a.r - 1 do
+    for j = 0 to a.c - 1 do
+      let ka = 2 * ((i * a.c) + j) and kd = 2 * ((j * dst.c) + i) in
+      dst.d.(kd) <- a.d.(ka);
+      dst.d.(kd + 1) <- -.a.d.(ka + 1)
+    done
+  done
+
+let dagger a =
+  let dst = create a.c a.r in
+  dagger_into ~dst a;
+  dst
+
+let transpose a =
+  let dst = create a.c a.r in
+  for i = 0 to a.r - 1 do
+    for j = 0 to a.c - 1 do
+      set dst j i (get a i j)
+    done
+  done;
+  dst
+
+let conj a =
+  let dst = copy a in
+  for k = 0 to (Array.length a.d / 2) - 1 do
+    dst.d.((2 * k) + 1) <- -.dst.d.((2 * k) + 1)
+  done;
+  dst
+
+let kron a b =
+  let dst = create (a.r * b.r) (a.c * b.c) in
+  for ia = 0 to a.r - 1 do
+    for ja = 0 to a.c - 1 do
+      let za = get a ia ja in
+      if za.re <> 0.0 || za.im <> 0.0 then
+        for ib = 0 to b.r - 1 do
+          for jb = 0 to b.c - 1 do
+            let zb = get b ib jb in
+            set dst ((ia * b.r) + ib) ((ja * b.c) + jb) (Complex.mul za zb)
+          done
+        done
+    done
+  done;
+  dst
+
+let trace m =
+  assert (m.r = m.c);
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to m.r - 1 do
+    let k = 2 * ((i * m.c) + i) in
+    re := !re +. m.d.(k);
+    im := !im +. m.d.(k + 1)
+  done;
+  { Complex.re = !re; im = !im }
+
+let trace_of_product a b =
+  assert (a.c = b.r && b.c = a.r);
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to a.r - 1 do
+    for j = 0 to a.c - 1 do
+      let ka = 2 * ((i * a.c) + j) and kb = 2 * ((j * b.c) + i) in
+      let are = a.d.(ka) and aim = a.d.(ka + 1) in
+      let bre = b.d.(kb) and bim = b.d.(kb + 1) in
+      re := !re +. ((are *. bre) -. (aim *. bim));
+      im := !im +. ((are *. bim) +. (aim *. bre))
+    done
+  done;
+  { Complex.re = !re; im = !im }
+
+let inner a b =
+  assert (dims_equal a b);
+  let re = ref 0.0 and im = ref 0.0 in
+  for k = 0 to (Array.length a.d / 2) - 1 do
+    let are = a.d.(2 * k) and aim = a.d.((2 * k) + 1) in
+    let bre = b.d.(2 * k) and bim = b.d.((2 * k) + 1) in
+    (* conj(a) * b *)
+    re := !re +. ((are *. bre) +. (aim *. bim));
+    im := !im +. ((are *. bim) -. (aim *. bre))
+  done;
+  { Complex.re = !re; im = !im }
+
+let frobenius_norm m =
+  let s = ref 0.0 in
+  for k = 0 to Array.length m.d - 1 do
+    s := !s +. (m.d.(k) *. m.d.(k))
+  done;
+  sqrt !s
+
+let one_norm m =
+  let best = ref 0.0 in
+  for j = 0 to m.c - 1 do
+    let s = ref 0.0 in
+    for i = 0 to m.r - 1 do
+      let k = 2 * ((i * m.c) + j) in
+      s := !s +. sqrt ((m.d.(k) *. m.d.(k)) +. (m.d.(k + 1) *. m.d.(k + 1)))
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let max_abs_diff a b =
+  assert (dims_equal a b);
+  let best = ref 0.0 in
+  for k = 0 to (Array.length a.d / 2) - 1 do
+    let dre = a.d.(2 * k) -. b.d.(2 * k) in
+    let dim = a.d.((2 * k) + 1) -. b.d.((2 * k) + 1) in
+    let m = sqrt ((dre *. dre) +. (dim *. dim)) in
+    if m > !best then best := m
+  done;
+  !best
+
+let is_unitary ?(tol = 1e-9) m =
+  m.r = m.c && max_abs_diff (mul (dagger m) m) (identity m.r) <= tol
+
+let apply m v =
+  assert (m.c = Cvec.dim v);
+  let out = Cvec.create m.r in
+  for i = 0 to m.r - 1 do
+    let s = ref Complex.zero in
+    for j = 0 to m.c - 1 do
+      s := Complex.add !s (Complex.mul (get m i j) (Cvec.get v j))
+    done;
+    Cvec.set out i !s
+  done;
+  out
+
+let random_hermitian rng n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i { Complex.re = Pqc_util.Rng.gaussian rng; im = 0.0 };
+    for j = i + 1 to n - 1 do
+      let z = { Complex.re = Pqc_util.Rng.gaussian rng; im = Pqc_util.Rng.gaussian rng } in
+      set m i j z;
+      set m j i (Complex.conj z)
+    done
+  done;
+  m
+
+let pp fmt m =
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      let z = get m i j in
+      Format.fprintf fmt "%+.3f%+.3fi " z.re z.im
+    done;
+    Format.pp_print_newline fmt ()
+  done

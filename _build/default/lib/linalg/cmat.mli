@@ -1,0 +1,98 @@
+(** Dense complex matrices over flat float arrays.
+
+    Storage is row-major with interleaved real/imaginary parts, which keeps
+    the GRAPE inner loops (matrix products and trace inner products on
+    2^n-dimensional unitaries) allocation-free and cache-friendly.  All
+    dimensions are small (at most 81 = 3^4 for qutrit blocks), so kernels are
+    straightforward triple loops; no blocking is needed. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+
+val create : int -> int -> t
+(** [create r c] is the [r] x [c] zero matrix. *)
+
+val identity : int -> t
+
+val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Copy contents; dimensions must match. *)
+
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+
+val of_array : Complex.t array array -> t
+(** Build from a rectangular array of rows. *)
+
+val to_array : t -> Complex.t array array
+
+val dims_equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst a b] stores [a + b] in [dst]; aliasing with [a]/[b] is
+    allowed. *)
+
+val scale : Complex.t -> t -> t
+
+val scale_into : dst:t -> Complex.t -> t -> unit
+(** [scale_into ~dst z a] stores [z * a] in [dst]; [dst == a] is allowed. *)
+
+val axpy : alpha:Complex.t -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] accumulates [y <- y + alpha * x]. *)
+
+val mul : t -> t -> t
+(** Matrix product (allocates the result). *)
+
+val mul_into : dst:t -> t -> t -> unit
+(** [mul_into ~dst a b] stores [a * b] in [dst].  [dst] must not alias [a] or
+    [b]. *)
+
+val dagger : t -> t
+(** Conjugate transpose. *)
+
+val dagger_into : dst:t -> t -> unit
+(** [dst] must not alias the argument. *)
+
+val transpose : t -> t
+
+val conj : t -> t
+
+val kron : t -> t -> t
+(** Kronecker (tensor) product. *)
+
+val trace : t -> Complex.t
+
+val trace_of_product : t -> t -> Complex.t
+(** [trace_of_product a b] is Tr(a b) computed entrywise in O(n^2), without
+    forming the product. *)
+
+val inner : t -> t -> Complex.t
+(** [inner a b] is the Hilbert–Schmidt inner product Tr(a† b), computed
+    without forming a†. *)
+
+val frobenius_norm : t -> float
+
+val one_norm : t -> float
+(** Maximum absolute column sum; used to pick the expm scaling power. *)
+
+val max_abs_diff : t -> t -> float
+(** Entrywise max |a_ij - b_ij|; the metric used in approximate-equality
+    tests. *)
+
+val is_unitary : ?tol:float -> t -> bool
+(** [is_unitary m] checks ||m† m - I||_max <= tol (default 1e-9). *)
+
+val apply : t -> Cvec.t -> Cvec.t
+(** Matrix-vector product. *)
+
+val random_hermitian : Pqc_util.Rng.t -> int -> t
+(** Random Hermitian matrix with independent Gaussian entries; handy for
+    property tests of the exponential. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type t = { n : int; d : float array }
+
+let dim v = v.n
+
+let create n = { n; d = Array.make (2 * n) 0.0 }
+
+let basis n k =
+  assert (k >= 0 && k < n);
+  let v = create n in
+  v.d.(2 * k) <- 1.0;
+  v
+
+let copy v = { v with d = Array.copy v.d }
+
+let get v k = { Complex.re = v.d.(2 * k); im = v.d.((2 * k) + 1) }
+
+let set v k (z : Complex.t) =
+  v.d.(2 * k) <- z.re;
+  v.d.((2 * k) + 1) <- z.im
+
+let of_array a =
+  let v = create (Array.length a) in
+  Array.iteri (fun k z -> set v k z) a;
+  v
+
+let to_array v = Array.init v.n (get v)
+
+let dot a b =
+  assert (a.n = b.n);
+  let re = ref 0.0 and im = ref 0.0 in
+  for k = 0 to a.n - 1 do
+    let are = a.d.(2 * k) and aim = a.d.((2 * k) + 1) in
+    let bre = b.d.(2 * k) and bim = b.d.((2 * k) + 1) in
+    re := !re +. ((are *. bre) +. (aim *. bim));
+    im := !im +. ((are *. bim) -. (aim *. bre))
+  done;
+  { Complex.re = !re; im = !im }
+
+let norm v = sqrt (dot v v).re
+
+let scale (z : Complex.t) v =
+  let out = create v.n in
+  for k = 0 to v.n - 1 do
+    set out k (Complex.mul z (get v k))
+  done;
+  out
+
+let normalize v =
+  let n = norm v in
+  if n = 0.0 then invalid_arg "Cvec.normalize: zero vector";
+  scale { Complex.re = 1.0 /. n; im = 0.0 } v
+
+let add a b =
+  assert (a.n = b.n);
+  let out = create a.n in
+  for k = 0 to Array.length a.d - 1 do
+    out.d.(k) <- a.d.(k) +. b.d.(k)
+  done;
+  out
+
+let max_abs_diff a b =
+  assert (a.n = b.n);
+  let best = ref 0.0 in
+  for k = 0 to a.n - 1 do
+    let m = Complex.norm (Complex.sub (get a k) (get b k)) in
+    if m > !best then best := m
+  done;
+  !best
+
+let probability v k =
+  let re = v.d.(2 * k) and im = v.d.((2 * k) + 1) in
+  (re *. re) +. (im *. im)
+
+let unsafe_data v = v.d

@@ -1,0 +1,101 @@
+(* Cyclic Jacobi for Hermitian matrices.  Each rotation zeroes one
+   off-diagonal pair (p, q) by conjugating with the unitary
+
+       J = I  with  J_pp = c,  J_pq = -conj(s),  J_qp = s,  J_qq = c
+
+   where s carries the phase of a_pq.  Off-diagonal mass strictly
+   decreases, giving the usual quadratic convergence over sweeps. *)
+
+(* Real scalar times complex. *)
+let rs c (z : Complex.t) = { Complex.re = c *. z.re; im = c *. z.im }
+
+let rotate a v n p q =
+  let apq = Cmat.get a p q in
+  let norm_apq = Complex.norm apq in
+  if norm_apq > 0.0 then begin
+    let app = (Cmat.get a p p).re and aqq = (Cmat.get a q q).re in
+    (* Angle of the real 2x2 problem after factoring out the phase. *)
+    (* Zeroing (J† A J)_pq requires tan(2 theta) = 2|a_pq| / (a_pp - a_qq). *)
+    let theta = 0.5 *. atan2 (2.0 *. norm_apq) (app -. aqq) in
+    let c = cos theta and s_mag = sin theta in
+    (* Phase of a_pq distributes onto the rotation. *)
+    let phase = Complex.div apq { Complex.re = norm_apq; im = 0.0 } in
+    let s = Complex.mul { Complex.re = s_mag; im = 0.0 } phase in
+    let s_conj = Complex.conj s in
+    (* Update rows/columns p and q of [a] (Hermitian, so mirror), and
+       accumulate into the eigenvector matrix [v]. *)
+    for k = 0 to n - 1 do
+      let akp = Cmat.get a k p and akq = Cmat.get a k q in
+      let new_kp = Complex.add (rs c akp) (Complex.mul s_conj akq) in
+      let new_kq =
+        Complex.sub (rs c akq) (Complex.mul s akp)
+      in
+      Cmat.set a k p new_kp;
+      Cmat.set a k q new_kq
+    done;
+    for k = 0 to n - 1 do
+      let apk = Cmat.get a p k and aqk = Cmat.get a q k in
+      let new_pk = Complex.add (rs c apk) (Complex.mul s aqk) in
+      let new_qk = Complex.sub (rs c aqk) (Complex.mul s_conj apk) in
+      Cmat.set a p k new_pk;
+      Cmat.set a q k new_qk
+    done;
+    for k = 0 to n - 1 do
+      let vkp = Cmat.get v k p and vkq = Cmat.get v k q in
+      let new_kp = Complex.add (rs c vkp) (Complex.mul s_conj vkq) in
+      let new_kq = Complex.sub (rs c vkq) (Complex.mul s vkp) in
+      Cmat.set v k p new_kp;
+      Cmat.set v k q new_kq
+    done
+  end
+
+let off_diagonal_norm a n =
+  let s = ref 0.0 in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      s := !s +. Complex.norm2 (Cmat.get a p q)
+    done
+  done;
+  sqrt !s
+
+let hermitian ?(tol = 1e-12) ?(max_sweeps = 50) input =
+  let n = Cmat.rows input in
+  if n <> Cmat.cols input then invalid_arg "Eigen.hermitian: square matrix required";
+  (* Work on a symmetrized copy: the upper triangle is trusted, the lower
+     mirrored, keeping the iteration exactly Hermitian. *)
+  let a = Cmat.create n n in
+  for p = 0 to n - 1 do
+    Cmat.set a p p { Complex.re = (Cmat.get input p p).re; im = 0.0 };
+    for q = p + 1 to n - 1 do
+      let z = Cmat.get input p q in
+      Cmat.set a p q z;
+      Cmat.set a q p (Complex.conj z)
+    done
+  done;
+  let v = Cmat.identity n in
+  let sweeps = ref 0 in
+  while off_diagonal_norm a n > tol && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 1 do
+      for q = p + 1 to n - 1 do
+        rotate a v n p q
+      done
+    done
+  done;
+  (* Sort ascending, permuting eigenvector columns along. *)
+  let order = Array.init n Fun.id in
+  let eigenvalue k = (Cmat.get a k k).re in
+  Array.sort (fun i j -> compare (eigenvalue i) (eigenvalue j)) order;
+  let values = Array.map eigenvalue order in
+  let vectors = Cmat.create n n in
+  Array.iteri
+    (fun dst src ->
+      for k = 0 to n - 1 do
+        Cmat.set vectors k dst (Cmat.get v k src)
+      done)
+    order;
+  (values, vectors)
+
+let smallest_eigenvalue a =
+  let values, _ = hermitian a in
+  values.(0)

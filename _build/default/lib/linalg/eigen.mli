@@ -1,0 +1,17 @@
+(** Hermitian eigendecomposition by the cyclic Jacobi method with complex
+    Givens rotations.
+
+    Used for exact ground-state energies of small molecular Hamiltonians
+    and for spectral sanity checks; O(n^3) per sweep, intended for the
+    dimensions this library works at (n <= ~256). *)
+
+val hermitian : ?tol:float -> ?max_sweeps:int -> Cmat.t -> float array * Cmat.t
+(** [hermitian a] returns [(eigenvalues, eigenvectors)] of a Hermitian
+    matrix: eigenvalues ascending, eigenvector k in column k, satisfying
+    a v_k = lambda_k v_k (property-tested).  [tol] (default 1e-12) bounds
+    the final off-diagonal magnitude; [max_sweeps] defaults to 50.
+    Raises [Invalid_argument] on non-square input; Hermiticity is the
+    caller's obligation (the strictly lower triangle is ignored). *)
+
+val smallest_eigenvalue : Cmat.t -> float
+(** Convenience wrapper returning only the ground eigenvalue. *)

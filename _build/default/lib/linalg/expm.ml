@@ -1,0 +1,52 @@
+type ws = {
+  n : int;
+  scaled : Cmat.t; (* A / 2^s *)
+  term : Cmat.t; (* current Taylor term *)
+  term' : Cmat.t; (* next Taylor term scratch *)
+  acc : Cmat.t; (* Taylor partial sum *)
+  sq : Cmat.t; (* squaring scratch *)
+}
+
+let make_ws n =
+  { n; scaled = Cmat.create n n; term = Cmat.create n n; term' = Cmat.create n n;
+    acc = Cmat.create n n; sq = Cmat.create n n }
+
+(* With the norm scaled below 1/2, a degree-13 Taylor truncation has error
+   bounded by (1/2)^14 / 14! ~ 7e-16, i.e. machine precision. *)
+let taylor_order = 13
+
+let expm_into ws ~dst a =
+  assert (Cmat.rows a = ws.n && Cmat.cols a = ws.n);
+  assert (Cmat.rows dst = ws.n && Cmat.cols dst = ws.n);
+  let norm = Cmat.one_norm a in
+  let s =
+    if norm <= 0.5 then 0
+    else int_of_float (ceil (log (norm /. 0.5) /. log 2.0))
+  in
+  let inv = Float.ldexp 1.0 (-s) in
+  Cmat.scale_into ~dst:ws.scaled { Complex.re = inv; im = 0.0 } a;
+  (* Taylor: acc = I + B + B^2/2! + ... *)
+  Cmat.blit ~src:(Cmat.identity ws.n) ~dst:ws.acc;
+  Cmat.blit ~src:(Cmat.identity ws.n) ~dst:ws.term;
+  for k = 1 to taylor_order do
+    Cmat.mul_into ~dst:ws.term' ws.term ws.scaled;
+    Cmat.scale_into ~dst:ws.term { Complex.re = 1.0 /. float_of_int k; im = 0.0 } ws.term';
+    Cmat.axpy ~alpha:Complex.one ~x:ws.term ~y:ws.acc
+  done;
+  (* Undo the scaling: square s times. *)
+  Cmat.blit ~src:ws.acc ~dst:dst;
+  for _ = 1 to s do
+    Cmat.mul_into ~dst:ws.sq dst dst;
+    Cmat.blit ~src:ws.sq ~dst:dst
+  done
+
+let expm a =
+  let n = Cmat.rows a in
+  assert (n = Cmat.cols a);
+  let ws = make_ws n in
+  let dst = Cmat.create n n in
+  expm_into ws ~dst a;
+  dst
+
+let expm_i_hermitian ?(t = 1.0) h =
+  expm (Cmat.scale { Complex.re = 0.0; im = -.t } h)

@@ -1,0 +1,25 @@
+(** Matrix exponential by scaling-and-squaring with a Taylor kernel.
+
+    GRAPE propagates a product of slice exponentials exp(-i H_k dt).  The
+    slice generators have small norm (dt is sub-nanosecond, amplitudes are
+    bounded by the Appendix-A drive limits), so a modest-order Taylor series
+    after norm scaling is both fast and accurate to near machine precision.
+
+    A reusable workspace keeps the inner GRAPE loop allocation-free. *)
+
+type ws
+(** Scratch space for exponentials of [n] x [n] matrices. *)
+
+val make_ws : int -> ws
+
+val expm_into : ws -> dst:Cmat.t -> Cmat.t -> unit
+(** [expm_into ws ~dst a] stores exp(a) in [dst].  [dst] must not alias [a].
+    Dimensions must match the workspace. *)
+
+val expm : Cmat.t -> Cmat.t
+(** One-shot exponential (allocates a workspace). *)
+
+val expm_i_hermitian : ?t:float -> Cmat.t -> Cmat.t
+(** [expm_i_hermitian ~t h] is exp(-i t h) for Hermitian [h] ([t] defaults to
+    1), the time-evolution operator; the result is unitary up to numerical
+    error. *)

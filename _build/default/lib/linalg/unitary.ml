@@ -1,0 +1,10 @@
+let trace_fidelity ~target u =
+  assert (Cmat.rows target = Cmat.cols target);
+  assert (Cmat.dims_equal target u);
+  let d = float_of_int (Cmat.rows target) in
+  let overlap = Cmat.inner target u in
+  Complex.norm2 overlap /. (d *. d)
+
+let infidelity ~target u = 1.0 -. trace_fidelity ~target u
+
+let equal_up_to_phase ?(tol = 1e-7) a b = infidelity ~target:a b <= tol

@@ -1,0 +1,15 @@
+(** Fidelity measures between unitaries.
+
+    GRAPE's figure of merit is the (global-phase-invariant) trace fidelity
+    F(U, V) = |Tr(U† V)|^2 / d^2, which is 1 exactly when V = e^{i phi} U. *)
+
+val trace_fidelity : target:Cmat.t -> Cmat.t -> float
+(** [trace_fidelity ~target u] in [0, 1]; both must be square and of equal
+    dimension. *)
+
+val infidelity : target:Cmat.t -> Cmat.t -> float
+(** [1 - trace_fidelity]. *)
+
+val equal_up_to_phase : ?tol:float -> Cmat.t -> Cmat.t -> bool
+(** True when the two unitaries differ only by a global phase, to within
+    [tol] (default 1e-7) in infidelity. *)

@@ -1,0 +1,1 @@
+lib/pulse/gate_times.ml: Pqc_quantum Pqc_transpile

@@ -1,0 +1,1 @@
+lib/pulse/gate_times.mli: Pqc_quantum

@@ -1,0 +1,1 @@
+lib/pulse/pulse.ml: Array Buffer Format Gate_times List Pqc_quantum Printf String

@@ -1,0 +1,9 @@
+let default_t2_ns = 20_000.0
+
+let success_probability ?(t2_ns = default_t2_ns) ~n_qubits duration =
+  if duration < 0.0 then invalid_arg "Decoherence: negative duration";
+  exp (-.float_of_int n_qubits *. duration /. t2_ns)
+
+let advantage ?(t2_ns = default_t2_ns) ~n_qubits ~baseline_ns duration =
+  success_probability ~t2_ns ~n_qubits duration
+  /. success_probability ~t2_ns ~n_qubits baseline_ns

@@ -1,0 +1,21 @@
+(** Decoherence accounting.
+
+    The paper's motivation for shorter pulses is not wall time: "fidelity
+    decreases exponentially in time, with respect to the extremely short
+    lifetimes of qubits ... 2-5x pulse speedups translate to an even bigger
+    advantage in the success probability of a quantum circuit" (Section 1).
+    This module turns pulse durations into that success-probability
+    advantage under the standard exponential-decay model. *)
+
+val default_t2_ns : float
+(** 20 microseconds, a representative transmon dephasing time. *)
+
+val success_probability : ?t2_ns:float -> n_qubits:int -> float -> float
+(** [success_probability ~n_qubits duration] is exp(-n * duration / T2):
+    each of the [n_qubits] qubits must survive the whole pulse. *)
+
+val advantage :
+  ?t2_ns:float -> n_qubits:int -> baseline_ns:float -> float -> float
+(** [advantage ~n_qubits ~baseline_ns duration] is the success-probability
+    ratio of the faster compilation over the baseline — the exponential
+    amplification of a pulse speedup. *)

@@ -1,0 +1,32 @@
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Schedule = Pqc_transpile.Schedule
+
+let rz = 0.4
+let rx = 2.5
+let h = 1.4
+let cx = 3.8
+let swap = 7.4
+
+(* iSWAP is the native gmon interaction: a pi/2 coupler pulse at the maximum
+   coupling strength |g| = 2pi * 50 MHz lasts (pi/2) / (2pi*0.05 GHz) = 5 ns. *)
+let iswap = 5.0
+
+let duration = function
+  | Gate.Rz _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg -> rz
+  | Gate.Rx _ | Gate.X | Gate.Y -> rx
+  (* Ry = Rz . Rx . Rz under the lookup table. *)
+  | Gate.Ry _ -> rx +. (2.0 *. rz)
+  | Gate.H -> h
+  | Gate.CX -> cx
+  (* CZ = H . CX . H on the target. *)
+  | Gate.CZ -> cx +. (2.0 *. h)
+  | Gate.Swap -> swap
+  | Gate.ISwap -> iswap
+
+let instr_duration (i : Circuit.instr) = duration i.gate
+
+let circuit_duration c = Schedule.critical_path ~duration:instr_duration c
+
+let table =
+  [ ("Rz", rz); ("Rx", rx); ("H", h); ("CX", cx); ("SWAP", swap) ]

@@ -1,0 +1,44 @@
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+(** The gate-to-pulse-duration lookup table (paper Table 1).
+
+    Gate-based compilation maps every gate to a precompiled control pulse; a
+    circuit's runtime is the critical path through these per-gate durations.
+    The table values are the paper's, derived for the gmon system of
+    Appendix A (e.g. Rx(pi) takes pi / (2 * 2pi*0.1 GHz) = 2.5 ns at the
+    maximum charge-drive amplitude; Z rotations are 15x faster thanks to the
+    stronger flux drive — the control-field asymmetry GRAPE exploits).
+
+    Gates outside the paper's table (Ry, phase gates, CZ, iSWAP) get
+    durations consistent with their standard decompositions into the tabled
+    set. *)
+
+val rz : float
+(** 0.4 ns — full-angle Z rotation. *)
+
+val rx : float
+(** 2.5 ns — full-angle X rotation. *)
+
+val h : float
+(** 1.4 ns. *)
+
+val cx : float
+(** 3.8 ns. *)
+
+val swap : float
+(** 7.4 ns. *)
+
+val duration : Gate.t -> float
+(** Pulse duration of one gate.  Parametrized rotations use the
+    full-rotation durations above regardless of angle: the lookup table is
+    static, which is exactly the inefficiency ("fractional gates") that
+    GRAPE exploits. *)
+
+val instr_duration : Circuit.instr -> float
+
+val circuit_duration : Circuit.t -> float
+(** Critical path of the parallel-scheduled circuit under this table — the
+    paper's "gate-based runtime". *)
+
+val table : (string * float) list
+(** The Table 1 rows, for the benchmark harness. *)

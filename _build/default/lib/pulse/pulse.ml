@@ -1,0 +1,89 @@
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+
+type samples = { dt : float; controls : float array array }
+
+type segment =
+  | Lookup of { gate_name : string; duration : float }
+  | Optimized of { label : string; duration : float; samples : samples option }
+
+type t = { segments : segment list; duration : float }
+
+let empty = { segments = []; duration = 0.0 }
+
+let segment_duration = function
+  | Lookup { duration; _ } | Optimized { duration; _ } -> duration
+
+let of_segments segments =
+  { segments;
+    duration = List.fold_left (fun acc s -> acc +. segment_duration s) 0.0 segments }
+
+let append t s =
+  { segments = t.segments @ [ s ]; duration = t.duration +. segment_duration s }
+
+let concat a b =
+  { segments = a.segments @ b.segments; duration = a.duration +. b.duration }
+
+let lookup_gate (i : Circuit.instr) =
+  Lookup { gate_name = Gate.name i.gate; duration = Gate_times.instr_duration i }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schedule\":[";
+  let t0 = ref 0.0 in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      let name, duration, samples =
+        match s with
+        | Lookup { gate_name; duration } -> (gate_name, duration, None)
+        | Optimized { label; duration; samples } -> (label, duration, samples)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"t0\":%.3f,\"duration\":%.3f"
+           (json_escape name) !t0 duration);
+      (match samples with
+      | None -> ()
+      | Some { dt; controls } ->
+        Buffer.add_string buf (Printf.sprintf ",\"dt\":%.4f,\"samples\":[" dt);
+        Array.iteri
+          (fun ch row ->
+            if ch > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '[';
+            Array.iteri
+              (fun k v ->
+                if k > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf (Printf.sprintf "%.5f" v))
+              row;
+            Buffer.add_char buf ']')
+          controls;
+        Buffer.add_char buf ']');
+      Buffer.add_char buf '}';
+      t0 := !t0 +. duration)
+    t.segments;
+  Buffer.add_string buf (Printf.sprintf "],\"total_duration\":%.3f}" t.duration);
+  Buffer.contents buf
+
+let pp fmt t =
+  Format.fprintf fmt "pulse[%.1f ns, %d segments]@." t.duration
+    (List.length t.segments);
+  List.iter
+    (fun s ->
+      match s with
+      | Lookup { gate_name; duration } ->
+        Format.fprintf fmt "  lookup %-6s %5.1f ns@." gate_name duration
+      | Optimized { label; duration; _ } ->
+        Format.fprintf fmt "  grape  %-6s %5.1f ns@." label duration)
+    t.segments

@@ -1,0 +1,46 @@
+module Circuit = Pqc_quantum.Circuit
+(** Machine-level pulse schedules.
+
+    A pulse schedule is what compilation ultimately produces: a timed
+    sequence of control segments.  Segments are either table lookups (a
+    named gate pulse from {!Gate_times}) or optimized pulses produced by
+    GRAPE (carrying their discovered duration and, when run numerically,
+    the piecewise-constant control samples).  Concatenation is the runtime
+    operation of gate-based and strict partial compilation. *)
+
+type samples = {
+  dt : float;  (** Sample period, ns. *)
+  controls : float array array;  (** [controls.(channel).(step)]. *)
+}
+
+type segment =
+  | Lookup of { gate_name : string; duration : float }
+      (** A precompiled per-gate pulse from the lookup table. *)
+  | Optimized of { label : string; duration : float; samples : samples option }
+      (** A GRAPE-optimized pulse for a whole subcircuit. *)
+
+type t = { segments : segment list; duration : float }
+(** [duration] is the sum of segment durations (segments are serial; any
+    available parallelism is already folded into each segment's duration by
+    the scheduler). *)
+
+val empty : t
+
+val segment_duration : segment -> float
+
+val of_segments : segment list -> t
+
+val append : t -> segment -> t
+
+val concat : t -> t -> t
+
+val lookup_gate : Circuit.instr -> segment
+(** Table-lookup segment for one gate. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** OpenPulse-flavoured JSON export of the schedule: a [pulse_library] of
+    named segments (with [samples] for numerically optimized pulses) and a
+    serial [schedule] of (name, t0, duration) events — the hand-off format
+    for pulse-level backends the paper's Section 10 anticipates. *)

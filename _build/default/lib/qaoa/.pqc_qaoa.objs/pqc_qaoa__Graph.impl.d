@@ -1,0 +1,1 @@
+lib/qaoa/graph.ml: Array Format Fun Hashtbl List Pqc_util

@@ -1,0 +1,1 @@
+lib/qaoa/graph.mli: Format Pqc_util

@@ -1,0 +1,1 @@
+lib/qaoa/maxcut.ml: Array Graph List Pqc_quantum

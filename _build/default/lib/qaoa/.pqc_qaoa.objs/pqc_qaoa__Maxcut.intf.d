@@ -1,0 +1,1 @@
+lib/qaoa/maxcut.mli: Graph Pqc_linalg Pqc_quantum

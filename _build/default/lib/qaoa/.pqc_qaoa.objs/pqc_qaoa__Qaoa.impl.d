@@ -1,0 +1,1 @@
+lib/qaoa/qaoa.ml: Array Float Graph List Maxcut Pqc_quantum Pqc_util

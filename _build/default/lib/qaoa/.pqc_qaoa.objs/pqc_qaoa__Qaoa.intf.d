@@ -1,0 +1,1 @@
+lib/qaoa/qaoa.mli: Graph Pqc_quantum

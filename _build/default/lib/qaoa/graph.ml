@@ -1,0 +1,81 @@
+module Rng = Pqc_util.Rng
+
+type t = { n : int; edges : (int * int) list }
+
+let normalize_edge (a, b) = if a < b then (a, b) else (b, a)
+
+let make n edges =
+  if n <= 0 then invalid_arg "Graph.make: positive node count required";
+  let norm = List.map normalize_edge edges in
+  List.iter
+    (fun (a, b) ->
+      if a = b then invalid_arg "Graph.make: self-loop";
+      if a < 0 || b >= n then invalid_arg "Graph.make: endpoint out of range")
+    norm;
+  let sorted = List.sort_uniq compare norm in
+  if List.length sorted <> List.length norm then
+    invalid_arg "Graph.make: duplicate edge";
+  { n; edges = sorted }
+
+let n_edges g = List.length g.edges
+
+let degree g v =
+  List.length (List.filter (fun (a, b) -> a = v || b = v) g.edges)
+
+let clique n =
+  make n
+    (List.concat_map
+       (fun a -> List.map (fun b -> (a, b)) (List.init (n - a - 1) (fun i -> a + 1 + i)))
+       (List.init n Fun.id))
+
+let cycle n = make n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let erdos_renyi rng ~p n =
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then edges := (a, b) :: !edges
+    done
+  done;
+  make n !edges
+
+(* Pairing (configuration) model: [degree] stubs per node, random perfect
+   matching of stubs, rejected on self-loops or multi-edges. *)
+let random_regular rng ~degree n =
+  if degree >= n then invalid_arg "Graph.random_regular: degree too large";
+  if degree * n mod 2 = 1 then
+    invalid_arg "Graph.random_regular: degree * n must be even";
+  let attempt () =
+    let stubs = Array.concat (List.init n (fun v -> Array.make degree v)) in
+    Rng.shuffle rng stubs;
+    let edges = ref [] in
+    let seen = Hashtbl.create (degree * n) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < Array.length stubs do
+      let a = stubs.(!i) and b = stubs.(!i + 1) in
+      let e = normalize_edge (a, b) in
+      if a = b || Hashtbl.mem seen e then ok := false
+      else begin
+        Hashtbl.replace seen e ();
+        edges := e :: !edges
+      end;
+      i := !i + 2
+    done;
+    if !ok then Some !edges else None
+  in
+  let rec retry k =
+    if k = 0 then
+      failwith "Graph.random_regular: exceeded rejection budget"
+    else
+      match attempt () with Some e -> make n e | None -> retry (k - 1)
+  in
+  retry 10_000
+
+let is_regular g ~degree =
+  List.for_all (fun v -> degree = List.length (List.filter (fun (a, b) -> a = v || b = v) g.edges))
+    (List.init g.n Fun.id)
+
+let pp fmt g =
+  Format.fprintf fmt "graph[%d nodes]:" g.n;
+  List.iter (fun (a, b) -> Format.fprintf fmt " %d-%d" a b) g.edges

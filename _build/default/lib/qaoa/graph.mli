@@ -1,0 +1,31 @@
+(** Undirected simple graphs and the paper's two random families.
+
+    QAOA MAXCUT benchmarks use 3-regular and Erdős–Rényi (p = 1/2) random
+    graphs on 6 and 8 nodes (Section 4.2); Figure 2 uses the 4-node
+    clique.  Generators are seeded for reproducibility. *)
+
+type t = { n : int; edges : (int * int) list }
+(** [edges] hold each undirected edge once, smaller endpoint first, sorted. *)
+
+val make : int -> (int * int) list -> t
+(** Normalizes edge order and rejects self-loops, duplicates, out-of-range
+    endpoints. *)
+
+val n_edges : t -> int
+
+val degree : t -> int -> int
+
+val clique : int -> t
+
+val cycle : int -> t
+
+val random_regular : Pqc_util.Rng.t -> degree:int -> int -> t
+(** Uniform-ish random [degree]-regular graph by the pairing model with
+    rejection (requires [degree * n] even and [degree < n]). *)
+
+val erdos_renyi : Pqc_util.Rng.t -> p:float -> int -> t
+(** Each possible edge included independently with probability [p]. *)
+
+val is_regular : t -> degree:int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+module Circuit = Pqc_quantum.Circuit
+(** QAOA MAXCUT circuits and the full variational loop (Section 4.2).
+
+    A p-round circuit has 2p variational parameters: gamma_i
+    (Cost-Optimization magnitude, round i) and beta_i (Mixing magnitude,
+    round i).  Parameter indices are interleaved [gamma_1, beta_1, gamma_2,
+    beta_2, ...], which makes the circuit parameter-monotone by
+    construction — each round touches its own two parameters once, in
+    order (Section 7.1). *)
+
+val gamma_index : round:int -> int
+(** Parameter index of gamma for 0-based [round]. *)
+
+val beta_index : round:int -> int
+
+val circuit : Graph.t -> p:int -> Circuit.t
+(** Hadamard layer, then per round: exp(-i gamma/2 Z Z) per edge realized
+    as CX / Rz(gamma) / CX, then Rx(2 beta) mixers.  2p symbolic
+    parameters. *)
+
+val n_params : p:int -> int
+
+type outcome = {
+  theta : float array;  (** Best parameters found. *)
+  expected_cut : float;  (** <C> at the best parameters. *)
+  optimum : int;  (** Brute-force MAXCUT value. *)
+  approximation_ratio : float;  (** expected_cut / optimum. *)
+  evaluations : int;  (** Circuit executions (variational iterations). *)
+}
+
+val optimize :
+  ?max_evals:int -> ?seed:int -> Graph.t -> p:int -> outcome
+(** Full hybrid loop on the state-vector simulator: Nelder-Mead maximizes
+    the expected cut over the 2p angles from a seeded random start. *)

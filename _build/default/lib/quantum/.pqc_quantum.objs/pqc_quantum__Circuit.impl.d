@@ -1,0 +1,1 @@
+lib/quantum/circuit.ml: Array Format Gate Hashtbl Int List Option Param Pqc_linalg Printf Set String

@@ -1,0 +1,1 @@
+lib/quantum/density.ml: Array Circuit Complex Gate List Pauli Pqc_linalg

@@ -1,0 +1,1 @@
+lib/quantum/density.mli: Circuit Pauli Pqc_linalg

@@ -1,0 +1,1 @@
+lib/quantum/gate.ml: Complex Float Format Option Param Pqc_linalg

@@ -1,0 +1,1 @@
+lib/quantum/param.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/quantum/param.mli: Format

@@ -1,0 +1,1 @@
+lib/quantum/pauli.ml: Array Complex Format Gate List Pqc_linalg Printf Statevec String

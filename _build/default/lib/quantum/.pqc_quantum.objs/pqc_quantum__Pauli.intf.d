@@ -1,0 +1,1 @@
+lib/quantum/pauli.mli: Format Pqc_linalg

@@ -1,0 +1,1 @@
+lib/quantum/qasm.ml: Array Buffer Circuit Float Gate List Option Param Printf String

@@ -1,0 +1,1 @@
+lib/quantum/statevec.ml: Array Circuit Gate Pqc_linalg Pqc_util

@@ -1,0 +1,1 @@
+lib/quantum/statevec.mli: Circuit Gate Pqc_linalg Pqc_util

@@ -1,0 +1,68 @@
+module Cmat = Pqc_linalg.Cmat
+(** The compiler's gate set.
+
+    Matches the paper's compilation basis {Rz(phi), Rx(theta), H, CX, SWAP}
+    (Table 1) plus the standard extras a transpiler needs (Ry, Pauli gates,
+    phase gates, CZ, iSWAP — the gmon hardware's native two-qubit
+    interaction).  Rotation conventions: Rx(t) = exp(-i t X / 2),
+    Ry(t) = exp(-i t Y / 2), Rz(t) = exp(-i t Z / 2).  These differ from the
+    paper's printed matrices only by global phase, which is irrelevant to
+    every fidelity measure used here. *)
+
+type t =
+  | Rx of Param.t
+  | Ry of Param.t
+  | Rz of Param.t
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | CX
+  | CZ
+  | Swap
+  | ISwap
+
+val arity : t -> int
+(** Number of qubit operands (1 or 2). *)
+
+val name : t -> string
+(** Mnemonic without parameters, e.g. ["rx"], ["cx"]. *)
+
+val param : t -> Param.t option
+(** The symbolic angle of a rotation gate, [None] for discrete gates. *)
+
+val depends_on : t -> int option
+(** The variational parameter this gate's angle varies with, if any. *)
+
+val is_parametrized : t -> bool
+(** True when [depends_on] is [Some _]. *)
+
+val map_param : (Param.t -> Param.t) -> t -> t
+(** Rewrite the angle of a rotation gate; identity on discrete gates. *)
+
+val matrix : t -> theta:float array -> Cmat.t
+(** Unitary matrix (2x2 or 4x4) under a concrete parameter binding.
+    Two-qubit matrices are in the basis |q0 q1> with the *first* operand as
+    the most significant bit. *)
+
+val inverse : t -> t option
+(** Exact inverse within the gate set; [None] when not representable as a
+    single gate (iSWAP). *)
+
+val is_self_inverse : t -> bool
+(** Gates g with g g = I (X, Y, Z, H, CX, CZ, SWAP). *)
+
+val is_diagonal : t -> bool
+(** True when the matrix is diagonal in the computational basis for every
+    binding (Rz, Z, S, Sdg, T, Tdg, CZ). *)
+
+val rotation_axis : t -> [ `X | `Y | `Z ] option
+(** The axis of a single-qubit rotation gate, including the fixed-angle
+    aliases (X ~ Rx(pi), S ~ Rz(pi/2), ...). *)
+
+val to_string : t -> string
+(** Mnemonic with parameters, e.g. ["rx(t0/2)"]. *)

@@ -1,0 +1,327 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gate_mnemonic (g : Gate.t) =
+  match g with
+  | Gate.Rx _ -> "rx"
+  | Gate.Ry _ -> "ry"
+  | Gate.Rz _ -> "rz"
+  | Gate.X -> "x"
+  | Gate.Y -> "y"
+  | Gate.Z -> "z"
+  | Gate.H -> "h"
+  | Gate.S -> "s"
+  | Gate.Sdg -> "sdg"
+  | Gate.T -> "t"
+  | Gate.Tdg -> "tdg"
+  | Gate.CX -> "cx"
+  | Gate.CZ -> "cz"
+  | Gate.Swap -> "swap"
+  | Gate.ISwap -> "iswap"
+
+let to_qasm ?theta c =
+  let c = match theta with Some t -> Circuit.bind c t | None -> c in
+  (match Circuit.depends c with
+  | [] -> ()
+  | _ :: _ ->
+    invalid_arg
+      "Qasm.to_qasm: circuit has unbound parameters (OpenQASM 2.0 has no \
+       symbols); pass ~theta");
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" (Circuit.n_qubits c));
+  Circuit.iter
+    (fun (i : Circuit.instr) ->
+      let operands =
+        String.concat ","
+          (List.map (Printf.sprintf "q[%d]") (Array.to_list i.qubits))
+      in
+      match Gate.param i.gate with
+      | Some p ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s(%.12g) %s;\n" (gate_mnemonic i.gate)
+             (Param.bind p [||]) operands)
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s;\n" (gate_mnemonic i.gate) operands))
+    c;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Strip // comments, split into ';'-terminated statements, tracking line
+   numbers for error reporting. *)
+let statements source =
+  let no_comments =
+    String.split_on_char '\n' source
+    |> List.map (fun l ->
+           match String.index_opt l '/' with
+           | Some i when i + 1 < String.length l && l.[i + 1] = '/' ->
+             String.sub l 0 i
+           | Some _ | None -> l)
+  in
+  let acc = ref [] and current = Buffer.create 64 and start_line = ref 1 in
+  List.iteri
+    (fun lineno line ->
+      String.iter
+        (fun ch ->
+          if ch = ';' then begin
+            let text = String.trim (Buffer.contents current) in
+            if text <> "" then acc := (!start_line, text) :: !acc;
+            Buffer.clear current;
+            start_line := lineno + 1
+          end
+          else begin
+            if String.trim (Buffer.contents current) = "" then
+              start_line := lineno + 1;
+            Buffer.add_char current ch
+          end)
+        line;
+      if Buffer.length current > 0 then Buffer.add_char current ' ')
+    no_comments;
+  (match String.trim (Buffer.contents current) with
+  | "" -> ()
+  | text -> fail !start_line "missing ';' after %S" text);
+  List.rev !acc
+
+(* Tiny recursive-descent parser for angle expressions. *)
+module Expr = struct
+  type token = Num of float | Pi | Plus | Minus | Star | Slash | LPar | RPar
+
+  let tokenize line s =
+    let n = String.length s in
+    let tokens = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let ch = s.[!i] in
+      if ch = ' ' || ch = '\t' then incr i
+      else if ch = '+' then (tokens := Plus :: !tokens; incr i)
+      else if ch = '-' then (tokens := Minus :: !tokens; incr i)
+      else if ch = '*' then (tokens := Star :: !tokens; incr i)
+      else if ch = '/' then (tokens := Slash :: !tokens; incr i)
+      else if ch = '(' then (tokens := LPar :: !tokens; incr i)
+      else if ch = ')' then (tokens := RPar :: !tokens; incr i)
+      else if (ch >= '0' && ch <= '9') || ch = '.' then begin
+        let j = ref !i in
+        while
+          !j < n
+          && ((s.[!j] >= '0' && s.[!j] <= '9') || s.[!j] = '.' || s.[!j] = 'e'
+             || s.[!j] = 'E'
+             || ((s.[!j] = '+' || s.[!j] = '-')
+                && !j > !i
+                && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+        do
+          incr j
+        done;
+        let text = String.sub s !i (!j - !i) in
+        (match float_of_string_opt text with
+        | Some v -> tokens := Num v :: !tokens
+        | None -> fail line "bad number %S" text);
+        i := !j
+      end
+      else if String.length s - !i >= 2 && String.sub s !i 2 = "pi" then begin
+        tokens := Pi :: !tokens;
+        i := !i + 2
+      end
+      else fail line "unexpected character %C in expression %S" ch s
+    done;
+    List.rev !tokens
+
+  (* expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* ;
+     factor := '-' factor | '(' expr ')' | number | pi *)
+  let parse line tokens =
+    let rest = ref tokens in
+    let peek () = match !rest with [] -> None | t :: _ -> Some t in
+    let advance () = match !rest with [] -> () | _ :: tl -> rest := tl in
+    let rec expr () =
+      let v = ref (term ()) in
+      let rec loop () =
+        match peek () with
+        | Some Plus -> advance (); v := !v +. term (); loop ()
+        | Some Minus -> advance (); v := !v -. term (); loop ()
+        | Some (Num _ | Pi | Star | Slash | LPar | RPar) | None -> ()
+      in
+      loop ();
+      !v
+    and term () =
+      let v = ref (factor ()) in
+      let rec loop () =
+        match peek () with
+        | Some Star -> advance (); v := !v *. factor (); loop ()
+        | Some Slash ->
+          advance ();
+          let d = factor () in
+          if d = 0.0 then fail line "division by zero in angle expression";
+          v := !v /. d;
+          loop ()
+        | Some (Num _ | Pi | Plus | Minus | LPar | RPar) | None -> ()
+      in
+      loop ();
+      !v
+    and factor () =
+      match peek () with
+      | Some Minus -> advance (); -.factor ()
+      | Some (Num v) -> advance (); v
+      | Some Pi -> advance (); Float.pi
+      | Some LPar ->
+        advance ();
+        let v = expr () in
+        (match peek () with
+        | Some RPar -> advance (); v
+        | Some _ | None -> fail line "expected ')'")
+      | Some (Plus | Star | Slash | RPar) | None ->
+        fail line "malformed angle expression"
+    in
+    let v = expr () in
+    (match !rest with [] -> () | _ :: _ -> fail line "trailing tokens in expression");
+    v
+
+  let eval line s = parse line (tokenize line s)
+end
+
+let parse_operand line ~reg ~size text =
+  let text = String.trim text in
+  match String.index_opt text '[' with
+  | None -> fail line "expected %s[index], got %S" reg text
+  | Some i ->
+    let name = String.sub text 0 i in
+    if name <> reg then fail line "unknown register %S (declared %S)" name reg;
+    (match String.index_opt text ']' with
+    | None -> fail line "missing ']' in %S" text
+    | Some j ->
+      let idx = String.sub text (i + 1) (j - i - 1) in
+      (match int_of_string_opt (String.trim idx) with
+      | Some q when q >= 0 && q < size -> q
+      | Some q -> fail line "qubit %d out of range [0,%d)" q size
+      | None -> fail line "bad qubit index %S" idx))
+
+(* Split "mnemonic(args) operands" into pieces. *)
+let split_application line text =
+  let text = String.trim text in
+  let name_end =
+    let rec go i =
+      if i >= String.length text then i
+      else
+        match text.[i] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> go (i + 1)
+        | ' ' | '(' | _ -> i
+    in
+    go 0
+  in
+  if name_end = 0 then fail line "expected gate name in %S" text;
+  let name = String.sub text 0 name_end in
+  let rest = String.sub text name_end (String.length text - name_end) in
+  let rest = String.trim rest in
+  if String.length rest > 0 && rest.[0] = '(' then begin
+    (* Find the matching close parenthesis (angle expressions nest). *)
+    let close = ref None and depth = ref 0 in
+    String.iteri
+      (fun j ch ->
+        if !close = None then
+          if ch = '(' then incr depth
+          else if ch = ')' then begin
+            decr depth;
+            if !depth = 0 then close := Some j
+          end)
+      rest;
+    match !close with
+    | None -> fail line "missing ')' in %S" text
+    | Some j ->
+      let args = String.sub rest 1 (j - 1) in
+      let operands = String.sub rest (j + 1) (String.length rest - j - 1) in
+      (name, Some args, String.trim operands)
+  end
+  else (name, None, rest)
+
+let of_qasm source =
+  let stmts = statements source in
+  let reg = ref None in
+  let builder = ref None in
+  let ensure_builder line =
+    match !builder with
+    | Some b -> b
+    | None -> fail line "gate application before qreg declaration"
+  in
+  let angle line = function
+    | Some args -> Expr.eval line args
+    | None -> fail line "missing angle argument"
+  in
+  let no_args line name = function
+    | None -> ()
+    | Some _ -> fail line "%s takes no argument" name
+  in
+  List.iter
+    (fun (line, text) ->
+      let lower = String.lowercase_ascii text in
+      let starts p =
+        String.length lower >= String.length p && String.sub lower 0 (String.length p) = p
+      in
+      if starts "openqasm" || starts "include" || starts "creg" || starts "barrier"
+      then ()
+      else if starts "measure" || starts "if" || starts "gate" || starts "reset"
+      then fail line "unsupported statement %S" text
+      else if starts "qreg" then begin
+        if !reg <> None then fail line "multiple qreg declarations";
+        let rest = String.trim (String.sub text 4 (String.length text - 4)) in
+        match String.index_opt rest '[' with
+        | None -> fail line "bad qreg declaration %S" text
+        | Some i ->
+          let name = String.trim (String.sub rest 0 i) in
+          (match String.index_opt rest ']' with
+          | None -> fail line "missing ']' in qreg"
+          | Some j ->
+            (match int_of_string_opt (String.sub rest (i + 1) (j - i - 1)) with
+            | Some n when n > 0 ->
+              reg := Some (name, n);
+              builder := Some (Circuit.Builder.create n)
+            | Some _ | None -> fail line "bad qreg size"))
+      end
+      else begin
+        let b = ensure_builder line in
+        let reg_name, size = Option.get !reg in
+        let name, args, operand_text = split_application line text in
+        let operands =
+          String.split_on_char ',' operand_text
+          |> List.map (parse_operand line ~reg:reg_name ~size)
+        in
+        let add1 g =
+          match operands with
+          | [ q ] -> Circuit.Builder.add b g [ q ]
+          | _ -> fail line "%s expects one operand" name
+        in
+        let add2 g =
+          match operands with
+          | [ a; c ] -> Circuit.Builder.add b g [ a; c ]
+          | _ -> fail line "%s expects two operands" name
+        in
+        match String.lowercase_ascii name with
+        | "id" -> no_args line name args
+        | "h" -> no_args line name args; add1 Gate.H
+        | "x" -> no_args line name args; add1 Gate.X
+        | "y" -> no_args line name args; add1 Gate.Y
+        | "z" -> no_args line name args; add1 Gate.Z
+        | "s" -> no_args line name args; add1 Gate.S
+        | "sdg" -> no_args line name args; add1 Gate.Sdg
+        | "t" -> no_args line name args; add1 Gate.T
+        | "tdg" -> no_args line name args; add1 Gate.Tdg
+        | "rx" -> add1 (Gate.Rx (Param.const (angle line args)))
+        | "ry" -> add1 (Gate.Ry (Param.const (angle line args)))
+        | "rz" | "u1" -> add1 (Gate.Rz (Param.const (angle line args)))
+        | "cx" | "cnot" -> no_args line name args; add2 Gate.CX
+        | "cz" -> no_args line name args; add2 Gate.CZ
+        | "swap" -> no_args line name args; add2 Gate.Swap
+        | "iswap" -> no_args line name args; add2 Gate.ISwap
+        | other -> fail line "unsupported gate %S" other
+      end)
+    stmts;
+  match !builder with
+  | Some b -> Circuit.Builder.to_circuit b
+  | None -> fail 1 "no qreg declaration found"

@@ -1,0 +1,23 @@
+(** OpenQASM 2.0 interchange.
+
+    The paper situates itself against gate-level quantum assembly languages
+    (Section 3 cites OpenQASM among others); this module lets circuits round
+    -trip through the de-facto interchange format, so benchmarks can be fed
+    to or taken from other toolchains.
+
+    Supported subset: one quantum register; the gate set of {!Gate} (with
+    [u1] read as [rz] and [id] skipped); [creg], [barrier] and comments are
+    accepted and ignored.  Angle expressions understand floating literals,
+    [pi], unary minus, [+ - * /] and parentheses. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_qasm : ?theta:float array -> Circuit.t -> string
+(** Serialize a circuit.  Parametrized gates are bound with [theta] first;
+    raises [Invalid_argument] if unbound parameters remain (OpenQASM 2.0
+    has no free symbols). *)
+
+val of_qasm : string -> Circuit.t
+(** Parse a program.  Raises {!Parse_error} with a line number on invalid
+    input, and on constructs outside the subset ([measure], [if], [gate]
+    definitions, multiple [qreg]s). *)

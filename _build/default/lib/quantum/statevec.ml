@@ -1,0 +1,103 @@
+module Cmat = Pqc_linalg.Cmat
+module Cvec = Pqc_linalg.Cvec
+let init n = Cvec.basis (1 lsl n) 0
+
+let n_of_dim dim =
+  let n = ref 0 in
+  while 1 lsl !n < dim do
+    incr n
+  done;
+  assert (1 lsl !n = dim);
+  !n
+
+(* Single-qubit kernel: update amplitude pairs that differ in the target bit. *)
+let apply_1q psi g bit_pos =
+  let d = Cvec.unsafe_data psi in
+  let dim = Cvec.dim psi in
+  let a_re = ref 0.0 and a_im = ref 0.0 in
+  let g00 = Cmat.get g 0 0 and g01 = Cmat.get g 0 1 in
+  let g10 = Cmat.get g 1 0 and g11 = Cmat.get g 1 1 in
+  let bit = 1 lsl bit_pos in
+  for i = 0 to dim - 1 do
+    if i land bit = 0 then begin
+      let j = i lor bit in
+      let xre = d.(2 * i) and xim = d.((2 * i) + 1) in
+      let yre = d.(2 * j) and yim = d.((2 * j) + 1) in
+      a_re := (g00.re *. xre) -. (g00.im *. xim) +. (g01.re *. yre) -. (g01.im *. yim);
+      a_im := (g00.re *. xim) +. (g00.im *. xre) +. (g01.re *. yim) +. (g01.im *. yre);
+      let bre = (g10.re *. xre) -. (g10.im *. xim) +. (g11.re *. yre) -. (g11.im *. yim) in
+      let bim = (g10.re *. xim) +. (g10.im *. xre) +. (g11.re *. yim) +. (g11.im *. yre) in
+      d.(2 * i) <- !a_re;
+      d.((2 * i) + 1) <- !a_im;
+      d.(2 * j) <- bre;
+      d.((2 * j) + 1) <- bim
+    end
+  done
+
+(* Two-qubit kernel: gather the four amplitudes of each (b1, b2) quadruple.
+   [hi] is the bit of the first operand (most significant in the 4x4 gate
+   basis). *)
+let apply_2q psi g hi_pos lo_pos =
+  let d = Cvec.unsafe_data psi in
+  let dim = Cvec.dim psi in
+  let hi = 1 lsl hi_pos and lo = 1 lsl lo_pos in
+  let gm = Cmat.to_array g in
+  let amp = Array.make 8 0.0 in
+  for i = 0 to dim - 1 do
+    if i land hi = 0 && i land lo = 0 then begin
+      let idx = [| i; i lor lo; i lor hi; i lor hi lor lo |] in
+      for s = 0 to 3 do
+        amp.(2 * s) <- d.(2 * idx.(s));
+        amp.((2 * s) + 1) <- d.((2 * idx.(s)) + 1)
+      done;
+      for r = 0 to 3 do
+        let sre = ref 0.0 and sim = ref 0.0 in
+        for s = 0 to 3 do
+          let z = gm.(r).(s) in
+          sre := !sre +. ((z.re *. amp.(2 * s)) -. (z.im *. amp.((2 * s) + 1)));
+          sim := !sim +. ((z.re *. amp.((2 * s) + 1)) +. (z.im *. amp.(2 * s)))
+        done;
+        d.(2 * idx.(r)) <- !sre;
+        d.((2 * idx.(r)) + 1) <- !sim
+      done
+    end
+  done
+
+let apply_matrix psi g qubits =
+  let n = n_of_dim (Cvec.dim psi) in
+  let pos q = n - 1 - q in
+  match Array.length qubits with
+  | 1 -> apply_1q psi g (pos qubits.(0))
+  | 2 -> apply_2q psi g (pos qubits.(0)) (pos qubits.(1))
+  | _ ->
+    let full = Circuit.embed ~n g qubits in
+    let out = Cmat.apply full psi in
+    Array.blit (Cvec.unsafe_data out) 0 (Cvec.unsafe_data psi) 0 (2 * Cvec.dim psi)
+
+let apply_gate psi gate ~theta qubits =
+  apply_matrix psi (Gate.matrix gate ~theta) qubits
+
+let run ?(theta = [||]) ?init_state c =
+  let psi =
+    match init_state with
+    | None -> init (Circuit.n_qubits c)
+    | Some v ->
+      assert (Cvec.dim v = 1 lsl Circuit.n_qubits c);
+      Cvec.copy v
+  in
+  Circuit.iter (fun { Circuit.gate; qubits } -> apply_gate psi gate ~theta qubits) c;
+  psi
+
+let probabilities psi = Array.init (Cvec.dim psi) (Cvec.probability psi)
+
+let measure rng psi =
+  let p = probabilities psi in
+  let x = Pqc_util.Rng.float rng 1.0 in
+  let rec pick i acc =
+    if i = Array.length p - 1 then i
+    else begin
+      let acc = acc +. p.(i) in
+      if x < acc then i else pick (i + 1) acc
+    end
+  in
+  pick 0 0.0

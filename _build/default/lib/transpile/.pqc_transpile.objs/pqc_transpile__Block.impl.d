@@ -1,0 +1,1 @@
+lib/transpile/block.ml: Array Hashtbl List Option Pqc_quantum

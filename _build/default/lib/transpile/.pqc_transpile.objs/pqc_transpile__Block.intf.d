@@ -1,0 +1,1 @@
+lib/transpile/block.mli: Pqc_quantum

@@ -1,0 +1,1 @@
+lib/transpile/pass.ml: Array Float Fun List Pqc_quantum

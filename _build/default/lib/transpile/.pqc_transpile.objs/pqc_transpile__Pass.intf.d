@@ -1,0 +1,1 @@
+lib/transpile/pass.mli: Pqc_quantum

@@ -1,0 +1,1 @@
+lib/transpile/route.ml: Array Fun Pqc_quantum Topology

@@ -1,0 +1,1 @@
+lib/transpile/route.mli: Pqc_quantum Topology

@@ -1,0 +1,1 @@
+lib/transpile/schedule.ml: Array Pqc_quantum

@@ -1,0 +1,1 @@
+lib/transpile/schedule.mli: Pqc_quantum

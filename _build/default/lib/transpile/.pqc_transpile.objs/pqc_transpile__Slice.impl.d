@@ -1,0 +1,1 @@
+lib/transpile/slice.ml: Array Hashtbl List Pqc_quantum

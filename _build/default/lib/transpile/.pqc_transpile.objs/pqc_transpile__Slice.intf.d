@@ -1,0 +1,1 @@
+lib/transpile/slice.mli: Pqc_quantum

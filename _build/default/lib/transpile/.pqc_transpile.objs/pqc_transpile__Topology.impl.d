@@ -1,0 +1,1 @@
+lib/transpile/topology.ml: Array Fun List Queue

@@ -1,0 +1,110 @@
+module Circuit = Pqc_quantum.Circuit
+
+type block = { qubits : int list; circuit : Circuit.t }
+
+type open_block = {
+  id : int;
+  mutable qset : int list; (* sorted *)
+  mutable rev_instrs : Circuit.instr list;
+}
+
+let sorted_union a b =
+  List.sort_uniq compare (List.rev_append a b)
+
+(* Merge adjacent blocks in the emitted linear order while the union stays
+   within the width budget.  Sound because the blocks are adjacent in a
+   valid linearization: fusing consecutive elements preserves the relative
+   order of everything else (this is the aggregation step that lets a
+   4-qubit circuit collapse into a single GRAPE block no matter how its
+   gates interleave). *)
+let merge_adjacent ~max_width blocks =
+  let fuse a b =
+    { qubits = sorted_union a.qubits b.qubits;
+      circuit = Pqc_quantum.Circuit.concat a.circuit b.circuit }
+  in
+  let shares_qubit a b = List.exists (fun q -> List.mem q b.qubits) a.qubits in
+  let rec pass acc = function
+    | a :: b :: rest
+      when shares_qubit a b
+           && List.length (sorted_union a.qubits b.qubits) <= max_width ->
+      (* Fuse only dependent neighbours: fusing disjoint blocks would
+         serialize work the scheduler could otherwise overlap. *)
+      pass acc (fuse a b :: rest)
+    | a :: rest -> pass (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let rec fixpoint blocks =
+    let merged = pass [] blocks in
+    if List.length merged = List.length blocks then merged else fixpoint merged
+  in
+  fixpoint blocks
+
+let partition ~max_width c =
+  if max_width < 2 then invalid_arg "Block.partition: max_width must be >= 2";
+  let n = Circuit.n_qubits c in
+  let owner = Array.make n None in
+  let blocks = ref [] (* reversed creation order *) in
+  let next_id = ref 0 in
+  let fresh qset instr =
+    let b = { id = !next_id; qset; rev_instrs = [ instr ] } in
+    incr next_id;
+    blocks := b :: !blocks;
+    b
+  in
+  Circuit.iter
+    (fun (instr : Circuit.instr) ->
+      let qs = List.sort compare (Array.to_list instr.qubits) in
+      let owners =
+        List.sort_uniq compare
+          (List.filter_map (fun q -> Option.map (fun b -> b.id) owner.(q)) qs)
+      in
+      let extend b =
+        b.qset <- sorted_union b.qset qs;
+        b.rev_instrs <- instr :: b.rev_instrs;
+        List.iter (fun q -> owner.(q) <- Some b) qs
+      in
+      let target =
+        match owners with
+        | [] -> None
+        | [ id ] ->
+          let b =
+            List.find (fun q -> owner.(q) <> None) qs |> fun q ->
+            Option.get owner.(q)
+          in
+          assert (b.id = id);
+          if List.length (sorted_union b.qset qs) <= max_width then Some b
+          else None
+        | _ :: _ :: _ -> None
+      in
+      match target with
+      | Some b -> extend b
+      | None ->
+        let b = fresh qs instr in
+        List.iter (fun q -> owner.(q) <- Some b) qs)
+    c;
+  List.rev_map
+    (fun b ->
+      { qubits = b.qset;
+        circuit = Circuit.of_instrs n (List.rev b.rev_instrs) })
+    !blocks
+  |> merge_adjacent ~max_width
+
+let extract b =
+  let rank =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i q -> Hashtbl.replace tbl q i) b.qubits;
+    fun q -> Hashtbl.find tbl q
+  in
+  Circuit.relabel b.circuit ~n:(List.length b.qubits) ~mapping:rank
+
+let depends b =
+  match Circuit.depends b.circuit with
+  | [] -> None
+  | [ v ] -> Some v
+  | _ :: _ :: _ ->
+    invalid_arg "Block.depends: block depends on several parameters"
+
+let concat_all ~n blocks =
+  let builder = Circuit.Builder.create n in
+  List.iter (fun b -> Circuit.Builder.add_circuit builder b.circuit) blocks;
+  Circuit.Builder.to_circuit builder

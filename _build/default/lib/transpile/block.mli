@@ -1,0 +1,34 @@
+module Circuit = Pqc_quantum.Circuit
+(** Subcircuit aggregation ("blocking") for optimal control.
+
+    GRAPE's convergence time scales exponentially with circuit width, so
+    circuits wider than 4 qubits must be partitioned into blocks of
+    manageable width before pulse optimization (Section 5.2, following the
+    aggregation methodology of Shi et al. [44]).  The greedy scheme here
+    keeps one open block per qubit and extends it while the union of operand
+    sets stays within the width budget; block creation order is a valid
+    linearization of the block dependency DAG (an instruction can only ever
+    join the block that currently owns all its operands, so no block depends
+    on a later one). *)
+
+type block = {
+  qubits : int list;  (** Sorted original qubit indices the block touches. *)
+  circuit : Circuit.t;  (** Block contents over the original register. *)
+}
+
+val partition : max_width:int -> Circuit.t -> block list
+(** Blocks in a dependency-respecting order; concatenating them (in order)
+    reproduces a circuit equivalent to the input (property-tested). *)
+
+val extract : block -> Circuit.t
+(** The block as a standalone circuit over [List.length qubits] qubits,
+    operands renamed by rank — the form handed to GRAPE. *)
+
+val depends : block -> int option
+(** The single variational parameter the block depends on, [None] for fixed
+    blocks.  Raises [Invalid_argument] when the block depends on several
+    parameters (callers ensure single-parameter slicing first). *)
+
+val concat_all : n:int -> block list -> Circuit.t
+(** Re-assemble blocks into one circuit over the original [n]-qubit
+    register (for round-trip testing). *)

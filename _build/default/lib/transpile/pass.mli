@@ -1,0 +1,28 @@
+module Param = Pqc_quantum.Param
+module Circuit = Pqc_quantum.Circuit
+(** Gate-level circuit optimization passes.
+
+    These passes reproduce the baseline the paper measures gate-based
+    compilation against: "aggressive cancellation of CX gates and 'Hadamard'
+    gates" (IBM transpiler) plus the authors' own pass for "merging rotation
+    gates — e.g. Rx(a) followed by Rx(b) merges into Rx(a+b)" (Section 2.2).
+
+    All passes preserve the circuit unitary for every parameter binding (a
+    property-tested invariant).  Merging is commutation-aware: when looking
+    backwards for a merge or cancellation partner, a gate may slide past
+    intermediate gates it commutes with (e.g. Rz past the control of a CX,
+    Rx past the target). *)
+
+val merge_rotations : Circuit.t -> Circuit.t
+(** Merge same-axis single-qubit rotations whose angles add symbolically
+    (see {!Param.add}), dropping rotations that merge to zero. *)
+
+val cancel_inverses : Circuit.t -> Circuit.t
+(** Remove adjacent gate/inverse pairs (H H, CX CX, Swap Swap, S Sdg, ...) on
+    identical operands, commutation-aware. *)
+
+val drop_identities : Circuit.t -> Circuit.t
+(** Remove constant rotations with angle 0 (mod 4 pi). *)
+
+val optimize : ?max_rounds:int -> Circuit.t -> Circuit.t
+(** Run all passes to a fixpoint (at most [max_rounds] sweeps, default 20). *)

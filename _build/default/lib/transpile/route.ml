@@ -1,0 +1,57 @@
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+
+type result = {
+  routed : Circuit.t;
+  final_layout : int array;
+  swaps_inserted : int;
+}
+
+let route topo c =
+  let n_log = Circuit.n_qubits c in
+  let n_phys = Topology.n_qubits topo in
+  if n_phys < n_log then invalid_arg "Route: device too small";
+  let phys_of = Array.init n_log Fun.id in
+  (* Inverse placement over physical qubits; -1 marks an unused slot. *)
+  let log_of = Array.make n_phys (-1) in
+  Array.iteri (fun l p -> log_of.(p) <- l) phys_of;
+  let b = Circuit.Builder.create n_phys in
+  let swaps = ref 0 in
+  let swap_phys p q =
+    Circuit.Builder.add b Gate.Swap [ p; q ];
+    incr swaps;
+    let lp = log_of.(p) and lq = log_of.(q) in
+    log_of.(p) <- lq;
+    log_of.(q) <- lp;
+    if lq >= 0 then phys_of.(lq) <- p;
+    if lp >= 0 then phys_of.(lp) <- q
+  in
+  Circuit.iter
+    (fun { Circuit.gate; qubits } ->
+      match Array.length qubits with
+      | 1 -> Circuit.Builder.add b gate [ phys_of.(qubits.(0)) ]
+      | _ ->
+        let a = qubits.(0) and t = qubits.(1) in
+        if not (Topology.connected topo phys_of.(a) phys_of.(t)) then begin
+          (* Walk operand [a] along a shortest path until adjacent to [t]. *)
+          let path = Topology.shortest_path topo phys_of.(a) phys_of.(t) in
+          let rec hop = function
+            | p :: (q :: _ as rest) when not (Topology.connected topo p phys_of.(t)) ->
+              swap_phys p q;
+              hop rest
+            | _ -> ()
+          in
+          hop path
+        end;
+        Circuit.Builder.add b gate [ phys_of.(a); phys_of.(t) ])
+    c;
+  { routed = Circuit.Builder.to_circuit b; final_layout = phys_of; swaps_inserted = !swaps }
+
+let is_legal topo c =
+  let ok = ref true in
+  Circuit.iter
+    (fun { Circuit.qubits; _ } ->
+      if Array.length qubits = 2 && not (Topology.connected topo qubits.(0) qubits.(1))
+      then ok := false)
+    c;
+  !ok

@@ -1,0 +1,22 @@
+module Circuit = Pqc_quantum.Circuit
+(** Qubit mapping for limited-connectivity devices.
+
+    Greedy SWAP-insertion router: logical qubits start at the identity
+    placement; whenever a two-qubit gate targets non-adjacent physical
+    qubits, SWAPs move one operand along a shortest path until they meet.
+    This mirrors the role of "Qiskit's circuit mapper (to conform to nearest
+    neighbor connectivity)" in the paper's baseline. *)
+
+type result = {
+  routed : Circuit.t;  (** Circuit over physical qubits, only legal 2q gates. *)
+  final_layout : int array;  (** [final_layout.(logical)] = physical qubit. *)
+  swaps_inserted : int;
+}
+
+val route : Topology.t -> Circuit.t -> result
+(** Requires the topology to have at least as many qubits as the circuit.
+    The routed circuit satisfies [Topology.connected] for every two-qubit
+    gate. *)
+
+val is_legal : Topology.t -> Circuit.t -> bool
+(** True when every 2-qubit gate touches adjacent physical qubits. *)

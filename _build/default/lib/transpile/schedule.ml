@@ -1,0 +1,25 @@
+module Circuit = Pqc_quantum.Circuit
+
+type entry = { instr : Circuit.instr; start_time : float; finish_time : float }
+
+type t = { entries : entry array; makespan : float }
+
+let schedule ~duration c =
+  let free = Array.make (Circuit.n_qubits c) 0.0 in
+  let makespan = ref 0.0 in
+  let entries =
+    Array.map
+      (fun (i : Circuit.instr) ->
+        let start_time = Array.fold_left (fun acc q -> max acc free.(q)) 0.0 i.qubits in
+        let finish_time = start_time +. duration i in
+        Array.iter (fun q -> free.(q) <- finish_time) i.qubits;
+        if finish_time > !makespan then makespan := finish_time;
+        { instr = i; start_time; finish_time })
+      (Circuit.instrs c)
+  in
+  { entries; makespan = !makespan }
+
+let critical_path ~duration c = (schedule ~duration c).makespan
+
+let depth c =
+  int_of_float (critical_path ~duration:(fun _ -> 1.0) c)

@@ -1,0 +1,22 @@
+module Circuit = Pqc_quantum.Circuit
+(** As-soon-as-possible list scheduling.
+
+    The paper's gate-based runtimes are "for the critical path through the
+    parallelized circuit" (Section 4.1): gates on disjoint qubits execute
+    simultaneously, so a circuit's runtime is the longest dependency chain
+    weighted by per-gate pulse durations.  This module computes that
+    schedule for any duration model. *)
+
+type entry = { instr : Circuit.instr; start_time : float; finish_time : float }
+
+type t = { entries : entry array; makespan : float }
+
+val schedule : duration:(Circuit.instr -> float) -> Circuit.t -> t
+(** ASAP schedule: each gate starts when all its operands are free.
+    [makespan] is the critical-path length. *)
+
+val critical_path : duration:(Circuit.instr -> float) -> Circuit.t -> float
+(** Just the makespan. *)
+
+val depth : Circuit.t -> int
+(** Unit-duration depth (number of layers). *)

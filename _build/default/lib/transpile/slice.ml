@@ -1,0 +1,129 @@
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+
+type slice = { var : int option; circuit : Circuit.t }
+
+let close n rev_instrs var acc =
+  match rev_instrs with
+  | [] -> acc
+  | _ :: _ -> { var; circuit = Circuit.of_instrs n (List.rev rev_instrs) } :: acc
+
+let strict_linear c =
+  let n = Circuit.n_qubits c in
+  let acc = ref [] and fixed_run = ref [] in
+  Circuit.iter
+    (fun (i : Circuit.instr) ->
+      match Gate.depends_on i.gate with
+      | None -> fixed_run := i :: !fixed_run
+      | Some v ->
+        acc := close n !fixed_run None !acc;
+        fixed_run := [];
+        acc := { var = Some v; circuit = Circuit.of_instrs n [ i ] } :: !acc)
+    c;
+  acc := close n !fixed_run None !acc;
+  List.rev !acc
+
+(* The paper's Figure 3b semantics: a parametrized gate seals only its own
+   qubit's timeline, so Fixed subcircuits are two-dimensional regions of the
+   circuit DAG, maximal under the rule that a fixed gate extends the open
+   region owning its qubits.  Regions are emitted in creation order, which
+   is a valid linearization by the same monotone-ownership argument as
+   {!Block.partition} (per-qubit gate order is preserved, so the
+   concatenation is circuit-equivalent — property-tested). *)
+type region_owner = Unowned | Open_region of int | Sealed
+
+let strict c =
+  let n = Circuit.n_qubits c in
+  let owner = Array.make n Unowned in
+  let regions = Hashtbl.create 16 in
+  (* Output slots, reversed; fixed regions are filled as they grow. *)
+  let out = ref [] in
+  let next_id = ref 0 in
+  let fresh_region instr =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace regions id (ref [ instr ]);
+    out := `Region id :: !out;
+    id
+  in
+  Circuit.iter
+    (fun (i : Circuit.instr) ->
+      match Gate.depends_on i.gate with
+      | Some _ ->
+        out := `Theta i :: !out;
+        Array.iter (fun q -> owner.(q) <- Sealed) i.qubits
+      | None ->
+        let owners =
+          Array.to_list i.qubits
+          |> List.map (fun q -> owner.(q))
+          |> List.sort_uniq compare
+        in
+        let id =
+          match owners with
+          | [ Open_region id ] | [ Unowned; Open_region id ] ->
+            let r = Hashtbl.find regions id in
+            r := i :: !r;
+            id
+          | [ Unowned ] | [] | [ Sealed ] | [ Unowned; Sealed ] | _ :: _ :: _ ->
+            fresh_region i
+        in
+        Array.iter (fun q -> owner.(q) <- Open_region id) i.qubits)
+    c;
+  List.rev !out
+  |> List.map (fun slot ->
+         match slot with
+         | `Theta (i : Circuit.instr) ->
+           { var = Gate.depends_on i.gate; circuit = Circuit.of_instrs n [ i ] }
+         | `Region id ->
+           let r = Hashtbl.find regions id in
+           { var = None; circuit = Circuit.of_instrs n (List.rev !r) })
+
+let is_monotone c =
+  let seen = Hashtbl.create 8 in
+  let current = ref None in
+  let ok = ref true in
+  Circuit.iter
+    (fun (i : Circuit.instr) ->
+      match Gate.depends_on i.gate with
+      | None -> ()
+      | Some v ->
+        if !current <> Some v then begin
+          if Hashtbl.mem seen v then ok := false;
+          Hashtbl.replace seen v ();
+          current := Some v
+        end)
+    c;
+  !ok
+
+let flexible c =
+  if not (is_monotone c) then
+    invalid_arg "Slice.flexible: circuit is not parameter-monotone";
+  let n = Circuit.n_qubits c in
+  let acc = ref [] and run = ref [] and cur = ref None in
+  Circuit.iter
+    (fun (i : Circuit.instr) ->
+      match Gate.depends_on i.gate with
+      | None -> run := i :: !run
+      | Some v ->
+        (match !cur with
+        | None -> cur := Some v
+        | Some w when w = v -> ()
+        | Some _ ->
+          acc := close n !run !cur !acc;
+          run := [];
+          cur := Some v);
+        run := i :: !run)
+    c;
+  acc := close n !run !cur !acc;
+  List.rev !acc
+
+let concat_all ~n slices =
+  let b = Circuit.Builder.create n in
+  List.iter (fun s -> Circuit.Builder.add_circuit b s.circuit) slices;
+  Circuit.Builder.to_circuit b
+
+let fixed_gate_fraction c =
+  let total = Circuit.length c in
+  if total = 0 then 1.0
+  else
+    float_of_int (total - Circuit.parametrized_gate_count c) /. float_of_int total

@@ -1,0 +1,81 @@
+type t = { n : int; adj : bool array array }
+
+let n_qubits t = t.n
+
+let empty n =
+  if n <= 0 then invalid_arg "Topology: positive qubit count required";
+  { n; adj = Array.make_matrix n n false }
+
+let add_edge t a b =
+  if a = b || a < 0 || b < 0 || a >= t.n || b >= t.n then
+    invalid_arg "Topology: bad edge";
+  t.adj.(a).(b) <- true;
+  t.adj.(b).(a) <- true
+
+let line n =
+  let t = empty n in
+  for i = 0 to n - 2 do
+    add_edge t i (i + 1)
+  done;
+  t
+
+let grid ~rows ~cols =
+  let t = empty (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let q = (r * cols) + c in
+      if c < cols - 1 then add_edge t q (q + 1);
+      if r < rows - 1 then add_edge t q (q + cols)
+    done
+  done;
+  t
+
+let clique n =
+  let t = empty n in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      add_edge t a b
+    done
+  done;
+  t
+
+let of_edges n es =
+  let t = empty n in
+  List.iter (fun (a, b) -> add_edge t a b) es;
+  t
+
+let connected t a b = t.adj.(a).(b)
+
+let neighbors t q =
+  List.filter (fun p -> t.adj.(q).(p)) (List.init t.n Fun.id)
+
+let edges t =
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if b > a && t.adj.(a).(b) then Some (a, b) else None)
+        (List.init t.n Fun.id))
+    (List.init t.n Fun.id)
+
+let shortest_path t src dst =
+  if src = dst then [ src ]
+  else begin
+    let prev = Array.make t.n (-1) in
+    let visited = Array.make t.n false in
+    let queue = Queue.create () in
+    visited.(src) <- true;
+    Queue.push src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            prev.(v) <- u;
+            if v = dst then found := true else Queue.push v queue
+          end)
+        (neighbors t u)
+    done;
+    if not !found then raise Not_found;
+    let rec walk v acc = if v = src then src :: acc else walk prev.(v) (v :: acc) in
+    walk dst []
+  end

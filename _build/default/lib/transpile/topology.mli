@@ -1,0 +1,31 @@
+(** Device connectivity graphs.
+
+    The gmon system of Appendix A has "a rectangular-grid topology with
+    nearest-neighbor connectivity"; benchmark circuits are mapped to such a
+    device before timing (Section 4.1). *)
+
+type t
+
+val n_qubits : t -> int
+
+val line : int -> t
+(** Path graph 0 - 1 - ... - (n-1). *)
+
+val grid : rows:int -> cols:int -> t
+(** Rectangular grid, row-major qubit numbering. *)
+
+val clique : int -> t
+(** All-to-all (used to *skip* routing in controlled experiments). *)
+
+val of_edges : int -> (int * int) list -> t
+
+val connected : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, with smaller endpoint first. *)
+
+val shortest_path : t -> int -> int -> int list
+(** Vertex list from source to destination inclusive (BFS); raises
+    [Not_found] when disconnected. *)

@@ -1,0 +1,1 @@
+lib/util/nelder_mead.ml: Array Float Fun List

@@ -1,0 +1,1 @@
+lib/util/nelder_mead.mli:

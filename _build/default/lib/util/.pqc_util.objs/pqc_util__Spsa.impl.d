@@ -1,0 +1,1 @@
+lib/util/spsa.ml: Array List Rng

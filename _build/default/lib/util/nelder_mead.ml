@@ -1,0 +1,122 @@
+type options = {
+  max_evals : int;
+  xtol : float;
+  ftol : float;
+  initial_step : float;
+}
+
+let default_options =
+  { max_evals = 2000; xtol = 1e-6; ftol = 1e-9; initial_step = 0.25 }
+
+type result = {
+  x : float array;
+  f : float;
+  evals : int;
+  iterations : int;
+  history : float list;
+}
+
+(* Standard coefficients: reflection, expansion, contraction, shrink. *)
+let alpha = 1.0
+let gamma = 2.0
+let rho = 0.5
+let sigma = 0.5
+
+let minimize ?(options = default_options) ~f ~x0 () =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Nelder_mead.minimize: empty initial point";
+  let evals = ref 0 in
+  let eval x =
+    incr evals;
+    f x
+  in
+  (* Initial simplex: x0 plus a step along each coordinate. *)
+  let simplex =
+    Array.init (n + 1) (fun i ->
+        let x = Array.copy x0 in
+        if i > 0 then x.(i - 1) <- x.(i - 1) +. options.initial_step;
+        x)
+  in
+  let values = Array.map eval simplex in
+  let iterations = ref 0 in
+  let history = ref [] in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    let sx = Array.map (fun i -> simplex.(i)) idx in
+    let sv = Array.map (fun i -> values.(i)) idx in
+    Array.blit sx 0 simplex 0 (n + 1);
+    Array.blit sv 0 values 0 (n + 1)
+  in
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      (* All vertices except the worst. *)
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (simplex.(i).(j) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine c x coef =
+    Array.init n (fun j -> c.(j) +. (coef *. (x.(j) -. c.(j))))
+  in
+  let simplex_size () =
+    let best = simplex.(0) in
+    let worst_dist = ref 0.0 in
+    for i = 1 to n do
+      let d = ref 0.0 in
+      for j = 0 to n - 1 do
+        d := !d +. Float.abs (simplex.(i).(j) -. best.(j))
+      done;
+      if !d > !worst_dist then worst_dist := !d
+    done;
+    !worst_dist
+  in
+  order ();
+  let continue_ () =
+    !evals < options.max_evals
+    && simplex_size () > options.xtol
+    && Float.abs (values.(n) -. values.(0)) > options.ftol
+  in
+  while continue_ () do
+    incr iterations;
+    let c = centroid () in
+    let xr = combine c simplex.(n) (-.alpha) in
+    let fr = eval xr in
+    if fr < values.(0) then begin
+      (* Try to expand past the reflection. *)
+      let xe = combine c simplex.(n) (-.gamma) in
+      let fe = eval xe in
+      if fe < fr then begin
+        simplex.(n) <- xe;
+        values.(n) <- fe
+      end
+      else begin
+        simplex.(n) <- xr;
+        values.(n) <- fr
+      end
+    end
+    else if fr < values.(n - 1) then begin
+      simplex.(n) <- xr;
+      values.(n) <- fr
+    end
+    else begin
+      (* Contract toward the centroid; shrink on failure. *)
+      let xc = combine c simplex.(n) rho in
+      let fc = eval xc in
+      if fc < values.(n) then begin
+        simplex.(n) <- xc;
+        values.(n) <- fc
+      end
+      else
+        for i = 1 to n do
+          simplex.(i) <- combine simplex.(0) simplex.(i) sigma;
+          values.(i) <- eval simplex.(i)
+        done
+    end;
+    order ();
+    history := values.(0) :: !history
+  done;
+  { x = Array.copy simplex.(0); f = values.(0); evals = !evals;
+    iterations = !iterations; history = List.rev !history }

@@ -1,0 +1,28 @@
+(** Nelder–Mead derivative-free simplex minimizer.
+
+    The classical optimizer half of a variational algorithm: "typically, a
+    classical optimizer that is robust to small amounts of noise (e.g.
+    Nelder-Mead) is chosen" (paper Section 1).  Standard
+    reflection/expansion/contraction/shrink rules with adaptive step
+    bookkeeping; deterministic given the initial point. *)
+
+type options = {
+  max_evals : int;  (** Budget of objective evaluations. *)
+  xtol : float;  (** Simplex size convergence threshold. *)
+  ftol : float;  (** Objective spread convergence threshold. *)
+  initial_step : float;  (** Size of the initial simplex around x0. *)
+}
+
+val default_options : options
+
+type result = {
+  x : float array;  (** Best point found. *)
+  f : float;  (** Objective value at [x]. *)
+  evals : int;  (** Objective evaluations consumed. *)
+  iterations : int;  (** Simplex update steps. *)
+  history : float list;  (** Best-so-far objective after each iteration. *)
+}
+
+val minimize :
+  ?options:options -> f:(float array -> float) -> x0:float array -> unit ->
+  result

@@ -1,0 +1,60 @@
+type options = {
+  max_iters : int;
+  a : float;
+  c : float;
+  stability : float;
+  alpha : float;
+  gamma : float;
+  seed : int;
+}
+
+let default_options =
+  { max_iters = 300; a = 0.2; c = 0.15; stability = 20.0; alpha = 0.602;
+    gamma = 0.101; seed = 0 }
+
+type result = {
+  x : float array;
+  f : float;
+  best_x : float array;
+  evals : int;
+  history : float list;
+}
+
+let minimize ?(options = default_options) ~f ~x0 () =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Spsa.minimize: empty initial point";
+  let rng = Rng.create options.seed in
+  let x = Array.copy x0 in
+  let best_x = ref (Array.copy x0) in
+  let best_f = ref (f x0) in
+  let evals = ref 1 in
+  let history = ref [] in
+  for k = 1 to options.max_iters do
+    let ak =
+      options.a /. ((float_of_int k +. options.stability) ** options.alpha)
+    in
+    let ck = options.c /. (float_of_int k ** options.gamma) in
+    let delta = Array.init n (fun _ -> if Rng.bool rng then 1.0 else -1.0) in
+    let shift sign =
+      Array.init n (fun i -> x.(i) +. (sign *. ck *. delta.(i)))
+    in
+    let plus = shift 1.0 and minus = shift (-1.0) in
+    let f_plus = f plus and f_minus = f minus in
+    evals := !evals + 2;
+    let record point value =
+      if value < !best_f then begin
+        best_f := value;
+        best_x := Array.copy point
+      end
+    in
+    record plus f_plus;
+    record minus f_minus;
+    let scale = (f_plus -. f_minus) /. (2.0 *. ck) in
+    for i = 0 to n - 1 do
+      (* Rademacher perturbations: 1/delta_i = delta_i. *)
+      x.(i) <- x.(i) -. (ak *. scale *. delta.(i))
+    done;
+    history := !best_f :: !history
+  done;
+  { x; f = !best_f; best_x = !best_x; evals = !evals;
+    history = List.rev !history }

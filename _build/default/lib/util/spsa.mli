@@ -1,0 +1,31 @@
+(** Simultaneous Perturbation Stochastic Approximation (Spall 1992).
+
+    The other classical optimizer commonly paired with variational quantum
+    algorithms: each step estimates the full gradient from just two
+    objective evaluations along a random Rademacher direction, which makes
+    it well suited to noisy, expensive energy measurements.  Deterministic
+    given the seed. *)
+
+type options = {
+  max_iters : int;  (** Steps (each costs two objective evaluations). *)
+  a : float;  (** Step-size numerator. *)
+  c : float;  (** Perturbation-size numerator. *)
+  stability : float;  (** The 'A' offset damping early steps. *)
+  alpha : float;  (** Step-size decay exponent (standard 0.602). *)
+  gamma : float;  (** Perturbation decay exponent (standard 0.101). *)
+  seed : int;
+}
+
+val default_options : options
+
+type result = {
+  x : float array;  (** Final iterate. *)
+  f : float;  (** Objective at the best evaluated point. *)
+  best_x : float array;  (** Best evaluated point. *)
+  evals : int;
+  history : float list;  (** Best-so-far objective per iteration. *)
+}
+
+val minimize :
+  ?options:options -> f:(float array -> float) -> x0:float array -> unit ->
+  result

@@ -1,0 +1,42 @@
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let geometric_mean a =
+  assert (Array.length a > 0);
+  let log_sum = Array.fold_left (fun acc x -> acc +. log x) 0.0 a in
+  exp (log_sum /. float_of_int (Array.length a))
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let minimum a = Array.fold_left min a.(0) a
+let maximum a = Array.fold_left max a.(0) a
+
+let median a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  let n = Array.length b in
+  assert (n > 0);
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let argmin a =
+  assert (Array.length a > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(!best) then best := i
+  done;
+  !best
+
+let linspace lo hi n =
+  assert (n >= 2);
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> lo +. (float_of_int i *. step))
+
+let logspace lo hi n = Array.map (fun e -> 10.0 ** e) (linspace lo hi n)

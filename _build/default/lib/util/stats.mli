@@ -1,0 +1,29 @@
+(** Small summary-statistics helpers used by the benchmark harness and the
+    hyperparameter optimizer. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values (used for aggregate speedup
+    factors, which should be averaged multiplicatively). *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for arrays of length < 2. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val median : float array -> float
+(** Median (averages the two central elements for even lengths). *)
+
+val argmin : float array -> int
+(** Index of the smallest element (first occurrence). *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace lo hi n] is [n] evenly spaced points from [lo] to [hi]
+    inclusive. Requires [n >= 2]. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace lo hi n] is [n] points geometrically spaced from [10^lo] to
+    [10^hi] inclusive. *)

@@ -1,0 +1,37 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length t.headers in
+  let len = List.length cells in
+  if len > n then invalid_arg "Table.add_row: more cells than headers";
+  let padded = cells @ List.init (n - len) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let cell_f ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+
+let cell_x x = Printf.sprintf "%.2fx" x
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update_widths = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter update_widths rows;
+  let pad i c = c ^ String.make (widths.(i) - String.length c) ' ' in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let rule =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let body = function Separator -> rule | Cells cells -> line cells in
+  String.concat "\n" (rule :: line t.headers :: rule :: List.map body rows @ [ rule ])
+
+let print t = print_endline (render t)

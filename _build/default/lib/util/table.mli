@@ -1,0 +1,25 @@
+(** ASCII table rendering for the benchmark harness, so that regenerated
+    tables read like the paper's tables. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells, long rows raise. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 1). *)
+
+val cell_x : float -> string
+(** Format a speedup factor as e.g. ["2.15x"]. *)
+
+val render : t -> string
+(** Render with a header rule and aligned columns. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+lib/vqe/chemistry.ml: Array Complex Float List Pqc_linalg Pqc_quantum Pqc_util

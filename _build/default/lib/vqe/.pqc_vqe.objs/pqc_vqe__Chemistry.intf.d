@@ -1,0 +1,1 @@
+lib/vqe/chemistry.mli: Pqc_quantum

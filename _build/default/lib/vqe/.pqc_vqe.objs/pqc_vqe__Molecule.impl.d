@@ -1,0 +1,1 @@
+lib/vqe/molecule.ml: List String

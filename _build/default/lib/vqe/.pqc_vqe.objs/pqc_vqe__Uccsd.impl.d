@@ -1,0 +1,1 @@
+lib/vqe/uccsd.ml: Float List Molecule Pqc_quantum

@@ -1,0 +1,1 @@
+lib/vqe/uccsd.mli: Molecule Pqc_quantum

@@ -1,0 +1,1 @@
+lib/vqe/vqe.ml: Array List Pqc_quantum Pqc_util

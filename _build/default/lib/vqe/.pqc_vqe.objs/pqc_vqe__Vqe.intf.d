@@ -1,0 +1,1 @@
+lib/vqe/vqe.mli: Pqc_quantum

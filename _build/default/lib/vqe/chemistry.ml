@@ -1,0 +1,59 @@
+module Rng = Pqc_util.Rng
+module Cmat = Pqc_linalg.Cmat
+module Cvec = Pqc_linalg.Cvec
+module Pauli = Pqc_quantum.Pauli
+
+(* O'Malley et al., "Scalable quantum simulation of molecular energies",
+   PRX 6, 031007 (2016), Table 1 at R = 0.735 A (BK-reduced 2-qubit form). *)
+let h2 =
+  Pauli.of_strings 2
+    [ (-0.4804, "II"); (0.3435, "ZI"); (-0.4347, "IZ"); (0.5716, "ZZ");
+      (0.0910, "XX"); (0.0910, "YY") ]
+
+let synthetic ~seed ~n_qubits =
+  let rng = Rng.create seed in
+  let coeff () = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
+  let site op q =
+    let ops = Array.make n_qubits Pauli.I in
+    ops.(q) <- op;
+    (coeff (), ops)
+  in
+  let zz q =
+    let ops = Array.make n_qubits Pauli.I in
+    ops.(q) <- Pauli.Z;
+    ops.(q + 1) <- Pauli.Z;
+    (coeff (), ops)
+  in
+  Pauli.make n_qubits
+    (List.init n_qubits (site Pauli.Z)
+    @ List.init (n_qubits - 1) zz
+    @ List.init n_qubits (site Pauli.X))
+
+let ground_energy ?(iters = 3000) h =
+  assert (h.Pauli.n_qubits <= 10);
+  let dim = 1 lsl h.Pauli.n_qubits in
+  let m = Pauli.matrix h in
+  if h.Pauli.n_qubits <= 6 then
+    (* Small widths: exact Jacobi diagonalization. *)
+    Pqc_linalg.Eigen.smallest_eigenvalue m
+  else begin
+  (* Power iteration on (c I - H) converges to the smallest eigenvalue of H
+     when c upper-bounds the spectrum; sum of |coefficients| is such a
+     bound. *)
+  let c =
+    List.fold_left (fun acc t -> acc +. Float.abs t.Pauli.coeff) 0.0 h.Pauli.terms
+  in
+  let shifted = Cmat.sub (Cmat.scale { Complex.re = c; im = 0.0 } (Cmat.identity dim)) m in
+  let v = ref (Cvec.of_array (Array.init dim (fun k ->
+      { Complex.re = 1.0 /. sqrt (float_of_int dim) +. (0.01 *. float_of_int (k mod 3));
+        im = 0.0 })))
+  in
+  v := Cvec.normalize !v;
+  for _ = 1 to iters do
+    v := Cvec.normalize (Cmat.apply shifted !v)
+  done;
+    (* Rayleigh quotient of H at the converged vector. *)
+    (Cvec.dot !v (Cmat.apply m !v)).re
+  end
+
+let h2_exact_energy = ground_energy h2

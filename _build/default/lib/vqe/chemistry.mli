@@ -1,0 +1,25 @@
+module Pauli = Pqc_quantum.Pauli
+(** Qubit Hamiltonians for end-to-end VQE runs.
+
+    We have no PySCF, so only H2 — whose 2-qubit reduced Hamiltonian
+    coefficients are standard published values (O'Malley et al., PRX 2016,
+    at the 0.735 A equilibrium bond length) — gets a chemistry-accurate
+    operator.  Wider molecules use {!synthetic}, a seeded random 2-local
+    Hamiltonian: partial compilation and the variational loop only care
+    about the operator's structure, not its chemistry (see DESIGN.md). *)
+
+val h2 : Pauli.t
+(** The 2-qubit reduced H2 Hamiltonian (energies in Hartree). *)
+
+val h2_exact_energy : float
+(** Exact ground-state energy of {!h2} (dense diagonalization-free power
+    iteration, precomputed): about -1.851 Ha. *)
+
+val synthetic : seed:int -> n_qubits:int -> Pauli.t
+(** Random field + coupling Hamiltonian
+    sum_i h_i Z_i + sum_(i<i+1) J_i Z_i Z_{i+1} + sum_i g_i X_i with
+    coefficients uniform in [-1, 1]. *)
+
+val ground_energy : ?iters:int -> Pauli.t -> float
+(** Smallest eigenvalue via shifted power iteration on the dense matrix
+    (intended for small widths; asserts n <= 10). *)

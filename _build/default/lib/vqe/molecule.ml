@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  n_qubits : int;
+  n_singles : int;
+  n_doubles : int;
+}
+
+let n_params m = m.n_singles + m.n_doubles
+
+let h2 = { name = "H2"; n_qubits = 2; n_singles = 2; n_doubles = 1 }
+let lih = { name = "LiH"; n_qubits = 4; n_singles = 4; n_doubles = 4 }
+let beh2 = { name = "BeH2"; n_qubits = 6; n_singles = 6; n_doubles = 20 }
+let nah = { name = "NaH"; n_qubits = 8; n_singles = 8; n_doubles = 16 }
+let h2o = { name = "H2O"; n_qubits = 10; n_singles = 10; n_doubles = 82 }
+
+let all = [ h2; lih; beh2; nah; h2o ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun m -> String.lowercase_ascii m.name = lower) all

@@ -1,0 +1,29 @@
+(** The VQE benchmark molecules (paper Table 2).
+
+    Widths and parameter counts match the paper exactly; the split into
+    single and double excitations is synthetic (chosen so that
+    singles + doubles = the paper's parameter count), since we generate
+    UCCSD-{e structured} ansatz circuits rather than chemistry-accurate
+    ones — see DESIGN.md's substitution table. *)
+
+type t = {
+  name : string;
+  n_qubits : int;  (** Circuit width (Table 2). *)
+  n_singles : int;  (** Single-excitation parameters. *)
+  n_doubles : int;  (** Double-excitation parameters. *)
+}
+
+val n_params : t -> int
+(** [n_singles + n_doubles]; matches Table 2's "# of Params". *)
+
+val h2 : t
+val lih : t
+val beh2 : t
+val nah : t
+val h2o : t
+
+val all : t list
+(** The five benchmarks in Table 2 order. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by name. *)

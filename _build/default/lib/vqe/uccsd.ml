@@ -1,0 +1,119 @@
+module Gate = Pqc_quantum.Gate
+module Param = Pqc_quantum.Param
+module Circuit = Pqc_quantum.Circuit
+
+type axis = AX | AY
+
+let basis_in b q = function
+  | AX -> Circuit.Builder.add b Gate.H [ q ]
+  | AY -> Circuit.Builder.add b (Gate.Rx (Param.const (Float.pi /. 2.0))) [ q ]
+
+let basis_out b q = function
+  | AX -> Circuit.Builder.add b Gate.H [ q ]
+  | AY -> Circuit.Builder.add b (Gate.Rx (Param.const (-.Float.pi /. 2.0))) [ q ]
+
+let pauli_exponential ~n ~param support =
+  (match support with
+  | [] -> invalid_arg "Uccsd.pauli_exponential: empty support"
+  | _ :: _ -> ());
+  let qubits = List.map fst support in
+  if List.length (List.sort_uniq compare qubits) <> List.length qubits then
+    invalid_arg "Uccsd.pauli_exponential: duplicate support qubit";
+  let lo = List.fold_left min (List.hd qubits) qubits in
+  let hi = List.fold_left max (List.hd qubits) qubits in
+  let b = Circuit.Builder.create n in
+  List.iter (fun (q, ax) -> basis_in b q ax) support;
+  (* Jordan-Wigner-style parity ladder across the whole [lo, hi] range. *)
+  for q = lo to hi - 1 do
+    Circuit.Builder.add b Gate.CX [ q; q + 1 ]
+  done;
+  Circuit.Builder.add b (Gate.Rz param) [ hi ];
+  for q = hi - 1 downto lo do
+    Circuit.Builder.add b Gate.CX [ q; q + 1 ]
+  done;
+  List.iter (fun (q, ax) -> basis_out b q ax) support;
+  Circuit.Builder.to_circuit b
+
+let concat_exponentials n circuits =
+  let b = Circuit.Builder.create n in
+  List.iter (Circuit.Builder.add_circuit b) circuits;
+  Circuit.Builder.to_circuit b
+
+let single_excitation ~n ~param_index (i, a) =
+  let theta sign = Param.var ~scale:sign param_index in
+  concat_exponentials n
+    [ pauli_exponential ~n ~param:(theta 1.0) [ (i, AX); (a, AY) ];
+      pauli_exponential ~n ~param:(theta (-1.0)) [ (i, AY); (a, AX) ] ]
+
+(* The eight Pauli strings of a spin-conserving double excitation, with the
+   standard alternating signs; all share one theta. *)
+let double_strings =
+  [ ([ AX; AX; AX; AY ], 1.0); ([ AX; AX; AY; AX ], 1.0);
+    ([ AX; AY; AX; AX ], -1.0); ([ AY; AX; AX; AX ], -1.0);
+    ([ AY; AY; AY; AX ], -1.0); ([ AY; AY; AX; AY ], -1.0);
+    ([ AY; AX; AY; AY ], 1.0); ([ AX; AY; AY; AY ], 1.0) ]
+
+let double_excitation ~n ~param_index (i, j, a, b) =
+  let qs = [ i; j; a; b ] in
+  if List.length (List.sort_uniq compare qs) = 4 then begin
+    let blocks =
+      List.map
+        (fun (axes, sign) ->
+          let support = List.combine qs axes in
+          pauli_exponential ~n
+            ~param:(Param.var ~scale:(0.25 *. sign) param_index)
+            support)
+        double_strings
+    in
+    concat_exponentials n blocks
+  end
+  else
+    (* Narrow-molecule fallback (H2): the paired two-qubit double. *)
+    concat_exponentials n
+      [ pauli_exponential ~n ~param:(Param.var param_index) [ (i, AX); (b, AY) ];
+        pauli_exponential ~n
+          ~param:(Param.var ~scale:(-1.0) param_index)
+          [ (i, AY); (b, AX) ] ]
+
+(* Deterministic enumeration of k-combinations of [0, n), lexicographic,
+   cycling when the requested count exceeds C(n, k). *)
+let combinations n k =
+  let rec go start remaining =
+    if remaining = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun q -> List.map (fun rest -> q :: rest) (go (q + 1) (remaining - 1)))
+        (List.init (max 0 (n - start)) (fun i -> start + i))
+  in
+  go 0 k
+
+let cycle_nth l k = List.nth l (k mod List.length l)
+
+let ansatz (m : Molecule.t) =
+  let n = m.n_qubits in
+  let singles = combinations n 2 in
+  let doubles = if n >= 4 then combinations n 4 else [] in
+  let b = Circuit.Builder.create n in
+  let param = ref 0 in
+  for k = 0 to m.n_singles - 1 do
+    match cycle_nth singles k with
+    | [ i; a ] ->
+      Circuit.Builder.add_circuit b (single_excitation ~n ~param_index:!param (i, a));
+      incr param
+    | _ -> assert false
+  done;
+  for k = 0 to m.n_doubles - 1 do
+    (match doubles with
+    | [] ->
+      (* Width-2 molecule: paired double on the full register. *)
+      Circuit.Builder.add_circuit b
+        (double_excitation ~n ~param_index:!param (0, 0, 1, n - 1))
+    | _ :: _ ->
+      (match cycle_nth doubles k with
+      | [ i; j; a; bq ] ->
+        Circuit.Builder.add_circuit b
+          (double_excitation ~n ~param_index:!param (i, j, a, bq))
+      | _ -> assert false));
+    incr param
+  done;
+  Circuit.Builder.to_circuit b

@@ -1,0 +1,43 @@
+module Param = Pqc_quantum.Param
+module Circuit = Pqc_quantum.Circuit
+(** UCCSD-structured ansatz circuits.
+
+    The trotterized Unitary Coupled Cluster Single-Double ansatz is a
+    product of Pauli-string exponentials exp(-i theta_t / 2 P), one group
+    of strings per excitation, all strings of an excitation sharing the
+    same variational parameter theta_t.  Each exponential compiles to the
+    textbook pattern: per-qubit basis changes into the string's X/Y bases,
+    a CX ladder spanning the excitation's qubit range, Rz(theta) at the
+    bottom, then the mirror image.
+
+    Consequences the compiler exploits (and this generator reproduces):
+    parameters appear in strictly increasing, contiguous order (parameter
+    monotonicity, Section 7.1), and Rz(theta) gates are a small fraction
+    (5-8%) of all gates, so strict partial compilation sees deep Fixed
+    blocks (Section 6). *)
+
+type axis = AX | AY
+(** Basis of one qubit's factor in a Pauli string (Z factors arise only as
+    ladder intermediaries and need no basis change). *)
+
+val pauli_exponential :
+  n:int -> param:Param.t -> (int * axis) list -> Circuit.t
+(** [pauli_exponential ~n ~param support] builds exp(-i param/2 * P) where
+    P has the given X/Y factors (distinct qubits, at least one).  The CX
+    ladder runs through every qubit between the support's extremes,
+    matching Jordan-Wigner-style strings. *)
+
+val single_excitation : n:int -> param_index:int -> int * int -> Circuit.t
+(** Two strings (XY - YX pattern) sharing theta_[param_index]. *)
+
+val double_excitation :
+  n:int -> param_index:int -> int * int * int * int -> Circuit.t
+(** The eight-string double-excitation group sharing theta_[param_index]
+    (falls back to the two-string paired form when the molecule is too
+    narrow for four distinct qubits). *)
+
+val ansatz : Molecule.t -> Circuit.t
+(** Full UCCSD-structured ansatz: [n_singles] single excitations followed
+    by [n_doubles] double excitations, parameter indices in circuit order
+    (hence parameter-monotone); excitation supports enumerate qubit
+    combinations deterministically. *)

@@ -1,0 +1,46 @@
+module Rng = Pqc_util.Rng
+module Nelder_mead = Pqc_util.Nelder_mead
+module Pauli = Pqc_quantum.Pauli
+module Circuit = Pqc_quantum.Circuit
+module Statevec = Pqc_quantum.Statevec
+
+type result = {
+  energy : float;
+  theta : float array;
+  evaluations : int;
+  history : float list;
+}
+
+let run ?(max_evals = 1500) ?(seed = 11) ?(optimizer = `Nelder_mead)
+    ~hamiltonian ~ansatz () =
+  if Pauli.(hamiltonian.n_qubits) <> Circuit.n_qubits ansatz then
+    invalid_arg "Vqe.run: Hamiltonian/ansatz width mismatch";
+  let n_params =
+    match List.rev (Circuit.depends ansatz) with
+    | [] -> 0
+    | last :: _ -> last + 1
+  in
+  let rng = Rng.create seed in
+  let x0 =
+    Array.init n_params (fun _ -> Rng.uniform rng ~lo:(-0.1) ~hi:0.1)
+  in
+  let energy theta =
+    Pauli.expectation hamiltonian (Statevec.run ~theta ansatz)
+  in
+  if n_params = 0 then
+    { energy = energy [||]; theta = [||]; evaluations = 1; history = [] }
+  else
+    match optimizer with
+    | `Nelder_mead ->
+      let options =
+        { Nelder_mead.default_options with max_evals; initial_step = 0.15 }
+      in
+      let r = Nelder_mead.minimize ~options ~f:energy ~x0 () in
+      { energy = r.f; theta = r.x; evaluations = r.evals; history = r.history }
+    | `Spsa ->
+      let options =
+        { Pqc_util.Spsa.default_options with max_iters = max_evals / 2; seed }
+      in
+      let r = Pqc_util.Spsa.minimize ~options ~f:energy ~x0 () in
+      { energy = r.f; theta = r.best_x; evaluations = r.evals;
+        history = r.history }

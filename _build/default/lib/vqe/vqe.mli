@@ -1,0 +1,23 @@
+module Pauli = Pqc_quantum.Pauli
+module Circuit = Pqc_quantum.Circuit
+(** The end-to-end Variational Quantum Eigensolver loop (Section 4.1):
+    guess parameters, prepare the ansatz state (on the classical
+    state-vector simulator standing in for quantum hardware), measure
+    <H>, and let Nelder-Mead pick the next guess. *)
+
+type result = {
+  energy : float;  (** Best <H> reached. *)
+  theta : float array;  (** Parameters achieving it. *)
+  evaluations : int;
+      (** Number of variational iterations — each one would trigger a
+          recompilation on real hardware, which is exactly the latency
+          partial compilation attacks. *)
+  history : float list;  (** Best-so-far energy per optimizer step. *)
+}
+
+val run :
+  ?max_evals:int -> ?seed:int -> ?optimizer:[ `Nelder_mead | `Spsa ] ->
+  hamiltonian:Pauli.t -> ansatz:Circuit.t -> unit -> result
+(** Minimize the ansatz energy from a seeded random start ([optimizer]
+    defaults to [`Nelder_mead]; [`Spsa] trades precision for robustness to
+    measurement noise).  The ansatz width must match the Hamiltonian's. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Pqc_core Pqc_grape Pqc_pulse Pqc_qaoa Pqc_quantum Pqc_transpile Pqc_util Pqc_vqe QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_grape.ml: Alcotest Array Complex Float List Pqc_grape Pqc_linalg Pqc_pulse Pqc_quantum Pqc_transpile

@@ -1,0 +1,1 @@
+test/test_hyperopt.ml: Alcotest List Pqc_grape Pqc_hyperopt Pqc_quantum

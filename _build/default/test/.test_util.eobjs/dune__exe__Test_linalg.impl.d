@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Float Pqc_linalg Pqc_util QCheck QCheck_alcotest

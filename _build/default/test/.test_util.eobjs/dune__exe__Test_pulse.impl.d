@@ -1,0 +1,1 @@
+test/test_pulse.ml: Alcotest List Pqc_pulse Pqc_quantum String

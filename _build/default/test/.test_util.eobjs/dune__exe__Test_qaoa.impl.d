@@ -1,0 +1,1 @@
+test/test_qaoa.ml: Alcotest Float List Pqc_linalg Pqc_qaoa Pqc_quantum Pqc_transpile Pqc_util Printf QCheck QCheck_alcotest

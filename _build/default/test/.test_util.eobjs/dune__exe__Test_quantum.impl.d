@@ -1,0 +1,1 @@
+test/test_quantum.ml: Alcotest Array Complex Float List Pqc_linalg Pqc_qaoa Pqc_quantum Pqc_util Pqc_vqe QCheck QCheck_alcotest String

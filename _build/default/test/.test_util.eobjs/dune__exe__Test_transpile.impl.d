@@ -1,0 +1,1 @@
+test/test_transpile.ml: Alcotest Array Complex Float List Pqc_linalg Pqc_quantum Pqc_transpile Pqc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Pqc_util Printf QCheck QCheck_alcotest String

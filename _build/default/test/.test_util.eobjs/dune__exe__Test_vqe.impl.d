@@ -1,0 +1,1 @@
+test/test_vqe.ml: Alcotest Array Float Fun List Pqc_linalg Pqc_quantum Pqc_transpile Pqc_util Pqc_vqe Printf QCheck QCheck_alcotest

@@ -1,0 +1,165 @@
+module Param = Pqc_quantum.Param
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Gate_times = Pqc_pulse.Gate_times
+module Pulse = Pqc_pulse.Pulse
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_table1_values () =
+  check_float "Rz" 0.4 Gate_times.rz;
+  check_float "Rx" 2.5 Gate_times.rx;
+  check_float "H" 1.4 Gate_times.h;
+  check_float "CX" 3.8 Gate_times.cx;
+  check_float "SWAP" 7.4 Gate_times.swap
+
+let test_duration_lookup () =
+  check_float "rz gate" 0.4 (Gate_times.duration (Gate.Rz (Param.var 0)));
+  check_float "rx gate" 2.5 (Gate_times.duration (Gate.Rx (Param.const 0.1)));
+  check_float "x alias" 2.5 (Gate_times.duration Gate.X);
+  check_float "phase gates use rz" 0.4 (Gate_times.duration Gate.T);
+  check_float "cx" 3.8 (Gate_times.duration Gate.CX);
+  check_float "swap" 7.4 (Gate_times.duration Gate.Swap)
+
+let test_angle_independence () =
+  (* The lookup table is static: any angle costs the full rotation (the
+     fractional-gate inefficiency GRAPE exploits, Section 5.1). *)
+  check_float "small angle same price" (Gate_times.duration (Gate.Rx (Param.const 3.0)))
+    (Gate_times.duration (Gate.Rx (Param.const 0.001)))
+
+let test_derived_durations () =
+  check_float "ry = rz rx rz" (2.5 +. 0.8) (Gate_times.duration (Gate.Ry (Param.const 1.0)));
+  check_float "cz = h cx h" (3.8 +. 2.8) (Gate_times.duration Gate.CZ)
+
+let test_circuit_duration_serial () =
+  let c = Circuit.of_gates 2 [ (Gate.H, [0]); (Gate.CX, [0;1]); (Gate.Rz (Param.const 1.0), [1]) ] in
+  check_float "serial chain" (1.4 +. 3.8 +. 0.4) (Gate_times.circuit_duration c)
+
+let test_circuit_duration_parallel () =
+  let c = Circuit.of_gates 2 [ (Gate.H, [0]); (Gate.Rx (Param.const 1.0), [1]) ] in
+  check_float "parallel max" 2.5 (Gate_times.circuit_duration c)
+
+let test_table_rows () =
+  Alcotest.(check int) "five rows" 5 (List.length Gate_times.table);
+  Alcotest.(check bool) "has swap row" true
+    (List.mem_assoc "SWAP" Gate_times.table)
+
+let test_pulse_concat () =
+  let s1 = Pulse.Lookup { gate_name = "h"; duration = 1.4 } in
+  let s2 = Pulse.Optimized { label = "blk"; duration = 10.0; samples = None } in
+  let p = Pulse.concat (Pulse.of_segments [ s1 ]) (Pulse.of_segments [ s2 ]) in
+  check_float "duration" 11.4 p.duration;
+  Alcotest.(check int) "segments" 2 (List.length p.segments)
+
+let test_pulse_append () =
+  let p = Pulse.append Pulse.empty (Pulse.Lookup { gate_name = "cx"; duration = 3.8 }) in
+  check_float "append" 3.8 p.duration
+
+let test_lookup_gate_segment () =
+  let i = { Circuit.gate = Gate.CX; qubits = [| 0; 1 |] } in
+  match Pulse.lookup_gate i with
+  | Pulse.Lookup { gate_name; duration } ->
+    Alcotest.(check string) "name" "cx" gate_name;
+    check_float "duration" 3.8 duration
+  | Pulse.Optimized _ -> Alcotest.fail "expected lookup segment"
+
+let test_segment_duration () =
+  check_float "lookup" 1.4 (Pulse.segment_duration (Pulse.Lookup { gate_name = "h"; duration = 1.4 }));
+  check_float "optimized" 5.0
+    (Pulse.segment_duration (Pulse.Optimized { label = "x"; duration = 5.0; samples = None }))
+
+let test_empty_pulse () =
+  check_float "empty" 0.0 Pulse.empty.duration;
+  Alcotest.(check int) "no segments" 0 (List.length Pulse.empty.segments)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_json_export () =
+  let p =
+    Pulse.of_segments
+      [ Pulse.Lookup { gate_name = "h"; duration = 1.4 };
+        Pulse.Optimized
+          { label = "blk"; duration = 2.0;
+            samples = Some { Pulse.dt = 1.0; controls = [| [| 0.5; -0.25 |] |] } } ]
+  in
+  let json = Pulse.to_json p in
+  Alcotest.(check bool) "schedule key" true (contains json "\"schedule\"");
+  Alcotest.(check bool) "names present" true (contains json "\"name\":\"h\"");
+  Alcotest.(check bool) "t0 accumulates" true (contains json "\"t0\":1.400");
+  Alcotest.(check bool) "samples present" true (contains json "[0.50000,-0.25000]");
+  Alcotest.(check bool) "total duration" true (contains json "\"total_duration\":3.400")
+
+let test_json_escaping () =
+  let p = Pulse.of_segments [ Pulse.Lookup { gate_name = "a\"b"; duration = 1.0 } ] in
+  Alcotest.(check bool) "quotes escaped" true (contains (Pulse.to_json p) "a\\\"b")
+
+(* --- Decoherence --- *)
+
+module Decoherence = Pqc_pulse.Decoherence
+
+let test_decoherence_zero_duration () =
+  check_float "P(0) = 1" 1.0 (Decoherence.success_probability ~n_qubits:4 0.0)
+
+let test_decoherence_monotone () =
+  let p1 = Decoherence.success_probability ~n_qubits:2 1000.0 in
+  let p2 = Decoherence.success_probability ~n_qubits:2 2000.0 in
+  Alcotest.(check bool) "longer pulses decohere more" true (p2 < p1);
+  Alcotest.(check bool) "in (0,1]" true (p2 > 0.0 && p1 <= 1.0)
+
+let test_decoherence_width () =
+  let narrow = Decoherence.success_probability ~n_qubits:2 1000.0 in
+  let wide = Decoherence.success_probability ~n_qubits:8 1000.0 in
+  Alcotest.(check bool) "more qubits decohere more" true (wide < narrow)
+
+let test_decoherence_known_value () =
+  (* exp(-1 * 20000 / 20000) = 1/e. *)
+  check_float "1/e" (exp (-1.0))
+    (Decoherence.success_probability ~n_qubits:1 Decoherence.default_t2_ns)
+
+let test_advantage_amplifies () =
+  (* A 2x pulse speedup gives more than 2x success-probability advantage
+     once the baseline is deep into the exponential decay. *)
+  let adv =
+    Decoherence.advantage ~n_qubits:6 ~baseline_ns:5000.0 2500.0
+  in
+  Alcotest.(check bool) "advantage > 1" true (adv > 1.0);
+  check_float "exact ratio" (exp (6.0 *. 2500.0 /. Decoherence.default_t2_ns)) adv
+
+let test_advantage_identity () =
+  check_float "same duration, no advantage" 1.0
+    (Decoherence.advantage ~n_qubits:3 ~baseline_ns:800.0 800.0)
+
+let test_decoherence_rejects_negative () =
+  Alcotest.(check bool) "negative duration" true
+    (try ignore (Decoherence.success_probability ~n_qubits:1 (-1.0)); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "pulse"
+    [ ( "gate-times",
+        [ Alcotest.test_case "table 1 values" `Quick test_table1_values;
+          Alcotest.test_case "duration lookup" `Quick test_duration_lookup;
+          Alcotest.test_case "angle independence" `Quick test_angle_independence;
+          Alcotest.test_case "derived durations" `Quick test_derived_durations;
+          Alcotest.test_case "serial circuit" `Quick test_circuit_duration_serial;
+          Alcotest.test_case "parallel circuit" `Quick test_circuit_duration_parallel;
+          Alcotest.test_case "table rows" `Quick test_table_rows ] );
+      ( "pulse",
+        [ Alcotest.test_case "concat" `Quick test_pulse_concat;
+          Alcotest.test_case "append" `Quick test_pulse_append;
+          Alcotest.test_case "lookup segment" `Quick test_lookup_gate_segment;
+          Alcotest.test_case "segment duration" `Quick test_segment_duration;
+          Alcotest.test_case "empty" `Quick test_empty_pulse;
+          Alcotest.test_case "json export" `Quick test_json_export;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping ] );
+      ( "decoherence",
+        [ Alcotest.test_case "zero duration" `Quick test_decoherence_zero_duration;
+          Alcotest.test_case "monotone in duration" `Quick test_decoherence_monotone;
+          Alcotest.test_case "monotone in width" `Quick test_decoherence_width;
+          Alcotest.test_case "known value" `Quick test_decoherence_known_value;
+          Alcotest.test_case "advantage amplifies" `Quick test_advantage_amplifies;
+          Alcotest.test_case "advantage identity" `Quick test_advantage_identity;
+          Alcotest.test_case "rejects negative" `Quick test_decoherence_rejects_negative ] ) ]

@@ -1,0 +1,199 @@
+module Rng = Pqc_util.Rng
+module Cvec = Pqc_linalg.Cvec
+module Circuit = Pqc_quantum.Circuit
+module Statevec = Pqc_quantum.Statevec
+module Slice = Pqc_transpile.Slice
+module Graph = Pqc_qaoa.Graph
+module Maxcut = Pqc_qaoa.Maxcut
+module Qaoa = Pqc_qaoa.Qaoa
+
+(* --- Graph --- *)
+
+let test_graph_validation () =
+  Alcotest.(check bool) "self loop" true
+    (try ignore (Graph.make 3 [ (1, 1) ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate" true
+    (try ignore (Graph.make 3 [ (0, 1); (1, 0) ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "range" true
+    (try ignore (Graph.make 3 [ (0, 5) ]); false with Invalid_argument _ -> true)
+
+let test_graph_normalization () =
+  let g = Graph.make 3 [ (2, 0) ] in
+  Alcotest.(check bool) "normalized" true (g.Graph.edges = [ (0, 2) ])
+
+let test_clique_and_cycle () =
+  Alcotest.(check int) "K4 edges" 6 (Graph.n_edges (Graph.clique 4));
+  Alcotest.(check int) "C5 edges" 5 (Graph.n_edges (Graph.cycle 5));
+  Alcotest.(check bool) "C5 2-regular" true (Graph.is_regular (Graph.cycle 5) ~degree:2)
+
+let prop_regular_graphs =
+  QCheck.Test.make ~name:"random 3-regular graphs are 3-regular" ~count:30
+    QCheck.(pair (int_range 0 100_000) (int_range 0 1))
+    (fun (seed, size) ->
+      let n = if size = 0 then 6 else 8 in
+      let rng = Rng.create seed in
+      let g = Graph.random_regular rng ~degree:3 n in
+      Graph.is_regular g ~degree:3 && g.Graph.n = n)
+
+let test_regular_rejects_odd () =
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "odd degree*n" true
+    (try ignore (Graph.random_regular rng ~degree:3 5); false
+     with Invalid_argument _ -> true)
+
+let test_erdos_renyi_determinism () =
+  let a = Graph.erdos_renyi (Rng.create 7) ~p:0.5 6 in
+  let b = Graph.erdos_renyi (Rng.create 7) ~p:0.5 6 in
+  Alcotest.(check bool) "same edges" true (a.Graph.edges = b.Graph.edges)
+
+let test_erdos_renyi_extremes () =
+  let rng = Rng.create 3 in
+  Alcotest.(check int) "p=0 empty" 0 (Graph.n_edges (Graph.erdos_renyi rng ~p:0.0 6));
+  Alcotest.(check int) "p=1 complete" 15 (Graph.n_edges (Graph.erdos_renyi rng ~p:1.0 6))
+
+let test_degree () =
+  let g = Graph.make 4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check int) "star center" 3 (Graph.degree g 0);
+  Alcotest.(check int) "leaf" 1 (Graph.degree g 2)
+
+(* --- Maxcut --- *)
+
+let test_cut_value_square () =
+  let square = Graph.cycle 4 in
+  (* Alternating assignment 0101 cuts all 4 edges. *)
+  Alcotest.(check int) "alternating" 4 (Maxcut.cut_value square 0b0101);
+  Alcotest.(check int) "uniform" 0 (Maxcut.cut_value square 0b0000)
+
+let test_optimum_known () =
+  Alcotest.(check int) "C4" 4 (Maxcut.optimum (Graph.cycle 4));
+  Alcotest.(check int) "K4" 4 (Maxcut.optimum (Graph.clique 4));
+  Alcotest.(check int) "C5" 4 (Maxcut.optimum (Graph.cycle 5))
+
+let prop_hamiltonian_diagonal_values =
+  QCheck.Test.make ~name:"cost Hamiltonian basis expectation = cut value" ~count:50
+    QCheck.(pair (int_range 0 100_000) (int_range 0 63))
+    (fun (seed, assignment) ->
+      let rng = Rng.create seed in
+      let g = Graph.erdos_renyi rng ~p:0.5 6 in
+      let v = Cvec.basis 64 assignment in
+      Float.abs
+        (Maxcut.expected_cut g v -. float_of_int (Maxcut.cut_value g assignment))
+      < 1e-9)
+
+let prop_optimum_is_max =
+  QCheck.Test.make ~name:"optimum dominates random assignments" ~count:30
+    QCheck.(pair (int_range 0 100_000) (int_range 0 255))
+    (fun (seed, assignment) ->
+      let rng = Rng.create seed in
+      let g = Graph.erdos_renyi rng ~p:0.5 8 in
+      Maxcut.cut_value g assignment <= Maxcut.optimum g)
+
+let prop_hamiltonian_shift =
+  QCheck.Test.make ~name:"cost operator constant term = |E|/2" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Graph.erdos_renyi rng ~p:0.5 6 in
+      Float.abs
+        (Pqc_quantum.Pauli.identity_coefficient (Maxcut.hamiltonian g)
+        -. (float_of_int (Graph.n_edges g) /. 2.0))
+      < 1e-12)
+
+(* --- QAOA circuits --- *)
+
+let test_circuit_structure () =
+  let g = Graph.cycle 4 in
+  let c = Qaoa.circuit g ~p:2 in
+  Alcotest.(check int) "width" 4 (Circuit.n_qubits c);
+  Alcotest.(check int) "2p parameters" 4 (List.length (Circuit.depends c));
+  (* H layer + per round (3 gates per edge + n mixers). *)
+  Alcotest.(check int) "gate count" (4 + (2 * ((3 * 4) + 4))) (Circuit.length c)
+
+let test_circuit_monotone () =
+  let g = Graph.cycle 4 in
+  Alcotest.(check bool) "monotone" true (Slice.is_monotone (Qaoa.circuit g ~p:3))
+
+let test_circuit_rejects_bad_p () =
+  Alcotest.(check bool) "p=0" true
+    (try ignore (Qaoa.circuit (Graph.cycle 4) ~p:0); false
+     with Invalid_argument _ -> true)
+
+let test_param_indices () =
+  Alcotest.(check int) "gamma round 0" 0 (Qaoa.gamma_index ~round:0);
+  Alcotest.(check int) "beta round 0" 1 (Qaoa.beta_index ~round:0);
+  Alcotest.(check int) "gamma round 3" 6 (Qaoa.gamma_index ~round:3);
+  Alcotest.(check int) "n_params" 8 (Qaoa.n_params ~p:4)
+
+let test_zero_angles_give_uniform_cut () =
+  (* gamma = beta = 0: the state stays uniform; expected cut = |E| / 2. *)
+  let g = Graph.cycle 4 in
+  let c = Qaoa.circuit g ~p:1 in
+  let psi = Statevec.run ~theta:[| 0.0; 0.0 |] c in
+  Alcotest.(check (float 1e-9)) "uniform cut" 2.0 (Maxcut.expected_cut g psi)
+
+let test_qaoa_theta_fraction () =
+  (* Section 6: parametrized gates are 15-28% of QAOA circuits, limiting
+     strict partial compilation. *)
+  let rng = Rng.create 3 in
+  let g = Graph.random_regular rng ~degree:3 6 in
+  let c = Qaoa.circuit g ~p:4 in
+  let frac = 1.0 -. Slice.fixed_gate_fraction c in
+  (* The paper's 15-28% is measured after mapping inserts SWAPs; the raw
+     circuit runs a little higher. *)
+  Alcotest.(check bool) "theta-heavy" true (frac > 0.15 && frac < 0.50)
+
+(* --- end-to-end --- *)
+
+let test_qaoa_improves_over_uniform () =
+  let rng = Rng.create 11 in
+  let g = Graph.random_regular rng ~degree:3 6 in
+  let uniform_cut = float_of_int (Graph.n_edges g) /. 2.0 in
+  let o = Qaoa.optimize ~max_evals:300 g ~p:2 in
+  Alcotest.(check bool) "beats uniform superposition" true (o.expected_cut > uniform_cut);
+  Alcotest.(check bool) "ratio sane" true
+    (o.approximation_ratio > 0.5 && o.approximation_ratio <= 1.0 +. 1e-9)
+
+let test_qaoa_p1_ratio () =
+  (* At p = 1 QAOA MAXCUT guarantees >= 69% of optimal in expectation
+     (Farhi et al.); our optimizer should find at least that. *)
+  let o = Qaoa.optimize ~max_evals:400 (Graph.cycle 4) ~p:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.3f >= 0.69" o.approximation_ratio)
+    true (o.approximation_ratio >= 0.69)
+
+let test_qaoa_deeper_p_no_worse () =
+  let rng = Rng.create 13 in
+  let g = Graph.random_regular rng ~degree:3 6 in
+  let o1 = Qaoa.optimize ~max_evals:400 ~seed:2 g ~p:1 in
+  let o3 = Qaoa.optimize ~max_evals:900 ~seed:2 g ~p:3 in
+  Alcotest.(check bool) "p=3 at least p=1 - eps" true
+    (o3.expected_cut >= o1.expected_cut -. 0.15)
+
+let () =
+  Alcotest.run "qaoa"
+    [ ( "graph",
+        [ Alcotest.test_case "validation" `Quick test_graph_validation;
+          Alcotest.test_case "normalization" `Quick test_graph_normalization;
+          Alcotest.test_case "clique and cycle" `Quick test_clique_and_cycle;
+          Alcotest.test_case "regular rejects odd" `Quick test_regular_rejects_odd;
+          Alcotest.test_case "erdos determinism" `Quick test_erdos_renyi_determinism;
+          Alcotest.test_case "erdos extremes" `Quick test_erdos_renyi_extremes;
+          Alcotest.test_case "degree" `Quick test_degree;
+          QCheck_alcotest.to_alcotest prop_regular_graphs ] );
+      ( "maxcut",
+        [ Alcotest.test_case "cut value" `Quick test_cut_value_square;
+          Alcotest.test_case "known optima" `Quick test_optimum_known;
+          QCheck_alcotest.to_alcotest prop_hamiltonian_diagonal_values;
+          QCheck_alcotest.to_alcotest prop_optimum_is_max;
+          QCheck_alcotest.to_alcotest prop_hamiltonian_shift ] );
+      ( "circuit",
+        [ Alcotest.test_case "structure" `Quick test_circuit_structure;
+          Alcotest.test_case "monotone" `Quick test_circuit_monotone;
+          Alcotest.test_case "rejects p=0" `Quick test_circuit_rejects_bad_p;
+          Alcotest.test_case "param indices" `Quick test_param_indices;
+          Alcotest.test_case "zero angles uniform" `Quick test_zero_angles_give_uniform_cut;
+          Alcotest.test_case "theta fraction" `Quick test_qaoa_theta_fraction ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "improves over uniform" `Quick test_qaoa_improves_over_uniform;
+          Alcotest.test_case "p=1 ratio bound" `Quick test_qaoa_p1_ratio;
+          Alcotest.test_case "deeper p no worse" `Slow test_qaoa_deeper_p_no_worse ] ) ]

@@ -1,0 +1,516 @@
+module Rng = Pqc_util.Rng
+module Cmat = Pqc_linalg.Cmat
+module Unitary = Pqc_linalg.Unitary
+module Param = Pqc_quantum.Param
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Statevec = Pqc_quantum.Statevec
+module Pass = Pqc_transpile.Pass
+module Schedule = Pqc_transpile.Schedule
+module Topology = Pqc_transpile.Topology
+module Route = Pqc_transpile.Route
+module Block = Pqc_transpile.Block
+module Slice = Pqc_transpile.Slice
+
+let random_circuit rng n len =
+  let b = Circuit.Builder.create n in
+  for _ = 1 to len do
+    let q = Rng.int rng n in
+    match Rng.int rng 7 with
+    | 0 -> Circuit.Builder.add b Gate.H [ q ]
+    | 1 -> Circuit.Builder.add b (Gate.Rx (Param.const (Rng.uniform rng ~lo:(-3.0) ~hi:3.0))) [ q ]
+    | 2 -> Circuit.Builder.add b (Gate.Rz (Param.const (Rng.uniform rng ~lo:(-3.0) ~hi:3.0))) [ q ]
+    | 3 -> Circuit.Builder.add b Gate.T [ q ]
+    | 4 -> Circuit.Builder.add b Gate.X [ q ]
+    | _ when n >= 2 ->
+      let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+      Circuit.Builder.add b Gate.CX [ q; q2 ]
+    | _ -> Circuit.Builder.add b Gate.H [ q ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* A parametrized, parameter-monotone circuit in the UCCSD/QAOA mold. *)
+let random_variational rng n n_params =
+  let b = Circuit.Builder.create n in
+  for t = 0 to n_params - 1 do
+    for _ = 1 to 1 + Rng.int rng 4 do
+      let q = Rng.int rng n in
+      match Rng.int rng 3 with
+      | 0 -> Circuit.Builder.add b Gate.H [ q ]
+      | 1 when n >= 2 ->
+        let q2 = (q + 1) mod n in
+        Circuit.Builder.add b Gate.CX [ q; q2 ]
+      | _ -> Circuit.Builder.add b (Gate.Rx (Param.const 0.4)) [ q ]
+    done;
+    Circuit.Builder.add b (Gate.Rz (Param.var t)) [ Rng.int rng n ]
+  done;
+  Circuit.Builder.to_circuit b
+
+let unit_dur (_ : Circuit.instr) = 1.0
+
+(* --- Pass --- *)
+
+let test_merge_rx () =
+  let c = Circuit.of_gates 1 [ (Gate.Rx (Param.const 0.5), [0]); (Gate.Rx (Param.const 0.7), [0]) ] in
+  let o = Pass.optimize c in
+  Alcotest.(check int) "merged to one" 1 (Circuit.length o);
+  match (Circuit.instr o 0).gate with
+  | Gate.Rx p -> Alcotest.(check (float 1e-12)) "sum" 1.2 (Param.bind p [||])
+  | _ -> Alcotest.fail "expected rx"
+
+let test_cancel_hh () =
+  let c = Circuit.of_gates 1 [ (Gate.H, [0]); (Gate.H, [0]) ] in
+  Alcotest.(check int) "HH cancels" 0 (Circuit.length (Pass.optimize c))
+
+let test_cancel_cxcx () =
+  let c = Circuit.of_gates 2 [ (Gate.CX, [0;1]); (Gate.CX, [0;1]) ] in
+  Alcotest.(check int) "CXCX cancels" 0 (Circuit.length (Pass.optimize c))
+
+let test_cancel_s_sdg () =
+  let c = Circuit.of_gates 1 [ (Gate.S, [0]); (Gate.Sdg, [0]) ] in
+  Alcotest.(check int) "S Sdg cancels" 0 (Circuit.length (Pass.optimize c))
+
+let test_merge_through_cx_control () =
+  (* Rz on the control commutes through CX: the two Rz merge. *)
+  let c = Circuit.of_gates 2
+    [ (Gate.Rz (Param.const 0.3), [0]); (Gate.CX, [0;1]); (Gate.Rz (Param.const 0.4), [0]) ] in
+  let o = Pass.optimize c in
+  Alcotest.(check int) "merged across CX" 2 (Circuit.length o)
+
+let test_merge_through_cx_target_rx () =
+  let c = Circuit.of_gates 2
+    [ (Gate.Rx (Param.const 0.3), [1]); (Gate.CX, [0;1]); (Gate.Rx (Param.const 0.4), [1]) ] in
+  let o = Pass.optimize c in
+  Alcotest.(check int) "rx merged across CX target" 2 (Circuit.length o)
+
+let test_no_merge_blocked () =
+  (* H on the target blocks Rz commutation. *)
+  let c = Circuit.of_gates 1
+    [ (Gate.Rz (Param.const 0.3), [0]); (Gate.H, [0]); (Gate.Rz (Param.const 0.4), [0]) ] in
+  Alcotest.(check int) "blocked" 3 (Circuit.length (Pass.optimize c))
+
+let test_symbolic_merge () =
+  let c = Circuit.of_gates 1
+    [ (Gate.Rz (Param.var 0), [0]); (Gate.Rz (Param.var 0), [0]) ] in
+  let o = Pass.optimize c in
+  Alcotest.(check int) "t0+t0 merges" 1 (Circuit.length o);
+  let c2 = Circuit.of_gates 1
+    [ (Gate.Rz (Param.var 0), [0]); (Gate.Rz (Param.var 1), [0]) ] in
+  Alcotest.(check int) "t0+t1 does not merge" 2 (Circuit.length (Pass.optimize c2))
+
+let test_symbolic_cancel () =
+  let c = Circuit.of_gates 1
+    [ (Gate.Rz (Param.var 0), [0]); (Gate.Rz (Param.var ~scale:(-1.0) 0), [0]) ] in
+  Alcotest.(check int) "t0 - t0 cancels" 0 (Circuit.length (Pass.optimize c))
+
+let test_drop_zero_rotation () =
+  let c = Circuit.of_gates 1 [ (Gate.Rx (Param.const 0.0), [0]); (Gate.H, [0]) ] in
+  Alcotest.(check int) "zero rotation dropped" 1 (Circuit.length (Pass.optimize c))
+
+let test_drop_two_pi_rotation () =
+  let c = Circuit.of_gates 1 [ (Gate.Rz (Param.const (2.0 *. Float.pi)), [0]) ] in
+  Alcotest.(check int) "2pi rotation dropped" 0 (Circuit.length (Pass.optimize c))
+
+let prop_optimize_preserves_unitary =
+  QCheck.Test.make ~name:"optimize preserves unitary (up to phase)" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 3 25 in
+      Unitary.equal_up_to_phase ~tol:1e-7 (Circuit.unitary c)
+        (Circuit.unitary (Pass.optimize c)))
+
+let prop_optimize_idempotent =
+  QCheck.Test.make ~name:"optimize idempotent" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let o = Pass.optimize (random_circuit rng 3 20) in
+      Circuit.length (Pass.optimize o) = Circuit.length o)
+
+let prop_optimize_never_grows =
+  QCheck.Test.make ~name:"optimize never grows the circuit" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 4 30 in
+      Circuit.length (Pass.optimize c) <= Circuit.length c)
+
+(* --- Schedule --- *)
+
+let test_schedule_serial () =
+  let c = Circuit.of_gates 1 [ (Gate.H, [0]); (Gate.H, [0]); (Gate.H, [0]) ] in
+  Alcotest.(check (float 1e-12)) "serial" 3.0 (Schedule.critical_path ~duration:unit_dur c)
+
+let test_schedule_parallel () =
+  let c = Circuit.of_gates 3 [ (Gate.H, [0]); (Gate.H, [1]); (Gate.H, [2]) ] in
+  Alcotest.(check (float 1e-12)) "parallel" 1.0 (Schedule.critical_path ~duration:unit_dur c)
+
+let test_schedule_dependencies () =
+  let c = Circuit.of_gates 2 [ (Gate.H, [0]); (Gate.CX, [0;1]); (Gate.H, [1]) ] in
+  let s = Schedule.schedule ~duration:unit_dur c in
+  Alcotest.(check (float 1e-12)) "makespan" 3.0 s.makespan;
+  Alcotest.(check (float 1e-12)) "cx starts after h" 1.0 s.entries.(1).start_time
+
+let test_schedule_weighted () =
+  let dur (i : Circuit.instr) = if Gate.name i.gate = "cx" then 4.0 else 1.5 in
+  let c = Circuit.of_gates 2 [ (Gate.H, [0]); (Gate.CX, [0;1]) ] in
+  Alcotest.(check (float 1e-12)) "weighted" 5.5 (Schedule.critical_path ~duration:dur c)
+
+let test_depth () =
+  let c = Circuit.of_gates 2 [ (Gate.H, [0]); (Gate.H, [1]); (Gate.CX, [0;1]) ] in
+  Alcotest.(check int) "depth" 2 (Schedule.depth c)
+
+let prop_makespan_bounds =
+  QCheck.Test.make ~name:"makespan within [max gate, sum of gates]" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 4 20 in
+      let dur (i : Circuit.instr) = 1.0 +. float_of_int (Array.length i.qubits) in
+      let span = Schedule.critical_path ~duration:dur c in
+      let total = Array.fold_left (fun acc i -> acc +. dur i) 0.0 (Circuit.instrs c) in
+      let longest = Array.fold_left (fun acc i -> Float.max acc (dur i)) 0.0 (Circuit.instrs c) in
+      span >= longest -. 1e-9 && span <= total +. 1e-9)
+
+let prop_schedule_start_times_respect_order =
+  QCheck.Test.make ~name:"per-qubit start times are ordered" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 3 20 in
+      let s = Schedule.schedule ~duration:unit_dur c in
+      let last_finish = Array.make 3 0.0 in
+      Array.for_all
+        (fun (e : Schedule.entry) ->
+          let ok =
+            Array.for_all
+              (fun q -> e.start_time >= last_finish.(q) -. 1e-9)
+              e.instr.qubits
+          in
+          Array.iter (fun q -> last_finish.(q) <- e.finish_time) e.instr.qubits;
+          ok)
+        s.entries)
+
+(* --- Topology --- *)
+
+let test_topology_line () =
+  let t = Topology.line 4 in
+  Alcotest.(check int) "edges" 3 (List.length (Topology.edges t));
+  Alcotest.(check bool) "0-1" true (Topology.connected t 0 1);
+  Alcotest.(check bool) "0-2 not" false (Topology.connected t 0 2)
+
+let test_topology_grid () =
+  let t = Topology.grid ~rows:2 ~cols:3 in
+  Alcotest.(check int) "edges" 7 (List.length (Topology.edges t));
+  Alcotest.(check bool) "vertical" true (Topology.connected t 0 3);
+  Alcotest.(check bool) "horizontal" true (Topology.connected t 0 1)
+
+let test_topology_clique () =
+  let t = Topology.clique 5 in
+  Alcotest.(check int) "edges" 10 (List.length (Topology.edges t))
+
+let test_shortest_path () =
+  let t = Topology.line 6 in
+  Alcotest.(check (list int)) "path" [ 1; 2; 3; 4 ] (Topology.shortest_path t 1 4);
+  Alcotest.(check (list int)) "self" [ 2 ] (Topology.shortest_path t 2 2)
+
+let test_shortest_path_disconnected () =
+  let t = Topology.of_edges 4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "disconnected" Not_found (fun () ->
+      ignore (Topology.shortest_path t 0 3))
+
+let test_topology_neighbors () =
+  let t = Topology.grid ~rows:2 ~cols:2 in
+  Alcotest.(check (list int)) "corner neighbors" [ 1; 2 ] (Topology.neighbors t 0)
+
+(* --- Route --- *)
+
+(* The routed circuit equals the original up to the final qubit placement:
+   undoing the permutation on the simulated amplitudes recovers the original
+   state. *)
+let routed_state_matches topo c =
+  let r = Route.route topo c in
+  let n = Circuit.n_qubits c in
+  let n_phys = Topology.n_qubits topo in
+  if n_phys <> n then true (* permutation check only for equal sizes *)
+  else begin
+    let psi = Statevec.run c in
+    let phi = Statevec.run r.routed in
+    (* Basis index of the physical state corresponding to logical index k. *)
+    let to_phys k =
+      let idx = ref 0 in
+      for q = 0 to n - 1 do
+        let bit = (k lsr (n - 1 - q)) land 1 in
+        if bit = 1 then idx := !idx lor (1 lsl (n - 1 - r.final_layout.(q)))
+      done;
+      !idx
+    in
+    let ok = ref true in
+    for k = 0 to (1 lsl n) - 1 do
+      let a = Pqc_linalg.Cvec.get psi k and b = Pqc_linalg.Cvec.get phi (to_phys k) in
+      if Complex.norm (Complex.sub a b) > 1e-9 then ok := false
+    done;
+    !ok
+  end
+
+let prop_route_legal =
+  QCheck.Test.make ~name:"routing produces topology-legal circuits" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 5 25 in
+      let topo = Topology.line 5 in
+      Route.is_legal topo (Route.route topo c).routed)
+
+let prop_route_semantics =
+  QCheck.Test.make ~name:"routing preserves state up to layout" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 4 18 in
+      routed_state_matches (Topology.line 4) c)
+
+let prop_route_grid_semantics =
+  QCheck.Test.make ~name:"grid routing preserves state up to layout" ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 4 15 in
+      routed_state_matches (Topology.grid ~rows:2 ~cols:2) c)
+
+let test_route_noop_when_legal () =
+  let topo = Topology.line 3 in
+  let c = Circuit.of_gates 3 [ (Gate.CX, [0;1]); (Gate.CX, [1;2]) ] in
+  let r = Route.route topo c in
+  Alcotest.(check int) "no swaps" 0 r.swaps_inserted;
+  Alcotest.(check int) "unchanged" 2 (Circuit.length r.routed)
+
+let test_route_inserts_swaps () =
+  let topo = Topology.line 3 in
+  let c = Circuit.of_gates 3 [ (Gate.CX, [0;2]) ] in
+  let r = Route.route topo c in
+  Alcotest.(check bool) "swaps inserted" true (r.swaps_inserted > 0);
+  Alcotest.(check bool) "legal" true (Route.is_legal topo r.routed)
+
+let prop_route_gate_accounting =
+  QCheck.Test.make ~name:"routed length = original + swaps" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 5 20 in
+      let r = Route.route (Topology.line 5) c in
+      Circuit.length r.routed = Circuit.length c + r.swaps_inserted)
+
+(* --- Block --- *)
+
+let prop_block_width_respected =
+  QCheck.Test.make ~name:"blocks respect max width" ~count:30
+    QCheck.(pair (int_range 0 100_000) (int_range 2 4))
+    (fun (seed, w) ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 6 30 in
+      List.for_all
+        (fun (b : Block.block) -> List.length b.qubits <= w)
+        (Block.partition ~max_width:w c))
+
+let prop_block_gate_conservation =
+  QCheck.Test.make ~name:"blocks conserve gate count" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 6 30 in
+      let blocks = Block.partition ~max_width:4 c in
+      List.fold_left (fun acc (b : Block.block) -> acc + Circuit.length b.circuit) 0 blocks
+      = Circuit.length c)
+
+let prop_block_concat_equivalent =
+  QCheck.Test.make ~name:"block concatenation preserves unitary" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 4 22 in
+      let blocks = Block.partition ~max_width:3 c in
+      let rebuilt = Block.concat_all ~n:4 blocks in
+      Cmat.max_abs_diff (Circuit.unitary rebuilt) (Circuit.unitary c) < 1e-9)
+
+let test_block_whole_circuit () =
+  let rng = Rng.create 17 in
+  let c = random_circuit rng 4 30 in
+  let blocks = Block.partition ~max_width:4 c in
+  Alcotest.(check int) "4q circuit = one block" 1 (List.length blocks)
+
+let test_block_extract () =
+  let c = Circuit.of_gates 6 [ (Gate.CX, [2;3]); (Gate.H, [3]) ] in
+  match Block.partition ~max_width:4 c with
+  | [ b ] ->
+    Alcotest.(check (list int)) "qubits" [ 2; 3 ] b.qubits;
+    let e = Block.extract b in
+    Alcotest.(check int) "width" 2 (Circuit.n_qubits e);
+    Alcotest.(check bool) "relabel" true ((Circuit.instr e 0).qubits = [| 0; 1 |])
+  | _ -> Alcotest.fail "expected one block"
+
+let test_block_depends () =
+  let c = Circuit.of_gates 2 [ (Gate.Rz (Param.var 3), [0]) ] in
+  match Block.partition ~max_width:2 c with
+  | [ b ] -> Alcotest.(check bool) "single param" true (Block.depends b = Some 3)
+  | _ -> Alcotest.fail "expected one block"
+
+(* --- Slice --- *)
+
+let test_strict_linear_alternation () =
+  let rng = Rng.create 21 in
+  let c = random_variational rng 3 4 in
+  let slices = Slice.strict_linear c in
+  List.iter
+    (fun (s : Slice.slice) ->
+      match s.var with
+      | Some _ -> Alcotest.(check int) "theta slices are singletons" 1 (Circuit.length s.circuit)
+      | None ->
+        Alcotest.(check int) "fixed slices have no params" 0
+          (Circuit.parametrized_gate_count s.circuit))
+    slices
+
+let prop_strict_linear_roundtrip =
+  QCheck.Test.make ~name:"strict_linear concat reproduces circuit" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 3 4 in
+      let rebuilt = Slice.concat_all ~n:3 (Slice.strict_linear c) in
+      let theta = [| 0.3; 1.1; 2.2; 0.9 |] in
+      Cmat.max_abs_diff
+        (Circuit.unitary ~theta rebuilt)
+        (Circuit.unitary ~theta c)
+      < 1e-9)
+
+let prop_strict_region_roundtrip =
+  QCheck.Test.make ~name:"strict regions concat is circuit-equivalent" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 3 4 in
+      let rebuilt = Slice.concat_all ~n:3 (Slice.strict c) in
+      let theta = [| 0.3; 1.1; 2.2; 0.9 |] in
+      Cmat.max_abs_diff
+        (Circuit.unitary ~theta rebuilt)
+        (Circuit.unitary ~theta c)
+      < 1e-9)
+
+let prop_strict_fixed_have_no_params =
+  QCheck.Test.make ~name:"strict region fixed slices have no params" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 4 5 in
+      List.for_all
+        (fun (s : Slice.slice) ->
+          match s.var with
+          | None -> Circuit.parametrized_gate_count s.circuit = 0
+          | Some _ -> Circuit.length s.circuit = 1)
+        (Slice.strict c))
+
+let test_monotone_detection () =
+  let mono = Circuit.of_gates 1
+    [ (Gate.Rz (Param.var 0), [0]); (Gate.Rz (Param.var 0), [0]); (Gate.Rz (Param.var 1), [0]) ] in
+  Alcotest.(check bool) "monotone" true (Slice.is_monotone mono);
+  let non = Circuit.of_gates 1
+    [ (Gate.Rz (Param.var 0), [0]); (Gate.Rz (Param.var 1), [0]); (Gate.Rz (Param.var 0), [0]) ] in
+  Alcotest.(check bool) "non-monotone" false (Slice.is_monotone non)
+
+let test_flexible_rejects_non_monotone () =
+  let non = Circuit.of_gates 1
+    [ (Gate.Rz (Param.var 0), [0]); (Gate.Rz (Param.var 1), [0]); (Gate.Rz (Param.var 0), [0]) ] in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Slice.flexible non); false with Invalid_argument _ -> true)
+
+let prop_flexible_single_var =
+  QCheck.Test.make ~name:"flexible slices depend on at most one var" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 3 5 in
+      List.for_all
+        (fun (s : Slice.slice) -> List.length (Circuit.depends s.circuit) <= 1)
+        (Slice.flexible c))
+
+let prop_flexible_roundtrip =
+  QCheck.Test.make ~name:"flexible concat reproduces circuit" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 3 5 in
+      let rebuilt = Slice.concat_all ~n:3 (Slice.flexible c) in
+      let theta = [| 0.3; 1.1; 2.2; 0.9; 1.7 |] in
+      Cmat.max_abs_diff (Circuit.unitary ~theta rebuilt) (Circuit.unitary ~theta c) < 1e-9)
+
+let prop_flexible_deeper_than_strict =
+  QCheck.Test.make ~name:"flexible has at most as many slices as strict" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 3 5 in
+      List.length (Slice.flexible c) <= List.length (Slice.strict_linear c))
+
+let test_fixed_gate_fraction () =
+  let c = Circuit.of_gates 1
+    [ (Gate.H, [0]); (Gate.H, [0]); (Gate.H, [0]); (Gate.Rz (Param.var 0), [0]) ] in
+  Alcotest.(check (float 1e-12)) "fraction" 0.75 (Slice.fixed_gate_fraction c)
+
+let () =
+  Alcotest.run "transpile"
+    [ ( "pass",
+        [ Alcotest.test_case "merge rx" `Quick test_merge_rx;
+          Alcotest.test_case "cancel HH" `Quick test_cancel_hh;
+          Alcotest.test_case "cancel CXCX" `Quick test_cancel_cxcx;
+          Alcotest.test_case "cancel S Sdg" `Quick test_cancel_s_sdg;
+          Alcotest.test_case "merge through CX control" `Quick test_merge_through_cx_control;
+          Alcotest.test_case "merge rx through CX target" `Quick test_merge_through_cx_target_rx;
+          Alcotest.test_case "blocked merge" `Quick test_no_merge_blocked;
+          Alcotest.test_case "symbolic merge" `Quick test_symbolic_merge;
+          Alcotest.test_case "symbolic cancel" `Quick test_symbolic_cancel;
+          Alcotest.test_case "drop zero rotation" `Quick test_drop_zero_rotation;
+          Alcotest.test_case "drop 2pi rotation" `Quick test_drop_two_pi_rotation;
+          QCheck_alcotest.to_alcotest prop_optimize_preserves_unitary;
+          QCheck_alcotest.to_alcotest prop_optimize_idempotent;
+          QCheck_alcotest.to_alcotest prop_optimize_never_grows ] );
+      ( "schedule",
+        [ Alcotest.test_case "serial" `Quick test_schedule_serial;
+          Alcotest.test_case "parallel" `Quick test_schedule_parallel;
+          Alcotest.test_case "dependencies" `Quick test_schedule_dependencies;
+          Alcotest.test_case "weighted" `Quick test_schedule_weighted;
+          Alcotest.test_case "depth" `Quick test_depth;
+          QCheck_alcotest.to_alcotest prop_makespan_bounds;
+          QCheck_alcotest.to_alcotest prop_schedule_start_times_respect_order ] );
+      ( "topology",
+        [ Alcotest.test_case "line" `Quick test_topology_line;
+          Alcotest.test_case "grid" `Quick test_topology_grid;
+          Alcotest.test_case "clique" `Quick test_topology_clique;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+          Alcotest.test_case "disconnected" `Quick test_shortest_path_disconnected;
+          Alcotest.test_case "neighbors" `Quick test_topology_neighbors ] );
+      ( "route",
+        [ Alcotest.test_case "noop when legal" `Quick test_route_noop_when_legal;
+          Alcotest.test_case "inserts swaps" `Quick test_route_inserts_swaps;
+          QCheck_alcotest.to_alcotest prop_route_legal;
+          QCheck_alcotest.to_alcotest prop_route_gate_accounting;
+          QCheck_alcotest.to_alcotest prop_route_semantics;
+          QCheck_alcotest.to_alcotest prop_route_grid_semantics ] );
+      ( "block",
+        [ Alcotest.test_case "whole 4q circuit" `Quick test_block_whole_circuit;
+          Alcotest.test_case "extract" `Quick test_block_extract;
+          Alcotest.test_case "depends" `Quick test_block_depends;
+          QCheck_alcotest.to_alcotest prop_block_width_respected;
+          QCheck_alcotest.to_alcotest prop_block_gate_conservation;
+          QCheck_alcotest.to_alcotest prop_block_concat_equivalent ] );
+      ( "slice",
+        [ Alcotest.test_case "strict linear alternation" `Quick test_strict_linear_alternation;
+          Alcotest.test_case "monotone detection" `Quick test_monotone_detection;
+          Alcotest.test_case "flexible rejects non-monotone" `Quick test_flexible_rejects_non_monotone;
+          Alcotest.test_case "fixed gate fraction" `Quick test_fixed_gate_fraction;
+          QCheck_alcotest.to_alcotest prop_strict_linear_roundtrip;
+          QCheck_alcotest.to_alcotest prop_strict_region_roundtrip;
+          QCheck_alcotest.to_alcotest prop_strict_fixed_have_no_params;
+          QCheck_alcotest.to_alcotest prop_flexible_single_var;
+          QCheck_alcotest.to_alcotest prop_flexible_roundtrip;
+          QCheck_alcotest.to_alcotest prop_flexible_deeper_than_strict ] ) ]
