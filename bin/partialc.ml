@@ -80,9 +80,12 @@ let run_compile benchmark strategy numeric seed =
     let table =
       Table.create [ "strategy"; "pulse (ns)"; "speedup"; "latency/iter"; "precompute" ]
     in
+    let degraded = ref [] in
     List.iter
       (fun s ->
         let r = Compiler.compile ~engine s prepared ~theta in
+        if Strategy.degraded r then
+          degraded := (Compiler.strategy_name s, r) :: !degraded;
         Table.add_row table
           [ r.Strategy.strategy;
             Table.cell_f r.Strategy.duration_ns;
@@ -91,6 +94,13 @@ let run_compile benchmark strategy numeric seed =
             Printf.sprintf "%.2f s" r.Strategy.precompute.Engine.seconds ])
       strategies;
     Table.print table;
+    List.iter
+      (fun (requested, r) ->
+        Printf.printf "degraded [%s -> %s]: %s\n" requested r.Strategy.strategy
+          (Strategy.degradation_report r))
+      (List.rev !degraded);
+    (* Save freshly optimized block pulses when PQC_PULSE_CACHE is set. *)
+    Engine.persist engine;
     0
 
 (* --- tables --- *)

@@ -30,25 +30,33 @@ let gate_based c ~theta =
   in
   { Strategy.strategy = "gate-based"; duration_ns = duration;
     precompute = Engine.zero_cost; per_iteration = Engine.zero_cost;
-    pulse = Pulse.of_segments segments }
+    pulse = Pulse.of_segments segments; degradations = [] }
 
 (* Blocks of a (bound) circuit as schedulable jobs with engine durations;
-   also accumulates the engine search cost. *)
+   also accumulates the engine search cost and any per-block fallbacks. *)
 let block_jobs ~max_width ~engine bound =
   let blocks = Block.partition ~max_width bound in
   let cost = ref Engine.zero_cost in
+  let degs = ref [] in
   let jobs =
     List.map
       (fun (b : Block.block) ->
+        let label = Printf.sprintf "block[%s]"
+            (String.concat "," (List.map string_of_int b.qubits))
+        in
         let r = Engine.search engine (Block.extract b) in
         cost := Engine.add_cost !cost r.Engine.search_cost;
-        { Strategy.label = Printf.sprintf "block[%s]"
-            (String.concat "," (List.map string_of_int b.qubits));
-          qubits = b.qubits;
-          duration = r.Engine.duration_ns })
+        (match r.Engine.fallback with
+        | Some reason ->
+          degs :=
+            { Resilience.stage = "engine:" ^ label; reason;
+              detail = "block search fell back to lookup-table duration" }
+            :: !degs
+        | None -> ());
+        { Strategy.label; qubits = b.qubits; duration = r.Engine.duration_ns })
       blocks
   in
-  (jobs, !cost)
+  (jobs, !cost, List.rev !degs)
 
 let pulse_of_jobs jobs =
   Pulse.of_segments
@@ -59,7 +67,7 @@ let pulse_of_jobs jobs =
 
 let full_grape ?(max_width = 4) ~engine c ~theta =
   let bound = Circuit.bind c theta in
-  let jobs, cost = block_jobs ~max_width ~engine bound in
+  let jobs, cost, degs = block_jobs ~max_width ~engine bound in
   { Strategy.strategy = "full-grape";
     duration_ns = Strategy.makespan ~n:(Circuit.n_qubits c) jobs;
     precompute = Engine.zero_cost;
@@ -67,25 +75,28 @@ let full_grape ?(max_width = 4) ~engine c ~theta =
        every iteration: this is the latency that makes out-of-the-box
        GRAPE untenable (Section 1). *)
     per_iteration = cost;
-    pulse = pulse_of_jobs jobs }
+    pulse = pulse_of_jobs jobs;
+    degradations = degs }
 
 let strict_jobs ~max_width ~engine ~theta slices =
   let precompute = ref Engine.zero_cost in
+  let degs = ref [] in
   let jobs =
     List.concat_map
       (fun (s : Slice.slice) ->
         match s.var with
         | None ->
           (* Fixed slice: GRAPE-precompiled offline, blocked to width. *)
-          let jobs, cost = block_jobs ~max_width ~engine s.circuit in
+          let jobs, cost, d = block_jobs ~max_width ~engine s.circuit in
           precompute := Engine.add_cost !precompute cost;
+          degs := !degs @ d;
           jobs
         | Some _ ->
           (* Parametrized gate: lookup-table pulse at runtime. *)
           lookup_jobs (Circuit.bind s.circuit theta))
       slices
   in
-  (jobs, !precompute)
+  (jobs, !precompute, !degs)
 
 let strict_partial ?(max_width = 4) ~engine c ~theta =
   let n = Circuit.n_qubits c in
@@ -93,19 +104,19 @@ let strict_partial ?(max_width = 4) ~engine c ~theta =
      precompiles both offline and keeps whichever schedule is shorter
      (region slicing wins when parameters are dense, linear slicing when
      they are sparse enough that deep runs survive whole). *)
-  let region_jobs, region_cost =
+  let region_jobs, region_cost, region_degs =
     strict_jobs ~max_width ~engine ~theta (Slice.strict c)
   in
-  let linear_jobs, linear_cost =
+  let linear_jobs, linear_cost, linear_degs =
     strict_jobs ~max_width ~engine ~theta (Slice.strict_linear c)
   in
   let region_span = Strategy.makespan ~n region_jobs in
   let linear_span = Strategy.makespan ~n linear_jobs in
-  let jobs, precompute, raw =
-    if region_span <= linear_span then (region_jobs, region_cost, region_span)
-    else (linear_jobs, linear_cost, linear_span)
+  let jobs, precompute, raw, degs =
+    if region_span <= linear_span then
+      (region_jobs, region_cost, region_span, region_degs)
+    else (linear_jobs, linear_cost, linear_span, linear_degs)
   in
-  let precompute = ref precompute in
   (* Strict partial compilation is never worse than gate-based: both have
      zero runtime latency, so the compiler keeps whichever schedule is
      shorter (relevant only when blocking serializes an unusually parallel
@@ -113,15 +124,17 @@ let strict_partial ?(max_width = 4) ~engine c ~theta =
   let fallback = Gate_times.circuit_duration (Circuit.bind c theta) in
   { Strategy.strategy = "strict-partial";
     duration_ns = Float.min raw fallback;
-    precompute = !precompute;
+    precompute;
     per_iteration = Engine.zero_cost;
-    pulse = pulse_of_jobs jobs }
+    pulse = pulse_of_jobs jobs;
+    degradations = degs }
 
 let flexible_partial ?(max_width = 4) ~engine c ~theta =
   let n = Circuit.n_qubits c in
   let slices = Slice.flexible c in
   let precompute = ref Engine.zero_cost in
   let per_iteration = ref Engine.zero_cost in
+  let degs = ref [] in
   let jobs =
     List.concat_map
       (fun (s : Slice.slice) ->
@@ -130,6 +143,17 @@ let flexible_partial ?(max_width = 4) ~engine c ~theta =
           (fun (b : Block.block) ->
             let bound = Circuit.bind (Block.extract b) theta in
             let r = Engine.search engine bound in
+            let label = Printf.sprintf "slice[t%s]"
+                (match s.var with Some v -> string_of_int v | None -> "-")
+            in
+            (match r.Engine.fallback with
+            | Some reason ->
+              degs :=
+                !degs
+                @ [ { Resilience.stage = "engine:" ^ label; reason;
+                      detail =
+                        "slice block search fell back to lookup-table duration" } ]
+            | None -> ());
             (* Offline: the minimal-time search plus hyperparameter
                tuning, once per slice block. *)
             precompute :=
@@ -141,9 +165,7 @@ let flexible_partial ?(max_width = 4) ~engine c ~theta =
             per_iteration :=
               Engine.add_cost !per_iteration
                 (Engine.tuned_run_cost engine bound ~duration:r.Engine.duration_ns);
-            { Strategy.label = Printf.sprintf "slice[t%s]"
-                (match s.var with Some v -> string_of_int v | None -> "-");
-              qubits = b.qubits;
+            { Strategy.label; qubits = b.qubits;
               duration = r.Engine.duration_ns })
           blocks)
       slices
@@ -152,7 +174,8 @@ let flexible_partial ?(max_width = 4) ~engine c ~theta =
     duration_ns = Strategy.makespan ~n jobs;
     precompute = !precompute;
     per_iteration = !per_iteration;
-    pulse = pulse_of_jobs jobs }
+    pulse = pulse_of_jobs jobs;
+    degradations = !degs }
 
 type strategy = Gate_based | Strict_partial | Flexible_partial | Full_grape
 
@@ -164,9 +187,47 @@ let strategy_name = function
   | Flexible_partial -> "flexible-partial"
   | Full_grape -> "full-grape"
 
-let compile ?(max_width = 4) ~engine strategy c ~theta =
+let run_strategy ~max_width ~engine strategy c ~theta =
   match strategy with
   | Gate_based -> gate_based c ~theta
   | Strict_partial -> strict_partial ~max_width ~engine c ~theta
   | Flexible_partial -> flexible_partial ~max_width ~engine c ~theta
   | Full_grape -> full_grape ~max_width ~engine c ~theta
+
+(* Graceful degradation ladder.  Gate-based is the terminal rung: pure
+   table lookups, no optimizer, cannot fail. *)
+let degrade_chain = function
+  | Gate_based -> [ Gate_based ]
+  | Strict_partial -> [ Strict_partial; Gate_based ]
+  | Flexible_partial -> [ Flexible_partial; Strict_partial; Gate_based ]
+  | Full_grape -> [ Full_grape; Strict_partial; Gate_based ]
+
+let usable (r : Strategy.compiled) =
+  Float.is_finite r.Strategy.duration_ns && r.Strategy.duration_ns >= 0.0
+
+let compile ?(max_width = 4) ~engine strategy c ~theta =
+  let rec go degs = function
+    | [] -> assert false (* chains always end in Gate_based *)
+    | [ last ] ->
+      let r = run_strategy ~max_width ~engine last c ~theta in
+      { r with Strategy.degradations = degs @ r.Strategy.degradations }
+    | s :: rest -> (
+      match run_strategy ~max_width ~engine s c ~theta with
+      | r when usable r ->
+        { r with Strategy.degradations = degs @ r.Strategy.degradations }
+      | _ ->
+        go
+          (degs
+          @ [ { Resilience.stage = strategy_name s;
+                reason = Resilience.Non_finite;
+                detail = "strategy produced a non-finite pulse duration" } ])
+          rest
+      | exception e ->
+        go
+          (degs
+          @ [ { Resilience.stage = strategy_name s;
+                reason = Resilience.Diverged;
+                detail = "strategy raised: " ^ Printexc.to_string e } ])
+          rest)
+  in
+  go [] (degrade_chain strategy)

@@ -52,6 +52,19 @@ val all_strategies : strategy list
 
 val strategy_name : strategy -> string
 
+val degrade_chain : strategy -> strategy list
+(** The graceful-degradation ladder {!compile} walks, requested strategy
+    first: flexible -> strict -> gate-based (full GRAPE degrades through
+    strict too).  Gate-based is the terminal rung — pure table lookups
+    that cannot fail. *)
+
 val compile :
   ?max_width:int -> engine:Engine.t -> strategy -> Circuit.t ->
   theta:float array -> Strategy.compiled
+(** Fault-tolerant compilation entry point: runs the requested strategy
+    and, if it raises or yields a non-finite duration, walks
+    {!degrade_chain} until a realizable pulse is produced (gate-based
+    always is).  Every abandoned rung, and every engine-level block
+    fallback, is recorded in the result's
+    {!Strategy.compiled.degradations} — degradation is explicit, never
+    silent. *)

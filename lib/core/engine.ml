@@ -5,6 +5,7 @@ module Gate_times = Pqc_pulse.Gate_times
 module Grape = Pqc_grape.Grape
 module Hamiltonian = Pqc_grape.Hamiltonian
 module Hyperopt = Pqc_hyperopt.Hyperopt
+module Rng = Pqc_util.Rng
 
 type cost = { grape_runs : int; grape_iterations : int; seconds : float }
 
@@ -19,27 +20,144 @@ type block_result = {
   duration_ns : float;
   search_cost : cost;
   fidelity : float option;
+  fallback : Resilience.failure option;
 }
 
 type numeric_config = {
   settings : Grape.settings;
   system_for : int -> Hamiltonian.t;
   cache : (string, block_result) Hashtbl.t;
+  policy : Resilience.policy;
+  deadline_s : float option;
+  cache_file : string option;
+  mutable cache_dropped : int;
 }
 
-type t = Model | Numeric of numeric_config
+type fault = Nan_fidelity | No_converge | Stall
+
+type fault_plan = { frng : Rng.t; rate : float; kinds : fault array }
+
+type t =
+  | Model
+  | Numeric of numeric_config
+  | Faulty of fault_plan * t
 
 let model = Model
 
-let numeric ?(settings = Grape.fast_settings) ?system_for () =
+(* --- Persistent cache plumbing --- *)
+
+let entry_of_result key (r : block_result) =
+  { Pulse_cache.key;
+    duration_ns = r.duration_ns;
+    grape_runs = r.search_cost.grape_runs;
+    grape_iterations = r.search_cost.grape_iterations;
+    seconds = r.search_cost.seconds;
+    fidelity = r.fidelity;
+    fallback = Option.map Resilience.failure_to_string r.fallback }
+
+(* [None] when the fallback tag is not a failure we know — treat the
+   record as corrupt rather than resurrecting it with wrong semantics. *)
+let result_of_entry (e : Pulse_cache.entry) =
+  let fallback =
+    match e.fallback with
+    | None -> Some None
+    | Some s ->
+      (match Resilience.failure_of_string s with
+       | Some f -> Some (Some f)
+       | None -> None)
+  in
+  Option.map
+    (fun fallback ->
+      { duration_ns = e.duration_ns;
+        search_cost =
+          { grape_runs = e.grape_runs;
+            grape_iterations = e.grape_iterations;
+            seconds = e.seconds };
+        fidelity = e.fidelity;
+        fallback })
+    fallback
+
+let load_cache cfg path =
+  let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+  let unknown = ref 0 in
+  List.iter
+    (fun (e : Pulse_cache.entry) ->
+      match result_of_entry e with
+      | Some r -> Hashtbl.replace cfg.cache e.key r
+      | None -> incr unknown)
+    entries;
+  cfg.cache_dropped <- dropped + !unknown
+
+let numeric ?(settings = Grape.fast_settings) ?system_for ?policy ?deadline_s
+    ?cache_file () =
   let system_for =
     match system_for with Some f -> f | None -> fun n -> Hamiltonian.gmon n
   in
-  Numeric { settings; system_for; cache = Hashtbl.create 64 }
+  let policy =
+    match policy with Some p -> p | None -> Resilience.policy_from_env ()
+  in
+  let deadline_s =
+    match deadline_s with
+    | Some _ as s -> s
+    | None -> Resilience.deadline_seconds_from_env ()
+  in
+  let cache_file =
+    match cache_file with
+    | Some _ as f -> f
+    | None -> Sys.getenv_opt "PQC_PULSE_CACHE"
+  in
+  let cfg =
+    { settings; system_for; cache = Hashtbl.create 64; policy; deadline_s;
+      cache_file; cache_dropped = 0 }
+  in
+  (match cache_file with Some path -> load_cache cfg path | None -> ());
+  Numeric cfg
 
-let is_numeric = function Model -> false | Numeric _ -> true
+let faulty ?(rate = 1.0) ?(kinds = [| Nan_fidelity; No_converge; Stall |])
+    ~seed inner =
+  if Array.length kinds = 0 then
+    invalid_arg "Engine.faulty: kinds must be non-empty";
+  Faulty ({ frng = Rng.create seed; rate; kinds }, inner)
 
-(* Canonical key of a bound block, for memoization. *)
+type base = Base_model | Base_numeric of numeric_config
+
+(* The outermost fault plan wins; inner wrappers are inert. *)
+let rec unwrap = function
+  | Faulty (p, b) ->
+    let _, base = unwrap b in
+    (Some p, base)
+  | Model -> (None, Base_model)
+  | Numeric cfg -> (None, Base_numeric cfg)
+
+let is_numeric t =
+  match unwrap t with _, Base_numeric _ -> true | _, Base_model -> false
+
+let persist t =
+  match unwrap t with
+  | _, Base_model -> ()
+  | _, Base_numeric cfg ->
+    (match cfg.cache_file with
+     | None -> ()
+     | Some path ->
+       let entries =
+         Hashtbl.fold (fun key r acc -> entry_of_result key r :: acc)
+           cfg.cache []
+       in
+       Pulse_cache.save ~path entries)
+
+let cache_size t =
+  match unwrap t with
+  | _, Base_model -> 0
+  | _, Base_numeric cfg -> Hashtbl.length cfg.cache
+
+let cache_dropped t =
+  match unwrap t with
+  | _, Base_model -> 0
+  | _, Base_numeric cfg -> cfg.cache_dropped
+
+(* Canonical key of a bound block, for memoization.  Angles are keyed on
+   their exact IEEE-754 bits: a printf truncation here once made bindings
+   closer than its precision collide and alias each other's pulses. *)
 let block_key c =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (string_of_int (Circuit.n_qubits c));
@@ -48,7 +166,9 @@ let block_key c =
       Buffer.add_char buf ';';
       Buffer.add_string buf (Gate.name i.gate);
       (match Gate.param i.gate with
-      | Some p -> Buffer.add_string buf (Printf.sprintf "(%.6f)" (Param.bind p [||]))
+      | Some p ->
+        Buffer.add_string buf
+          (Printf.sprintf "(%Lx)" (Int64.bits_of_float (Param.bind p [||])))
       | None -> ());
       Array.iter (fun q -> Buffer.add_string buf (Printf.sprintf ",%d" q)) i.qubits)
     c;
@@ -74,56 +194,120 @@ let model_search c =
         seconds =
           float_of_int iters
           *. Latency_model.seconds_per_iteration ~width ~steps };
-    fidelity = None }
+    fidelity = None;
+    fallback = None }
 
-let numeric_search cfg c =
+(* One numeric search attempt at the given (possibly retuned) settings. *)
+let numeric_attempt cfg settings deadline c =
   let width = Circuit.n_qubits c in
   let sys = cfg.system_for width in
   let target = Circuit.unitary c in
-  let upper = Float.max (Gate_times.circuit_duration c) (4.0 *. cfg.settings.Grape.dt) in
-  match Grape.minimal_time ~settings:cfg.settings ~upper_bound:upper sys ~target with
+  let upper = Float.max (Gate_times.circuit_duration c) (4.0 *. settings.Grape.dt) in
+  match
+    Grape.minimal_time ~settings ?deadline:(Resilience.absolute deadline)
+      ~upper_bound:upper sys ~target
+  with
   | Some s ->
-    { duration_ns = s.minimal.total_time;
-      search_cost =
-        { grape_runs = List.length s.probes;
-          grape_iterations = s.grape_iterations_total;
-          seconds =
-            (* Sum of per-probe wall time is not retained; the minimal
-               probe's rate scaled by total iterations is a faithful
-               estimate. *)
-            (if s.minimal.iterations > 0 then
-               s.minimal.wall_time_s /. float_of_int s.minimal.iterations
-               *. float_of_int s.grape_iterations_total
-             else s.minimal.wall_time_s) };
-      fidelity = Some s.minimal.fidelity }
+    if not (Float.is_finite s.minimal.total_time) then
+      Error Resilience.Non_finite
+    else
+      Ok { duration_ns = s.minimal.total_time;
+           search_cost =
+             { grape_runs = List.length s.probes;
+               grape_iterations = s.grape_iterations_total;
+               seconds =
+                 (* Sum of per-probe wall time is not retained; the minimal
+                    probe's rate scaled by total iterations is a faithful
+                    estimate. *)
+                 (if s.minimal.iterations > 0 then
+                    s.minimal.wall_time_s /. float_of_int s.minimal.iterations
+                    *. float_of_int s.grape_iterations_total
+                  else s.minimal.wall_time_s) };
+           fidelity = Some s.minimal.fidelity;
+           fallback = None }
   | None ->
-    (* GRAPE could not beat the lookup table within budget: fall back to
-       the gate-based duration (always realizable by concatenation). *)
-    { duration_ns = Gate_times.circuit_duration c;
-      search_cost = zero_cost;
-      fidelity = None }
+    (* Nothing converged within budget.  Distinguish running out of
+       wall-clock from running out of probes so the degradation record
+       says why. *)
+    if Resilience.expired deadline then Error Resilience.Deadline_exceeded
+    else Error Resilience.Diverged
+  | exception Invalid_argument _ -> Error Resilience.Non_finite
+
+let inject plan =
+  match plan with
+  | Some p when Rng.float p.frng 1.0 < p.rate -> Some (Rng.choice p.frng p.kinds)
+  | _ -> None
+
+(* Gate-based lookup duration: realizable by concatenation, always finite
+   — the terminal rung of the degradation ladder. *)
+let fallback_result c reason spent =
+  { duration_ns = Gate_times.circuit_duration c;
+    search_cost = spent;
+    fidelity = None;
+    fallback = Some reason }
 
 let search t c =
   require_bound c;
   if Circuit.length c = 0 then
-    { duration_ns = 0.0; search_cost = zero_cost; fidelity = None }
+    { duration_ns = 0.0; search_cost = zero_cost; fidelity = None;
+      fallback = None }
   else
-    match t with
-    | Model -> model_search c
-    | Numeric cfg ->
-      let key = block_key c in
-      (match Hashtbl.find_opt cfg.cache key with
-      | Some r -> r
-      | None ->
-        let r = numeric_search cfg c in
-        Hashtbl.replace cfg.cache key r;
-        r)
+    let plan, base = unwrap t in
+    let policy, deadline =
+      match base with
+      | Base_numeric cfg ->
+        (cfg.policy, Resilience.of_seconds cfg.deadline_s)
+      | Base_model -> (Resilience.default_policy, Resilience.no_deadline)
+    in
+    let cached_key =
+      match base with
+      | Base_numeric cfg ->
+        let key = block_key c in
+        (match Hashtbl.find_opt cfg.cache key with
+         | Some r -> Either.Left r
+         | None -> Either.Right (Some (cfg, key)))
+      | Base_model -> Either.Right None
+    in
+    match cached_key with
+    | Either.Left r -> r
+    | Either.Right store ->
+      let injected = ref false in
+      (* Real (non-injected) attempts that failed still burned optimizer
+         time; surface at least the run count in the fallback's cost. *)
+      let failed_runs = ref 0 in
+      let attempt ~attempt =
+        match inject plan with
+        | Some Nan_fidelity -> injected := true; Error Resilience.Non_finite
+        | Some No_converge -> injected := true; Error Resilience.Diverged
+        | Some Stall -> injected := true; Error Resilience.Deadline_exceeded
+        | None ->
+          (match base with
+           | Base_model -> Ok (model_search c)
+           | Base_numeric cfg ->
+             let settings = Resilience.retune cfg.policy ~attempt cfg.settings in
+             match numeric_attempt cfg settings deadline c with
+             | Ok _ as ok -> ok
+             | Error _ as e -> incr failed_runs; e)
+      in
+      let r =
+        match Resilience.with_retries policy deadline attempt with
+        | Ok r -> r
+        | Error reason ->
+          fallback_result c reason { zero_cost with grape_runs = !failed_runs }
+      in
+      (* Injected faults are synthetic: caching their fallback would leak
+         test poison into later, healthy searches.  Genuine results —
+         including genuine degradations — are memoized as before. *)
+      (match store with
+       | Some (cfg, key) when not !injected -> Hashtbl.replace cfg.cache key r
+       | _ -> ());
+      r
 
 let tuned_run_cost t c ~duration =
   require_bound c;
   let width = Circuit.n_qubits c in
-  match t with
-  | Model ->
+  match unwrap t with
+  | _, Base_model ->
     let iters =
       float_of_int (Latency_model.default_iterations width)
       /. Latency_model.tuning_speedup width
@@ -132,17 +316,22 @@ let tuned_run_cost t c ~duration =
     { grape_runs = 1;
       grape_iterations = int_of_float iters;
       seconds = iters *. Latency_model.seconds_per_iteration ~width ~steps }
-  | Numeric cfg ->
+  | _, Base_numeric cfg ->
     let sys = cfg.system_for width in
     let target = Circuit.unitary c in
-    let r = Grape.optimize ~settings:cfg.settings sys ~target ~total_time:duration in
+    let deadline = Resilience.of_seconds cfg.deadline_s in
+    let r =
+      Grape.optimize ~settings:cfg.settings
+        ?deadline:(Resilience.absolute deadline) sys ~target
+        ~total_time:duration
+    in
     { grape_runs = 1; grape_iterations = r.iterations; seconds = r.wall_time_s }
 
 let hyperopt_cost t c ~duration =
   require_bound c;
   let width = Circuit.n_qubits c in
-  match t with
-  | Model ->
+  match unwrap t with
+  | _, Base_model ->
     let iters =
       Latency_model.hyperopt_grid_evals * Latency_model.default_iterations width
     in
@@ -151,7 +340,7 @@ let hyperopt_cost t c ~duration =
       grape_iterations = iters;
       seconds =
         float_of_int iters *. Latency_model.seconds_per_iteration ~width ~steps }
-  | Numeric cfg ->
+  | _, Base_numeric cfg ->
     let sys = cfg.system_for width in
     let t0 = Sys.time () in
     let obj =
@@ -162,9 +351,11 @@ let hyperopt_cost t c ~duration =
         total_time = duration;
         settings = cfg.settings }
     in
+    let deadline = Resilience.of_seconds cfg.deadline_s in
     let lr_grid = Pqc_util.Stats.logspace (-1.0) 0.3 4 in
-    let score = Hyperopt.grid_search ~lr_grid ~decay_grid:[| 0.998; 1.0 |]
-        ~angles:[| 1.0 |] obj
+    let score =
+      Hyperopt.grid_search ~lr_grid ~decay_grid:[| 0.998; 1.0 |]
+        ~angles:[| 1.0 |] ?deadline:(Resilience.absolute deadline) obj
     in
     { grape_runs = 8;
       grape_iterations = int_of_float (8.0 *. score.Hyperopt.iterations);

@@ -8,7 +8,15 @@ module Hamiltonian = Pqc_grape.Hamiltonian
     {!Latency_model} — instant, used for the full benchmark sweeps.
     [Numeric] runs the real {!Pqc_grape.Grape} optimizer — the ground
     truth, tractable on small blocks; it is what validates the model
-    (EXPERIMENTS.md).  Results are memoized per bound block. *)
+    (EXPERIMENTS.md).  Results are memoized per bound block, and the
+    memo table can persist across processes ({!persist}).
+
+    Every search is fault-tolerant: divergent or non-finite GRAPE runs
+    are retried under the engine's {!Resilience.policy} (reseeded, with
+    a halved learning rate), wall-clock deadlines bound each search, and
+    when all attempts fail the engine degrades to the gate-based
+    lookup-table duration — always realizable — tagging the result's
+    [fallback] field so nothing fails silently. *)
 
 type cost = { grape_runs : int; grape_iterations : int; seconds : float }
 (** Classical compilation work: optimize calls, total optimizer
@@ -21,6 +29,9 @@ type block_result = {
   duration_ns : float;  (** Minimal pulse duration found/modelled. *)
   search_cost : cost;  (** Full minimal-time search, default hyperparams. *)
   fidelity : float option;  (** Achieved fidelity ([Numeric] only). *)
+  fallback : Resilience.failure option;
+      (** [Some f]: the search degraded to the gate-based lookup duration
+          because of [f]; [None]: a genuine engine result. *)
 }
 
 type t
@@ -29,20 +40,65 @@ val model : t
 (** The calibrated analytic engine. *)
 
 val numeric :
-  ?settings:Grape.settings -> ?system_for:(int -> Hamiltonian.t) -> unit -> t
+  ?settings:Grape.settings ->
+  ?system_for:(int -> Hamiltonian.t) ->
+  ?policy:Resilience.policy ->
+  ?deadline_s:float ->
+  ?cache_file:string ->
+  unit -> t
 (** The real GRAPE engine.  [settings] default to {!Grape.fast_settings};
     [system_for] maps block width to a system Hamiltonian (default: gmon
-    on a line). *)
+    on a line).
+
+    [policy] governs divergence retries (default: environment-aware
+    {!Resilience.policy_from_env}).  [deadline_s] is the wall-clock
+    budget of one block search, retries included (default: the
+    [PQC_SEARCH_DEADLINE_S] variable when set, else unbounded).
+    [cache_file] names a persistent pulse cache (default: the
+    [PQC_PULSE_CACHE] variable when set); it is loaded eagerly — corrupt
+    entries dropped, see {!cache_dropped} — and written by {!persist}. *)
 
 val is_numeric : t -> bool
 
+type fault = Nan_fidelity | No_converge | Stall
+
+val faulty : ?rate:float -> ?kinds:fault array -> seed:int -> t -> t
+(** Seeded fault-injection wrapper for resilience testing: each
+    {!search} on the wrapped engine fails with probability [rate]
+    (default 1.0) with a kind drawn from [kinds] (default: all three).
+    [Nan_fidelity] presents as {!Resilience.Non_finite}, [No_converge]
+    as [Diverged], [Stall] as [Deadline_exceeded].  Injected failures
+    pass through the same retry/degradation machinery as real ones, but
+    their results are never cached.  Raises [Invalid_argument] on empty
+    [kinds]. *)
+
+val block_key : Circuit.t -> string
+(** Canonical memoization key of a bound block: width, gate names, exact
+    IEEE-754 angle bits, operand qubits.  Distinct bindings — however
+    close — get distinct keys. *)
+
 val search : t -> Circuit.t -> block_result
 (** Minimal pulse duration of a parameter-free block (width <= 4, operands
-    of two-qubit gates adjacent under the engine's topology). *)
+    of two-qubit gates adjacent under the engine's topology).  Never
+    raises on optimizer failure: after bounded retries it returns the
+    gate-based duration with [fallback] set. *)
+
+val persist : t -> unit
+(** Write the memo table to the engine's [cache_file] (atomic; no-op for
+    [model] or when no cache file is configured). *)
+
+val cache_size : t -> int
+(** Number of memoized block results (0 for [model]). *)
+
+val cache_dropped : t -> int
+(** Corrupt/unreadable entries dropped when the persistent cache was
+    loaded at engine creation. *)
 
 val tuned_run_cost : t -> Circuit.t -> duration:float -> cost
 (** Cost of one GRAPE run at a known duration with per-slice tuned
-    hyperparameters — flexible partial compilation's per-iteration work. *)
+    hyperparameters — flexible partial compilation's per-iteration work.
+    Bounded by the engine's search deadline. *)
 
 val hyperopt_cost : t -> Circuit.t -> duration:float -> cost
-(** Offline hyperparameter-tuning cost for one slice (grid search). *)
+(** Offline hyperparameter-tuning cost for one slice (grid search).
+    Bounded by the engine's search deadline. *)

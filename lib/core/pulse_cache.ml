@@ -1,0 +1,126 @@
+type entry = {
+  key : string;
+  duration_ns : float;
+  grape_runs : int;
+  grape_iterations : int;
+  seconds : float;
+  fidelity : float option;
+  fallback : string option;
+}
+
+let version = 1
+let header = Printf.sprintf "PQC-PULSE-CACHE v%d" version
+
+(* FNV-1a 64-bit: tiny, dependency-free, and plenty to catch the
+   truncation and bit-flip corruption this file guards against (it is an
+   integrity check, not a cryptographic one). *)
+let checksum s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let opt_float = function
+  | Some f -> Printf.sprintf "%h" f
+  | None -> "-"
+
+let opt_string = function Some s -> s | None -> "-"
+
+(* One tab-separated record per line.  The key is an OCaml-quoted string
+   (keys may contain any byte); floats are hex literals for lossless
+   round-trips. *)
+let payload e =
+  Printf.sprintf "%S\t%h\t%d\t%d\t%h\t%s\t%s" e.key e.duration_ns
+    e.grape_runs e.grape_iterations e.seconds (opt_float e.fidelity)
+    (opt_string e.fallback)
+
+let parse_opt_float = function
+  | "-" -> Some None
+  | s -> (match float_of_string_opt s with
+          | Some f -> Some (Some f)
+          | None -> None)
+
+let parse_payload s =
+  match
+    Scanf.sscanf s "%S\t%h\t%d\t%d\t%h\t%s@\t%s"
+      (fun key duration_ns grape_runs grape_iterations seconds fid fb ->
+        (key, duration_ns, grape_runs, grape_iterations, seconds, fid, fb))
+  with
+  | key, duration_ns, grape_runs, grape_iterations, seconds, fid, fb ->
+    (match parse_opt_float fid with
+     | None -> None
+     | Some fidelity ->
+       if Float.is_finite duration_ns && duration_ns >= 0.0 then
+         Some { key; duration_ns; grape_runs; grape_iterations; seconds;
+                fidelity;
+                fallback = (if fb = "-" then None else Some fb) }
+       else None)
+  | exception _ -> None
+
+let parse_line line =
+  match String.index_opt line '\t' with
+  | None -> None
+  | Some i ->
+    let crc = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    if String.equal (checksum rest) crc then parse_payload rest else None
+
+let save ~path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc header;
+      output_char oc '\n';
+      List.iter
+        (fun e ->
+          let p = payload e in
+          output_string oc (checksum p);
+          output_char oc '\t';
+          output_string oc p;
+          output_char oc '\n')
+        entries);
+  Sys.rename tmp path
+
+type load_result = { entries : entry list; dropped : int }
+
+let load ~path =
+  if not (Sys.file_exists path) then { entries = []; dropped = 0 }
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> ());
+    match List.rev !lines with
+    | [] -> { entries = []; dropped = 0 }
+    | first :: rest ->
+      if not (String.equal first header) then
+        (* Unknown version or clobbered header: nothing in the file can be
+           trusted; count every record as dropped. *)
+        { entries = []; dropped = List.length rest + 1 }
+      else
+        let dropped = ref 0 in
+        let entries =
+          List.filter_map
+            (fun line ->
+              match parse_line line with
+              | Some e -> Some e
+              | None ->
+                (* Corrupt, truncated, or checksum-mismatched record:
+                   drop it and keep loading the rest. *)
+                incr dropped;
+                None)
+            rest
+        in
+        { entries; dropped = !dropped }
+  end

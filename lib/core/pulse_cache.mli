@@ -1,0 +1,48 @@
+(** Persistent, checksummed store for precompiled block-search results.
+
+    Strict partial compilation's whole value is that Fixed-block GRAPE
+    pulses are computed once; this file format makes that precompute
+    survive process restarts.  The format is line-oriented text:
+
+    {v
+    PQC-PULSE-CACHE v1
+    <fnv1a-64-hex>\t<quoted key>\t<duration>\t<runs>\t<iters>\t<seconds>\t<fidelity|->\t<fallback|->
+    v}
+
+    Every record line carries an FNV-1a checksum of its payload.  {!load}
+    never raises on bad input: records that are truncated, bit-flipped,
+    or otherwise unparseable are dropped (and counted), and a file whose
+    version header does not match is treated as fully untrusted.  {!save}
+    writes atomically (temp file + rename) so a crash mid-save cannot
+    corrupt an existing cache. *)
+
+type entry = {
+  key : string;  (** Canonical block key ({!Engine.block_key}). *)
+  duration_ns : float;
+  grape_runs : int;
+  grape_iterations : int;
+  seconds : float;
+  fidelity : float option;
+  fallback : string option;
+      (** Serialized {!Resilience.failure} when the result is a
+          degraded (lookup-table) duration rather than a GRAPE pulse. *)
+}
+
+val version : int
+val header : string
+
+val checksum : string -> string
+(** FNV-1a 64-bit of a payload string, as 16 hex digits (exposed for
+    tests and external validators). *)
+
+val save : path:string -> entry list -> unit
+(** Atomic write: serializes to [path ^ ".tmp"], then renames. *)
+
+type load_result = {
+  entries : entry list;  (** Valid records, in file order. *)
+  dropped : int;  (** Corrupt/truncated records skipped. *)
+}
+
+val load : path:string -> load_result
+(** Never raises: a missing file is an empty cache; corrupt records are
+    dropped entry-by-entry; a bad header drops everything. *)

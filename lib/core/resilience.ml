@@ -1,0 +1,111 @@
+module Grape = Pqc_grape.Grape
+
+type failure = Non_finite | Diverged | Deadline_exceeded | Cache_corrupt
+
+let failure_to_string = function
+  | Non_finite -> "non-finite"
+  | Diverged -> "diverged"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Cache_corrupt -> "cache-corrupt"
+
+let failure_of_string = function
+  | "non-finite" -> Some Non_finite
+  | "diverged" -> Some Diverged
+  | "deadline-exceeded" -> Some Deadline_exceeded
+  | "cache-corrupt" -> Some Cache_corrupt
+  | _ -> None
+
+(* Deadlines and cache failures are not retryable: the former because the
+   budget is already gone, the latter because re-reading the same bytes
+   cannot help. *)
+let retryable = function
+  | Non_finite | Diverged -> true
+  | Deadline_exceeded | Cache_corrupt -> false
+
+(* --- Retry policy --- *)
+
+type policy = {
+  max_attempts : int;
+  lr_shrink : float;
+  iter_backoff : float;
+  reseed_stride : int;
+}
+
+let default_policy =
+  { max_attempts = 3; lr_shrink = 0.5; iter_backoff = 1.5;
+    reseed_stride = 7919 }
+
+let env_int key fallback =
+  match Sys.getenv_opt key with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+               | Some v when v > 0 -> v
+               | _ -> fallback)
+  | None -> fallback
+
+let env_float key fallback =
+  match Sys.getenv_opt key with
+  | Some s -> (match float_of_string_opt (String.trim s) with
+               | Some v when Float.is_finite v && v > 0.0 -> Some v
+               | _ -> fallback)
+  | None -> fallback
+
+let policy_from_env () =
+  { default_policy with
+    max_attempts = env_int "PQC_RETRY_ATTEMPTS" default_policy.max_attempts;
+    lr_shrink =
+      Option.value
+        (env_float "PQC_RETRY_LR_SHRINK" (Some default_policy.lr_shrink))
+        ~default:default_policy.lr_shrink }
+
+let retune policy ~attempt (s : Grape.settings) =
+  if attempt <= 0 then s
+  else
+    let a = float_of_int attempt in
+    { s with
+      Grape.seed = s.Grape.seed + (attempt * policy.reseed_stride);
+      max_iters =
+        min Grape.max_steps
+          (int_of_float
+             (float_of_int s.Grape.max_iters *. (policy.iter_backoff ** a)));
+      hyperparams =
+        { s.Grape.hyperparams with
+          Grape.learning_rate =
+            s.Grape.hyperparams.Grape.learning_rate
+            *. (policy.lr_shrink ** a) } }
+
+(* --- Deadlines (wall clock) --- *)
+
+type deadline = float option
+
+let no_deadline = None
+let now () = Unix.gettimeofday ()
+let deadline_after seconds = Some (now () +. Float.max 0.0 seconds)
+let of_seconds = function None -> None | Some s -> deadline_after s
+let expired = function None -> false | Some d -> now () > d
+let absolute d = d
+
+let remaining_s = function
+  | None -> None
+  | Some d -> Some (Float.max 0.0 (d -. now ()))
+
+let deadline_seconds_from_env () = env_float "PQC_SEARCH_DEADLINE_S" None
+
+(* --- Degradation accounting --- *)
+
+type degradation = { stage : string; reason : failure; detail : string }
+
+let degradation_to_string d =
+  Printf.sprintf "%s: %s (%s)" d.stage (failure_to_string d.reason) d.detail
+
+(* --- Generic bounded retry loop --- *)
+
+let with_retries policy deadline f =
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+      if retryable e && attempt + 1 < policy.max_attempts && not (expired deadline)
+      then go (attempt + 1)
+      else err
+  in
+  go 0

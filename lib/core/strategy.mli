@@ -22,7 +22,17 @@ type compiled = {
       (** Compilation work repeated at {e every} variational iteration —
           the quantity partial compilation attacks. *)
   pulse : Pulse.t;  (** Segment-level pulse schedule. *)
+  degradations : Resilience.degradation list;
+      (** Every fallback taken while compiling: block searches that
+          degraded to lookup-table durations, and whole strategies the
+          compiler had to abandon.  Empty for a clean compile. *)
 }
 
 val speedup : baseline:compiled -> compiled -> float
 (** [baseline.duration / c.duration]. *)
+
+val degraded : compiled -> bool
+(** Whether any fallback was taken. *)
+
+val degradation_report : compiled -> string
+(** Human-readable "; "-joined summary of {!field-degradations}. *)

@@ -35,11 +35,19 @@ type result = {
   fidelity : float;
   iterations : int;
   converged : bool;
+  diverged : bool;
+  deadline_hit : bool;
   total_time : float;
   n_steps : int;
   controls : float array array;
   wall_time_s : float;
 }
+
+(* Hard cap on the discretization: beyond this the slice-propagator arrays
+   alone dominate memory and a search will never finish interactively. *)
+let max_steps = 100_000
+
+let now () = Unix.gettimeofday ()
 
 (* Build H(u_k) = drift + sum_j u.(j).(k) H_j into [dst]. *)
 let build_slice_hamiltonian (sys : Hamiltonian.t) u k ~dst =
@@ -74,12 +82,21 @@ let fidelity_of_controls sys ~target ~dt u =
   let embedded = Hamiltonian.embed_target sys target in
   snd (subspace_overlap sys embedded (propagate sys ~dt u))
 
-let optimize ?(settings = default_settings) (sys : Hamiltonian.t) ~target
-    ~total_time =
+let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
+    ~target ~total_time =
+  if settings.dt <= 0.0 || not (Float.is_finite settings.dt) then
+    invalid_arg "Grape.optimize: dt must be positive and finite";
+  if not (Float.is_finite total_time) then
+    invalid_arg "Grape.optimize: total_time must be finite";
   let t0 = Sys.time () in
   let dim = sys.dim in
   let nc = Array.length sys.controls in
   let n_steps = max 2 (int_of_float (Float.round (total_time /. settings.dt))) in
+  if n_steps > max_steps then
+    invalid_arg
+      (Printf.sprintf
+         "Grape.optimize: total_time %g / dt %g needs %d steps (cap %d)"
+         total_time settings.dt n_steps max_steps);
   let dt = settings.dt in
   let dsub2 =
     let d = float_of_int (Hamiltonian.subspace_dim sys) in
@@ -113,9 +130,16 @@ let optimize ?(settings = default_settings) (sys : Hamiltonian.t) ~target
   let best_u = Array.map Array.copy u in
   let iterations = ref 0 in
   let converged = ref false in
+  let diverged = ref false in
+  let deadline_hit = ref false in
   (try
      for iter = 1 to settings.max_iters do
        iterations := iter;
+       (match deadline with
+       | Some d when now () > d ->
+         deadline_hit := true;
+         raise Exit
+       | _ -> ());
        (* Forward pass: slice propagators and cumulative products. *)
        for k = 0 to n_steps - 1 do
          build_slice_hamiltonian sys u k ~dst:h_buf;
@@ -125,6 +149,14 @@ let optimize ?(settings = default_settings) (sys : Hamiltonian.t) ~target
          else Cmat.mul_into ~dst:prefix.(k) slice_u.(k) prefix.(k - 1)
        done;
        let overlap, fid = subspace_overlap sys embedded prefix.(n_steps - 1) in
+       (* Divergence guard: a NaN/inf fidelity means the propagators blew
+          up (bad dt, corrupt Hamiltonian, exploding controls).  Abort the
+          iteration here, before the gradient step, so neither the ADAM
+          moments nor the best-so-far controls are polluted. *)
+       if not (Float.is_finite fid) then begin
+         diverged := true;
+         raise Exit
+       end;
        if fid > !best_fidelity then begin
          best_fidelity := fid;
          Array.iteri (fun j row -> Array.blit row 0 best_u.(j) 0 n_steps) u
@@ -181,6 +213,14 @@ let optimize ?(settings = default_settings) (sys : Hamiltonian.t) ~target
          Array.blit u.(j) 0 flat_params (j * n_steps) n_steps;
          Array.blit grad.(j) 0 flat_grad (j * n_steps) n_steps
        done;
+       let grad_finite = ref true in
+       for i = 0 to flat_dim - 1 do
+         if not (Float.is_finite flat_grad.(i)) then grad_finite := false
+       done;
+       if not !grad_finite then begin
+         diverged := true;
+         raise Exit
+       end;
        let lr =
          settings.hyperparams.learning_rate
          *. (settings.hyperparams.decay ** float_of_int (iter - 1))
@@ -196,32 +236,34 @@ let optimize ?(settings = default_settings) (sys : Hamiltonian.t) ~target
      done
    with Exit -> ());
   { fidelity = !best_fidelity; iterations = !iterations; converged = !converged;
+    diverged = !diverged; deadline_hit = !deadline_hit;
     total_time = float_of_int n_steps *. dt; n_steps; controls = best_u;
     wall_time_s = Sys.time () -. t0 }
 
-let optimize_multistart ?(settings = default_settings) ?(starts = 3) sys
-    ~target ~total_time =
+let optimize_multistart ?(settings = default_settings) ?(starts = 3) ?deadline
+    sys ~target ~total_time =
   if starts <= 0 then invalid_arg "Grape.optimize_multistart: starts must be positive";
   let rec go k best =
     if k >= starts then best
     else begin
       let r =
-        optimize ~settings:{ settings with seed = settings.seed + k } sys
-          ~target ~total_time
+        optimize ~settings:{ settings with seed = settings.seed + k } ?deadline
+          sys ~target ~total_time
       in
       let merged =
         let keep = if r.fidelity >= best.fidelity then r else best in
         { keep with
           iterations = best.iterations + r.iterations;
-          wall_time_s = best.wall_time_s +. r.wall_time_s }
+          wall_time_s = best.wall_time_s +. r.wall_time_s;
+          deadline_hit = best.deadline_hit || r.deadline_hit }
       in
-      if merged.converged then merged else go (k + 1) merged
+      if merged.converged || merged.deadline_hit then merged else go (k + 1) merged
     end
   in
   let first =
-    optimize ~settings sys ~target ~total_time
+    optimize ~settings ?deadline sys ~target ~total_time
   in
-  if first.converged then first else go 1 first
+  if first.converged || first.deadline_hit then first else go 1 first
 
 let to_pulse ?(label = "grape") r =
   let dt = if r.n_steps = 0 then 0.0 else r.total_time /. float_of_int r.n_steps in
@@ -234,29 +276,36 @@ type search = {
   minimal : result;
   probes : (float * bool) list;
   grape_iterations_total : int;
+  deadline_hit : bool;
 }
 
-let minimal_time ?(settings = default_settings) ?(precision = 0.3) ~upper_bound
-    sys ~target =
+let minimal_time ?(settings = default_settings) ?(precision = 0.3) ?deadline
+    ~upper_bound sys ~target =
   let probes = ref [] in
   let iters = ref 0 in
+  let hit = ref false in
   let attempt time =
-    let r = optimize ~settings sys ~target ~total_time:time in
+    let r = optimize ~settings ?deadline sys ~target ~total_time:time in
     probes := (time, r.converged) :: !probes;
     iters := !iters + r.iterations;
+    if r.deadline_hit then hit := true;
     r
   in
   let finish best =
     Option.map
       (fun r ->
         { minimal = r; probes = List.rev !probes;
-          grape_iterations_total = !iters })
+          grape_iterations_total = !iters; deadline_hit = !hit })
       best
+  in
+  let expired () =
+    match deadline with Some d -> now () > d | None -> false
   in
   (* Establish a converging upper bound (one doubling allowed). *)
   let r0 = attempt upper_bound in
   let hi_result =
     if r0.converged then Some r0
+    else if !hit then None
     else begin
       let r1 = attempt (2.0 *. upper_bound) in
       if r1.converged then Some r1 else None
@@ -265,8 +314,10 @@ let minimal_time ?(settings = default_settings) ?(precision = 0.3) ~upper_bound
   match hi_result with
   | None -> finish None
   | Some hi_r ->
+    (* Bisection stops early on an expired deadline: the best converged
+       probe so far is still a valid (just not minimal) pulse. *)
     let rec bisect lo hi best =
-      if hi -. lo <= precision then finish (Some best)
+      if hi -. lo <= precision || expired () then finish (Some best)
       else begin
         let mid = (lo +. hi) /. 2.0 in
         let r = attempt mid in

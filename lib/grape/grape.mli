@@ -51,22 +51,38 @@ type result = {
   fidelity : float;  (** Best trace fidelity reached. *)
   iterations : int;  (** Iterations executed before convergence/stop. *)
   converged : bool;
+  diverged : bool;
+      (** A non-finite fidelity or gradient was detected; the run aborted
+          before polluting the ADAM state, keeping the best finite
+          controls found so far. *)
+  deadline_hit : bool;  (** The wall-clock [deadline] expired mid-run. *)
   total_time : float;  (** Pulse duration, ns. *)
   n_steps : int;
   controls : float array array;  (** Best controls, [n_controls x n_steps]. *)
   wall_time_s : float;  (** Processor time spent optimizing. *)
 }
 
+val max_steps : int
+(** Cap on the control discretization (100k steps); {!optimize} rejects
+    [total_time / dt] beyond it with [Invalid_argument] rather than
+    allocating an unbounded array of dim x dim slice propagators. *)
+
 val optimize :
-  ?settings:settings -> Hamiltonian.t -> target:Cmat.t -> total_time:float ->
-  result
+  ?settings:settings -> ?deadline:float -> Hamiltonian.t -> target:Cmat.t ->
+  total_time:float -> result
 (** Optimize controls for a fixed pulse duration.  [target] is the
     2^n-dimensional computational-subspace unitary; qutrit systems embed it
-    and evaluate subspace fidelity. *)
+    and evaluate subspace fidelity.
+
+    [deadline] is an absolute wall-clock instant ([Unix.gettimeofday]
+    scale); the run stops at the first iteration boundary past it and
+    reports [deadline_hit].  Raises [Invalid_argument] on non-positive
+    [dt], non-finite [total_time], or a discretization beyond
+    {!max_steps}. *)
 
 val optimize_multistart :
-  ?settings:settings -> ?starts:int -> Hamiltonian.t -> target:Cmat.t ->
-  total_time:float -> result
+  ?settings:settings -> ?starts:int -> ?deadline:float -> Hamiltonian.t ->
+  target:Cmat.t -> total_time:float -> result
 (** Run {!optimize} from [starts] (default 3) different random pulse
     initializations and keep the best — the paper's Section 10 notes that
     GRAPE convergence on wide circuits is unreliable; restarts are the
@@ -92,13 +108,22 @@ type search = {
   grape_iterations_total : int;
       (** Total optimizer iterations across all probes — the compilation
           latency proxy used by the Figure 7 accounting. *)
+  deadline_hit : bool;
+      (** Some probe ran out of wall-clock budget; [minimal] is the best
+          converged duration found before the deadline, not necessarily
+          the true minimum. *)
 }
 
 val minimal_time :
-  ?settings:settings -> ?precision:float -> upper_bound:float ->
-  Hamiltonian.t -> target:Cmat.t -> search option
+  ?settings:settings -> ?precision:float -> ?deadline:float ->
+  upper_bound:float -> Hamiltonian.t -> target:Cmat.t -> search option
 (** Binary-search the shortest [total_time] achieving the target fidelity,
     to [precision] (default 0.3 ns, the paper's choice).  [upper_bound]
     seeds the bracket (callers pass the gate-based duration: GRAPE should
     never need longer).  [None] when even the upper bound (after one
-    doubling) fails to converge. *)
+    doubling) fails to converge.
+
+    [deadline] (absolute wall-clock) bounds the whole search: bisection
+    stops at the first probe past it and returns the best converged probe
+    so far (with [deadline_hit] set), or [None] if nothing converged in
+    time. *)

@@ -17,13 +17,13 @@ type score = {
   mean_fidelity : float;
 }
 
-let evaluate obj ~angles hyperparams =
+let evaluate ?deadline obj ~angles hyperparams =
   let settings = { obj.settings with Grape.hyperparams } in
   let runs =
     Array.map
       (fun angle ->
-        Grape.optimize ~settings obj.system ~target:(obj.target_of angle)
-          ~total_time:obj.total_time)
+        Grape.optimize ~settings ?deadline obj.system
+          ~target:(obj.target_of angle) ~total_time:obj.total_time)
       angles
   in
   let iters =
@@ -49,15 +49,23 @@ let better a b =
   | false, false -> if a.mean_fidelity >= b.mean_fidelity then a else b
 
 let grid_search ?(lr_grid = default_lr_grid) ?(decay_grid = default_decay_grid)
-    ?(angles = default_angles) obj =
+    ?(angles = default_angles) ?deadline obj =
+  let expired () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
   let best = ref None in
   Array.iter
     (fun learning_rate ->
       Array.iter
         (fun decay ->
-          let s = evaluate obj ~angles { Grape.learning_rate; decay } in
-          best :=
-            Some (match !best with None -> s | Some b -> better s b))
+          (* Always score at least one candidate so callers get a usable
+             hyperparameter set even with an already-expired deadline; the
+             remaining grid is skipped once the budget runs out. *)
+          if !best = None || not (expired ()) then begin
+            let s = evaluate ?deadline obj ~angles { Grape.learning_rate; decay } in
+            best :=
+              Some (match !best with None -> s | Some b -> better s b)
+          end)
         decay_grid)
     lr_grid;
   Option.get !best

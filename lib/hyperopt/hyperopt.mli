@@ -32,16 +32,22 @@ type score = {
 }
 
 val evaluate :
-  objective -> angles:float array -> Grape.hyperparams -> score
-(** Run GRAPE at each probe angle with the given hyperparameters. *)
+  ?deadline:float -> objective -> angles:float array -> Grape.hyperparams ->
+  score
+(** Run GRAPE at each probe angle with the given hyperparameters.
+    [deadline] (absolute wall-clock) is threaded into each GRAPE run. *)
 
 val grid_search :
   ?lr_grid:float array -> ?decay_grid:float array -> ?angles:float array ->
-  objective -> score
+  ?deadline:float -> objective -> score
 (** Exhaustive search over the hyperparameter grid (defaults: 6 logarithmic
     learning rates in [0.03, 3], decays {0.995, 0.999, 1.0}; probe angles
     {0.5, 2.0}).  Returns the best score: fewest mean iterations among
-    fully-converged cells, falling back to highest mean fidelity. *)
+    fully-converged cells, falling back to highest mean fidelity.
+
+    With a [deadline] (absolute wall-clock), at least one candidate is
+    always scored; the rest of the grid is skipped once the deadline
+    expires, so a bounded search still returns usable hyperparameters. *)
 
 type robustness_point = {
   angle : float;

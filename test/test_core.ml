@@ -213,7 +213,8 @@ let test_makespan_serial () =
 
 let test_speedup () =
   let mk d = { Strategy.strategy = ""; duration_ns = d; precompute = Engine.zero_cost;
-               per_iteration = Engine.zero_cost; pulse = Pqc_pulse.Pulse.empty } in
+               per_iteration = Engine.zero_cost; pulse = Pqc_pulse.Pulse.empty;
+               degradations = [] } in
   Alcotest.(check (float 1e-12)) "2x" 2.0 (Strategy.speedup ~baseline:(mk 10.0) (mk 5.0))
 
 (* --- Compiler: the paper's headline relationships --- *)
