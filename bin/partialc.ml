@@ -236,8 +236,8 @@ let run_qasm_file path seed =
   | Error e -> prerr_endline e; 1
   | Ok source ->
     (match Pqc_quantum.Qasm.of_qasm source with
-    | exception Pqc_quantum.Qasm.Parse_error { line; message } ->
-      Printf.eprintf "%s:%d: %s\n" path line message;
+    | exception Pqc_quantum.Qasm.Parse_error { line; col; message } ->
+      Printf.eprintf "%s:%d:%d: %s\n" path line col message;
       1
     | circuit ->
       let prepared = Compiler.prepare circuit in
@@ -289,6 +289,73 @@ let run_slices benchmark =
     print_newline ();
     show "flexible (single-parameter)" (Slice.flexible prepared);
     0
+
+(* --- lint --- *)
+
+let print_report ~json report =
+  if json then print_endline (Pqc_analysis.Runner.to_json report)
+  else print_endline (Pqc_analysis.Runner.to_string report)
+
+let run_lint file benchmark cache max_width json list_rules =
+  let module A = Pqc_analysis in
+  if list_rules then begin
+    List.iter
+      (fun (id, title, doc) -> Printf.printf "%s  %-20s %s\n" id title doc)
+      (A.Rules.catalog ());
+    0
+  end
+  else begin
+    let usage msg =
+      prerr_endline ("lint: " ^ msg);
+      2
+    in
+    match (file, benchmark) with
+    | Some _, Some _ -> usage "pass either FILE or --benchmark, not both"
+    | None, None when cache = None ->
+      usage "nothing to lint (pass FILE, --benchmark or --cache)"
+    | _ -> (
+      let circuit =
+        match (file, benchmark) with
+        | Some f, _ -> (
+          try
+            let ic = open_in f in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            match Pqc_quantum.Qasm.of_qasm s with
+            | c -> Ok (Some c)
+            | exception Pqc_quantum.Qasm.Parse_error { line; col; message } ->
+              Error (`Parse (line, col, message))
+          with Sys_error e -> Error (`Io e))
+        | None, Some bench -> (
+          match benchmark_circuit bench with
+          | Ok c -> Ok (Some c)
+          | Error e -> Error (`Io e))
+        | None, None -> Ok None
+      in
+      match circuit with
+      | Error (`Io e) -> usage e
+      | Error (`Parse (line, col, message)) ->
+        (* Syntax errors are reported through the same diagnostic channel
+           as analysis findings, so --json consumers see one format. *)
+        let d =
+          A.Diagnostic.error ~rule:"PQC000" ~span:(A.Diagnostic.point line)
+            ~hint:"fix the syntax error before analysis can run"
+            (Printf.sprintf "parse error at %d:%d: %s" line col message)
+        in
+        print_report ~json
+          { A.Runner.diagnostics = [ d ]; errors = 1; warnings = 0; infos = 0;
+            rules_run = []; skipped_structural = false };
+        1
+      | Ok circuit ->
+        let c =
+          match circuit with
+          | Some c -> c
+          | None -> Circuit.of_gates 1 [] (* cache-only audit *)
+        in
+        let report = A.Runner.analyze ?cache_file:cache ~max_width c in
+        print_report ~json report;
+        A.Runner.exit_code report)
+  end
 
 (* --- cmdliner plumbing --- *)
 
@@ -380,6 +447,35 @@ let qasm_cmd =
   Cmd.v (Cmd.info "qasm" ~doc:"Compile an external OpenQASM 2.0 file")
     Term.(const run_qasm_file $ path $ seed)
 
+let lint_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"OpenQASM 2.0 file to lint.")
+  in
+  let benchmark =
+    Arg.(value & opt (some string) None
+        & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit to lint.")
+  in
+  let cache =
+    Arg.(value & opt (some string) None
+        & info [ "cache" ] ~doc:"Pulse-cache file to audit.")
+  in
+  let max_width =
+    Arg.(value & opt int 4 & info [ "max-width" ] ~doc:"Blocking budget.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let rules =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List the rule catalog and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a circuit before compilation (exit 0 clean, 1 \
+          errors, 2 usage)")
+    Term.(const run_lint $ file $ benchmark $ cache $ max_width $ json $ rules)
+
 let slices_cmd =
   let benchmark =
     Arg.(value & opt string "h2" & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit.")
@@ -393,4 +489,4 @@ let () =
     Cmd.info "partialc" ~version:"1.0.0"
       ~doc:"Partial compilation of variational quantum algorithms"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd; lint_cmd ]))

@@ -1,0 +1,11 @@
+// Bad fixture: t0 reappears after t1 has started, so the circuit cannot
+// be cut into contiguous per-parameter slices (rule PQC020).
+// `partialc lint` must exit 1.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(t0) q[0];
+cx q[0], q[1];
+rz(t1) q[1];
+cx q[0], q[1];
+rz(t0) q[0];

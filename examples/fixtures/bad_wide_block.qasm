@@ -1,0 +1,12 @@
+// Bad fixture: one fully-entangled 6-qubit chain.  Linted with
+// `--max-width 6` the whole chain fuses into a single 6-qubit block,
+// which is beyond the GRAPE simulability cap (rule PQC030).
+// `partialc lint --max-width 6` must exit 1.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+cx q[4], q[5];

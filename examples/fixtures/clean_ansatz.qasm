@@ -1,0 +1,12 @@
+// Clean fixture: a small parametrized ansatz with monotone parameter
+// slices (t0 fully before t1).  `partialc lint` must exit 0.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0], q[1];
+rz(t0) q[1];
+cx q[0], q[1];
+cx q[1], q[2];
+rz(t1) q[2];
+cx q[1], q[2];

@@ -1,0 +1,6 @@
+// Clean fixture: a Bell pair.  `partialc lint` must exit 0.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0], q[1];

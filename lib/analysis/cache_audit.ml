@@ -1,0 +1,145 @@
+let rule_id = "PQC050"
+
+(* The audit re-implements the cache wire format on purpose: it must judge
+   files the engine's tolerant loader would silently repair, so it cannot
+   share that loader.  The format (and the FNV-1a checksum) is pinned to
+   [Pqc_core.Pulse_cache] by test_analysis's save-then-audit round-trip. *)
+let supported_version = 1
+let header_prefix = "PQC-PULSE-CACHE v"
+
+let checksum s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+type record_fields = {
+  key : string;
+  duration_ns : float;
+  fidelity : float option;
+}
+
+let parse_payload s =
+  match
+    Scanf.sscanf s "%S\t%h\t%d\t%d\t%h\t%s@\t%s"
+      (fun key duration_ns _runs _iters _seconds fid _fb ->
+        (key, duration_ns, fid))
+  with
+  | key, duration_ns, fid ->
+    (match (if fid = "-" then Some None
+            else Option.map Option.some (float_of_string_opt fid))
+     with
+     | None -> None
+     | Some fidelity -> Some { key; duration_ns; fidelity })
+  | exception _ -> None
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+  List.rev !lines
+
+let audit_header line =
+  let plen = String.length header_prefix in
+  if String.length line > plen && String.sub line 0 plen = header_prefix then
+    match int_of_string_opt (String.sub line plen (String.length line - plen)) with
+    | Some v when v = supported_version -> []
+    | Some v ->
+      [ Diagnostic.error ~rule:rule_id ~span:(Diagnostic.point 1)
+          ~hint:"regenerate the cache with this build's Engine.persist"
+          (Printf.sprintf
+             "unsupported cache version %d (this build reads v%d); the \
+              engine will drop every record" v supported_version) ]
+    | None ->
+      [ Diagnostic.error ~rule:rule_id ~span:(Diagnostic.point 1)
+          (Printf.sprintf "malformed cache version in header %S" line) ]
+  else
+    [ Diagnostic.error ~rule:rule_id ~span:(Diagnostic.point 1)
+        ~hint:"the file is not a pulse cache, or its header was clobbered"
+        (Printf.sprintf "bad cache header %S (expected %S%d)" line
+           header_prefix supported_version) ]
+
+let audit_record ~lineno ~seen line =
+  match String.index_opt line '\t' with
+  | None ->
+    [ Diagnostic.error ~rule:rule_id ~span:(Diagnostic.point lineno)
+        ~hint:"record truncated? the engine will drop it on load"
+        "cache record has no checksum field" ]
+  | Some i ->
+    let crc = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    if not (String.equal (checksum rest) crc) then
+      [ Diagnostic.error ~rule:rule_id ~span:(Diagnostic.point lineno)
+          ~hint:"bit flip or partial write; delete the line or the file"
+          (Printf.sprintf "cache record checksum mismatch (stored %s)" crc) ]
+    else begin
+      match parse_payload rest with
+      | None ->
+        [ Diagnostic.error ~rule:rule_id ~span:(Diagnostic.point lineno)
+            "cache record passes its checksum but does not parse" ]
+      | Some r ->
+        let dups =
+          match Hashtbl.find_opt seen r.key with
+          | Some prev ->
+            [ Diagnostic.warning ~rule:rule_id
+                ~span:(Diagnostic.point lineno)
+                ~hint:"later records win on load; re-persist to deduplicate"
+                (Printf.sprintf
+                   "duplicate cache key (first seen on line %d)" prev) ]
+          | None ->
+            Hashtbl.replace seen r.key lineno;
+            []
+        in
+        let bad_duration =
+          if Float.is_finite r.duration_ns && r.duration_ns >= 0.0 then []
+          else
+            [ Diagnostic.error ~rule:rule_id ~span:(Diagnostic.point lineno)
+                (Printf.sprintf "cache record has unusable duration %h"
+                   r.duration_ns) ]
+        in
+        let odd_fidelity =
+          match r.fidelity with
+          | Some f when not (Float.is_finite f) || f < 0.0 || f > 1.0 +. 1e-9 ->
+            [ Diagnostic.warning ~rule:rule_id ~span:(Diagnostic.point lineno)
+                (Printf.sprintf "cache record reports fidelity %g outside [0,1]"
+                   f) ]
+          | Some _ | None -> []
+        in
+        dups @ bad_duration @ odd_fidelity
+    end
+
+let audit ~path =
+  if not (Sys.file_exists path) then
+    [ Diagnostic.warning ~rule:rule_id
+        ~hint:"check PQC_PULSE_CACHE / --cache spelling"
+        (Printf.sprintf "pulse-cache file %s does not exist" path) ]
+  else
+    match read_lines path with
+    | exception Sys_error e ->
+      [ Diagnostic.error ~rule:rule_id
+          (Printf.sprintf "pulse-cache file %s unreadable: %s" path e) ]
+    | [] ->
+      [ Diagnostic.warning ~rule:rule_id ~span:(Diagnostic.point 1)
+          (Printf.sprintf "pulse-cache file %s is empty (no header)" path) ]
+    | header :: records ->
+      let header_diags = audit_header header in
+      (* An unreadable header means no record can be trusted; per-record
+         findings would be noise. *)
+      if header_diags <> [] then header_diags
+      else begin
+        let seen = Hashtbl.create 64 in
+        List.concat
+          (List.mapi
+             (fun k line -> audit_record ~lineno:(k + 2) ~seen line)
+             records)
+      end

@@ -1,0 +1,20 @@
+(** Static audit of persistent pulse-cache files (rule PQC050).
+
+    The engine's loader ({!Pqc_core.Pulse_cache.load}) is deliberately
+    tolerant: corrupt records are dropped silently so a damaged cache can
+    never take compilation down.  This audit is the loud counterpart — it
+    scans a cache file {e without} loading it into an engine and reports
+    every problem the loader would paper over: bad or wrong-version
+    headers, checksum mismatches, records that parse but carry unusable
+    durations, out-of-range fidelities, and key collisions.
+
+    Diagnostic spans are 1-based line numbers into the cache file. *)
+
+val rule_id : string
+(** ["PQC050"]. *)
+
+val audit : path:string -> Diagnostic.t list
+(** Scan [path].  A missing file yields a single warning; an unreadable
+    header yields a single error (per-record findings would be noise); an
+    intact header yields one diagnostic per damaged or colliding record.
+    Never raises. *)

@@ -1,0 +1,78 @@
+module Circuit = Pqc_quantum.Circuit
+module Topology = Pqc_transpile.Topology
+(** Static-analysis rules over the circuit IR and compilation plan.
+
+    A rule inspects an analysis {!ctx} and reports {!Diagnostic.t}s.  Rules
+    come in three shapes: [Stream] rules fold over the raw instruction
+    stream (and therefore work even on malformed input that cannot be a
+    {!Circuit.t}), [Structural] rules need a validated circuit, and
+    [External] rules inspect resources outside the circuit, such as
+    persistent pulse-cache files.  The {!Runner} executes every stream rule
+    in one shared pass. *)
+
+type target = Gate_based | Strict_partial | Flexible_partial | Full_grape
+(** The compilation strategy the analysis is gating, when known.  Some
+    rules modulate severity on it: parameter monotonicity is fatal for
+    flexible partial compilation but merely advisory for strict. *)
+
+val target_to_string : target -> string
+
+val grape_width_cap : int
+(** Widest block the GRAPE engine can tractably compile (4, Section 5.2). *)
+
+type ctx = {
+  n : int;  (** Register width the stream claims to address. *)
+  instrs : Circuit.instr array;  (** The instruction stream under analysis. *)
+  theta_len : int option;
+      (** Length of the parameter vector the caller will bind, when known. *)
+  max_width : int;  (** Requested blocking budget (see {!grape_width_cap}). *)
+  topology : Topology.t option;
+      (** Device connectivity to check two-qubit operands against. *)
+  cache_file : string option;  (** Pulse-cache file to audit. *)
+  target : target option;
+}
+
+val of_instrs :
+  ?theta_len:int ->
+  ?max_width:int ->
+  ?topology:Topology.t ->
+  ?cache_file:string ->
+  ?target:target ->
+  n:int ->
+  Circuit.instr list ->
+  ctx
+(** Context over a raw (possibly malformed) instruction stream.
+    [max_width] defaults to {!grape_width_cap}.  Raises [Invalid_argument]
+    when [n <= 0]. *)
+
+val of_circuit :
+  ?theta_len:int ->
+  ?max_width:int ->
+  ?topology:Topology.t ->
+  ?cache_file:string ->
+  ?target:target ->
+  Circuit.t ->
+  ctx
+(** Context over a validated circuit. *)
+
+type stream_checker = {
+  on_instr : int -> Circuit.instr -> Diagnostic.t list;
+      (** Called once per instruction with its index, in order. *)
+  finish : unit -> Diagnostic.t list;
+      (** Called after the last instruction. *)
+}
+
+val pure_stream : (int -> Circuit.instr -> Diagnostic.t list) -> stream_checker
+(** A stateless stream checker with an empty [finish]. *)
+
+type check =
+  | Stream of (ctx -> stream_checker)
+  | Structural of (ctx -> Circuit.t -> Diagnostic.t list)
+  | External of (ctx -> Diagnostic.t list)
+
+type t = {
+  id : string;  (** Stable rule id, e.g. ["PQC020"]. *)
+  title : string;  (** Short kebab-case name, e.g. ["param-monotonicity"]. *)
+  doc : string;  (** One-line description for the rule catalog. *)
+  check : check;
+}

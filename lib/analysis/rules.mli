@@ -1,0 +1,44 @@
+(** The built-in rule catalog.
+
+    Rule ids are stable and grouped by decade:
+    - PQC00x — validity: {!qubit_bounds}, {!arity}, {!duplicate_operand}
+    - PQC01x — parameters: {!non_finite_angle}, {!unbound_param}
+    - PQC02x — slicing invariants: {!monotonicity}, {!strict_slice},
+      {!flexible_slice}
+    - PQC03x — blocking/topology: {!block_width}, {!connectivity}
+    - PQC04x — lint: {!adjacent_inverse}, {!mergeable_rotation}
+    - PQC05x — external resources: {!cache_audit} *)
+
+val qubit_bounds : Rule.t
+val arity : Rule.t
+val duplicate_operand : Rule.t
+
+val validity_rules : Rule.t list
+(** The three rules above: an error from any of them means the stream
+    cannot be a {!Pqc_quantum.Circuit.t}, so structural rules are skipped. *)
+
+val non_finite_angle : Rule.t
+val unbound_param : Rule.t
+val monotonicity : Rule.t
+(** Severity is [Error] when the context targets flexible partial
+    compilation (or no target is given, as in lint), else [Warning]. *)
+
+val strict_slice : Rule.t
+val flexible_slice : Rule.t
+val block_width : Rule.t
+val connectivity : Rule.t
+(** Runs only when the context carries a topology. *)
+
+val adjacent_inverse : Rule.t
+val mergeable_rotation : Rule.t
+val cache_audit : Rule.t
+(** Runs only when the context names a cache file; see {!Cache_audit}. *)
+
+val all : Rule.t list
+(** Every built-in rule, in id order. *)
+
+val find : string -> Rule.t option
+(** Look up by id (["PQC020"]) or title (["param-monotonicity"]). *)
+
+val catalog : unit -> (string * string * string) list
+(** [(id, title, doc)] for every rule — the lint [--rules] listing. *)

@@ -1,0 +1,173 @@
+module Circuit = Pqc_quantum.Circuit
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+  rules_run : string list;
+  skipped_structural : bool;
+}
+
+exception Rejected of report
+
+let count sev diags =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) diags)
+
+let make_report ~rules_run ~skipped_structural diags =
+  let diagnostics = List.stable_sort Diagnostic.compare diags in
+  { diagnostics;
+    errors = count Diagnostic.Error diagnostics;
+    warnings = count Diagnostic.Warning diagnostics;
+    infos = count Diagnostic.Info diagnostics;
+    rules_run;
+    skipped_structural }
+
+let has_errors r = r.errors > 0
+
+let errors r =
+  List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error)
+    r.diagnostics
+
+let warnings r =
+  List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Warning)
+    r.diagnostics
+
+(* A rule must never take the pipeline down: a crashing check is itself
+   reported as a finding against that rule. *)
+let guarded id f =
+  match f () with
+  | diags -> diags
+  | exception e ->
+    [ Diagnostic.error ~rule:id
+        (Printf.sprintf "rule crashed: %s" (Printexc.to_string e)) ]
+
+let run ?(rules = Rules.all) ctx =
+  let stream_rules, structural_rules, external_rules =
+    List.fold_left
+      (fun (s, t, e) (r : Rule.t) ->
+        match r.check with
+        | Rule.Stream _ -> (r :: s, t, e)
+        | Rule.Structural _ -> (s, r :: t, e)
+        | Rule.External _ -> (s, t, r :: e))
+      ([], [], []) (List.rev rules)
+  in
+  (* One shared pass drives every stream rule. *)
+  let checkers =
+    List.map
+      (fun (r : Rule.t) ->
+        match r.check with
+        | Rule.Stream mk -> (r.id, mk ctx)
+        | Rule.Structural _ | Rule.External _ -> assert false)
+      stream_rules
+  in
+  let acc = ref [] in
+  Array.iteri
+    (fun idx i ->
+      List.iter
+        (fun (id, (c : Rule.stream_checker)) ->
+          acc := guarded id (fun () -> c.on_instr idx i) :: !acc)
+        checkers)
+    ctx.Rule.instrs;
+  List.iter
+    (fun (id, (c : Rule.stream_checker)) ->
+      acc := guarded id (fun () -> c.finish ()) :: !acc)
+    checkers;
+  let stream_diags = List.concat (List.rev !acc) in
+  let validity_ids =
+    List.map (fun (r : Rule.t) -> r.id) Rules.validity_rules
+  in
+  let stream_valid =
+    not
+      (List.exists
+         (fun (d : Diagnostic.t) ->
+           Diagnostic.is_error d && List.mem d.rule validity_ids)
+         stream_diags)
+  in
+  let structural_diags, skipped_structural =
+    if not stream_valid then ([], structural_rules <> [])
+    else
+      match
+        Circuit.of_instrs ctx.Rule.n (Array.to_list ctx.Rule.instrs)
+      with
+      | exception Invalid_argument msg ->
+        (* The validity rules mirror Circuit.validate_instr, so this arm
+           is unreachable unless they drift apart — report it loudly. *)
+        ( [ Diagnostic.error ~rule:"PQC001"
+              ("stream rejected by Circuit.of_instrs despite clean validity \
+                rules: " ^ msg) ],
+          structural_rules <> [] )
+      | c ->
+        ( List.concat_map
+            (fun (r : Rule.t) ->
+              match r.check with
+              | Rule.Structural f -> guarded r.id (fun () -> f ctx c)
+              | Rule.Stream _ | Rule.External _ -> assert false)
+            structural_rules,
+          false )
+  in
+  let external_diags =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        match r.check with
+        | Rule.External f -> guarded r.id (fun () -> f ctx)
+        | Rule.Stream _ | Rule.Structural _ -> assert false)
+      external_rules
+  in
+  make_report
+    ~rules_run:(List.map (fun (r : Rule.t) -> r.id) rules)
+    ~skipped_structural
+    (stream_diags @ structural_diags @ external_diags)
+
+let analyze ?rules ?theta_len ?max_width ?topology ?cache_file ?target c =
+  run ?rules
+    (Rule.of_circuit ?theta_len ?max_width ?topology ?cache_file ?target c)
+
+let check ?rules ?theta_len ?max_width ?topology ?cache_file ?target c =
+  let report =
+    analyze ?rules ?theta_len ?max_width ?topology ?cache_file ?target c
+  in
+  if has_errors report then raise (Rejected report);
+  report
+
+let summary r =
+  Printf.sprintf "%d error%s, %d warning%s, %d info%s" r.errors
+    (if r.errors = 1 then "" else "s")
+    r.warnings
+    (if r.warnings = 1 then "" else "s")
+    r.infos
+    (if r.infos = 1 then "" else "s")
+
+let to_string r =
+  let lines = List.map Diagnostic.to_string r.diagnostics in
+  let skipped =
+    if r.skipped_structural then
+      [ "note: structural rules skipped (stream is not a well-formed \
+         circuit)" ]
+    else []
+  in
+  String.concat "\n" (lines @ skipped @ [ summary r ])
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Diagnostic.to_json d))
+    r.diagnostics;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"errors\":%d,\"warnings\":%d,\"infos\":%d,\
+        \"skipped_structural\":%b}"
+       r.errors r.warnings r.infos r.skipped_structural);
+  Buffer.contents buf
+
+let exit_code r = if has_errors r then 1 else 0
+
+let () =
+  Printexc.register_printer (function
+    | Rejected r ->
+      Some
+        (Printf.sprintf "Pqc_analysis.Runner.Rejected (%s)" (summary r))
+    | _ -> None)

@@ -1,0 +1,66 @@
+module Circuit = Pqc_quantum.Circuit
+(** Rule execution: drive a set of rules over an analysis context.
+
+    Stream rules share one pass over the instruction array; structural
+    rules run afterwards on the validated circuit (and are skipped, with a
+    note in the report, when validity rules errored — a malformed stream
+    cannot be a {!Circuit.t}); external rules (cache audit) always run.
+    A crashing rule is converted into an error diagnostic against that
+    rule — analysis itself never raises, except for the explicit
+    {!Rejected} gate in {!check}. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** Sorted: errors first, then by span. *)
+  errors : int;
+  warnings : int;
+  infos : int;
+  rules_run : string list;  (** Ids of the rules that were executed. *)
+  skipped_structural : bool;
+      (** True when validity errors forced structural rules to be skipped. *)
+}
+
+exception Rejected of report
+(** Raised by {!check} (and by {!Pqc_core.Compiler.compile}'s fail-fast
+    gate) when the report contains at least one error. *)
+
+val run : ?rules:Rule.t list -> Rule.ctx -> report
+(** Execute [rules] (default {!Rules.all}) over the context. *)
+
+val analyze :
+  ?rules:Rule.t list ->
+  ?theta_len:int ->
+  ?max_width:int ->
+  ?topology:Pqc_transpile.Topology.t ->
+  ?cache_file:string ->
+  ?target:Rule.target ->
+  Circuit.t ->
+  report
+(** Convenience: build a circuit context and {!run}. *)
+
+val check :
+  ?rules:Rule.t list ->
+  ?theta_len:int ->
+  ?max_width:int ->
+  ?topology:Pqc_transpile.Topology.t ->
+  ?cache_file:string ->
+  ?target:Rule.target ->
+  Circuit.t ->
+  report
+(** Like {!analyze} but raises {!Rejected} when the report has errors —
+    the fail-fast gate used before spending GRAPE time. *)
+
+val has_errors : report -> bool
+val errors : report -> Diagnostic.t list
+val warnings : report -> Diagnostic.t list
+
+val summary : report -> string
+(** E.g. ["2 errors, 1 warning, 0 infos"]. *)
+
+val to_string : report -> string
+(** Human-readable: one line per diagnostic plus the summary. *)
+
+val to_json : report -> string
+(** Machine-readable report for [partialc lint --json] and CI. *)
+
+val exit_code : report -> int
+(** CI convention: [1] when the report has errors, else [0]. *)

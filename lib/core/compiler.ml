@@ -205,7 +205,33 @@ let degrade_chain = function
 let usable (r : Strategy.compiled) =
   Float.is_finite r.Strategy.duration_ns && r.Strategy.duration_ns >= 0.0
 
-let compile ?(max_width = 4) ~engine strategy c ~theta =
+let analysis_target = function
+  | Gate_based -> Pqc_analysis.Rule.Gate_based
+  | Strict_partial -> Pqc_analysis.Rule.Strict_partial
+  | Flexible_partial -> Pqc_analysis.Rule.Flexible_partial
+  | Full_grape -> Pqc_analysis.Rule.Full_grape
+
+(* Fail-fast gate: no GRAPE time is spent on a circuit that violates the
+   invariants the strategies rely on.  Errors abort (Runner.Rejected);
+   warnings become degradation records so the accounting that already
+   tracks engine fallbacks also shows what the analyzer flagged. *)
+let analysis_gate ~max_width strategy c ~theta =
+  let report =
+    Pqc_analysis.Runner.analyze ~theta_len:(Array.length theta) ~max_width
+      ~target:(analysis_target strategy) c
+  in
+  if Pqc_analysis.Runner.has_errors report then
+    raise (Pqc_analysis.Runner.Rejected report);
+  List.map
+    (fun d ->
+      { Resilience.stage = "analysis"; reason = Resilience.Lint;
+        detail = Pqc_analysis.Diagnostic.to_string d })
+    (Pqc_analysis.Runner.warnings report)
+
+let compile ?(max_width = 4) ?(analysis = true) ~engine strategy c ~theta =
+  let lint_degs =
+    if analysis then analysis_gate ~max_width strategy c ~theta else []
+  in
   let rec go degs = function
     | [] -> assert false (* chains always end in Gate_based *)
     | [ last ] ->
@@ -230,4 +256,4 @@ let compile ?(max_width = 4) ~engine strategy c ~theta =
                 detail = "strategy raised: " ^ Printexc.to_string e } ])
           rest)
   in
-  go [] (degrade_chain strategy)
+  go lint_degs (degrade_chain strategy)

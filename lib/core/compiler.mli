@@ -59,12 +59,18 @@ val degrade_chain : strategy -> strategy list
     that cannot fail. *)
 
 val compile :
-  ?max_width:int -> engine:Engine.t -> strategy -> Circuit.t ->
-  theta:float array -> Strategy.compiled
+  ?max_width:int -> ?analysis:bool -> engine:Engine.t -> strategy ->
+  Circuit.t -> theta:float array -> Strategy.compiled
 (** Fault-tolerant compilation entry point: runs the requested strategy
     and, if it raises or yields a non-finite duration, walks
     {!degrade_chain} until a realizable pulse is produced (gate-based
     always is).  Every abandoned rung, and every engine-level block
     fallback, is recorded in the result's
     {!Strategy.compiled.degradations} — degradation is explicit, never
-    silent. *)
+    silent.
+
+    Unless [analysis] is [false], the static analyzer
+    ({!Pqc_analysis.Runner}) gates the whole pipeline first: any [Error]
+    diagnostic raises {!Pqc_analysis.Runner.Rejected} before a single
+    GRAPE search starts, and [Warning] diagnostics are recorded as
+    [Resilience.Lint] degradations in the result. *)

@@ -1,26 +1,29 @@
 module Grape = Pqc_grape.Grape
 
-type failure = Non_finite | Diverged | Deadline_exceeded | Cache_corrupt
+type failure = Non_finite | Diverged | Deadline_exceeded | Cache_corrupt | Lint
 
 let failure_to_string = function
   | Non_finite -> "non-finite"
   | Diverged -> "diverged"
   | Deadline_exceeded -> "deadline-exceeded"
   | Cache_corrupt -> "cache-corrupt"
+  | Lint -> "lint"
 
 let failure_of_string = function
   | "non-finite" -> Some Non_finite
   | "diverged" -> Some Diverged
   | "deadline-exceeded" -> Some Deadline_exceeded
   | "cache-corrupt" -> Some Cache_corrupt
+  | "lint" -> Some Lint
   | _ -> None
 
 (* Deadlines and cache failures are not retryable: the former because the
    budget is already gone, the latter because re-reading the same bytes
-   cannot help. *)
+   cannot help.  Lint findings are static properties of the circuit, so
+   retrying cannot change them either. *)
 let retryable = function
   | Non_finite | Diverged -> true
-  | Deadline_exceeded | Cache_corrupt -> false
+  | Deadline_exceeded | Cache_corrupt | Lint -> false
 
 (* --- Retry policy --- *)
 

@@ -14,13 +14,14 @@ type failure =
   | Diverged  (** Search failed to converge within its probe budget. *)
   | Deadline_exceeded  (** Wall-clock budget expired. *)
   | Cache_corrupt  (** Persistent cache entry failed validation. *)
+  | Lint  (** Static analysis warning recorded by the pre-GRAPE gate. *)
 
 val failure_to_string : failure -> string
 val failure_of_string : string -> failure option
 
 val retryable : failure -> bool
 (** [Non_finite] and [Diverged] are worth retrying with fresh settings;
-    [Deadline_exceeded] and [Cache_corrupt] are not. *)
+    [Deadline_exceeded], [Cache_corrupt] and [Lint] are not. *)
 
 type policy = {
   max_attempts : int;  (** Total attempts, first try included. *)

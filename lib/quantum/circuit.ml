@@ -39,6 +39,17 @@ let append c gate qs =
   validate_instr c.n i;
   { c with ops = Array.append c.ops [| i |] }
 
+let extend c gates =
+  let extra =
+    List.map
+      (fun (gate, qs) ->
+        let i = { gate; qubits = Array.of_list qs } in
+        validate_instr c.n i;
+        i)
+      gates
+  in
+  { c with ops = Array.append c.ops (Array.of_list extra) }
+
 let concat a b =
   if a.n <> b.n then invalid_arg "Circuit.concat: width mismatch";
   { n = a.n; ops = Array.append a.ops b.ops }

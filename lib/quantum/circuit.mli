@@ -35,8 +35,13 @@ val of_instrs : int -> instr list -> t
 val of_gates : int -> (Gate.t * int list) list -> t
 
 val append : t -> Gate.t -> int list -> t
-(** Functional append of one instruction (O(length); use {!Builder} in
-    generator loops). *)
+(** Functional append of one instruction (O(length); use {!extend} or
+    {!Builder} in generator loops — folding [append] is quadratic). *)
+
+val extend : t -> (Gate.t * int list) list -> t
+(** Bulk functional append: one allocation for the whole batch, so
+    [extend c gates] is O(length c + length gates) where the equivalent
+    [append] fold is quadratic.  Validates like {!of_gates}. *)
 
 val concat : t -> t -> t
 (** Sequential composition; widths must match. *)

@@ -1,7 +1,7 @@
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail ~line ~col fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; col; message })) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -57,8 +57,24 @@ let to_qasm ?theta c =
 (* Reader                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Strip // comments, split into ';'-terminated statements, tracking line
-   numbers for error reporting. *)
+(* A ';'-terminated statement with, for every character of its (trimmed,
+   newline-joined) text, the 1-based source line and column it came from —
+   the map that lets every parse error point at an exact position even
+   when a statement spans lines. *)
+type stmt = { text : string; pos : (int * int) array }
+
+let at stmt i =
+  let n = Array.length stmt.pos in
+  if n = 0 then (1, 1) else stmt.pos.(max 0 (min i (n - 1)))
+
+let fail_at stmt i fmt =
+  let line, col = at stmt i in
+  fail ~line ~col fmt
+
+let is_ws ch = ch = ' ' || ch = '\t' || ch = '\r'
+
+(* Strip // comments, split into ';'-terminated statements, tracking the
+   source position of every retained character. *)
 let statements source =
   let no_comments =
     String.split_on_char '\n' source
@@ -68,47 +84,96 @@ let statements source =
              String.sub l 0 i
            | Some _ | None -> l)
   in
-  let acc = ref [] and current = Buffer.create 64 and start_line = ref 1 in
+  let acc = ref [] in
+  let buf = Buffer.create 64 in
+  let pos = ref [] (* reversed, one entry per buffered char *) in
+  let trimmed () =
+    let text = Buffer.contents buf in
+    let parr = Array.of_list (List.rev !pos) in
+    let n = String.length text in
+    let lo = ref 0 in
+    while !lo < n && is_ws text.[!lo] do incr lo done;
+    let hi = ref (n - 1) in
+    while !hi >= !lo && is_ws text.[!hi] do decr hi done;
+    if !hi < !lo then None
+    else
+      Some
+        { text = String.sub text !lo (!hi - !lo + 1);
+          pos = Array.sub parr !lo (!hi - !lo + 1) }
+  in
+  let emit () =
+    (match trimmed () with Some s -> acc := s :: !acc | None -> ());
+    Buffer.clear buf;
+    pos := []
+  in
   List.iteri
-    (fun lineno line ->
-      String.iter
-        (fun ch ->
-          if ch = ';' then begin
-            let text = String.trim (Buffer.contents current) in
-            if text <> "" then acc := (!start_line, text) :: !acc;
-            Buffer.clear current;
-            start_line := lineno + 1
-          end
+    (fun k line ->
+      let lineno = k + 1 in
+      String.iteri
+        (fun j ch ->
+          if ch = ';' then emit ()
           else begin
-            if String.trim (Buffer.contents current) = "" then
-              start_line := lineno + 1;
-            Buffer.add_char current ch
+            Buffer.add_char buf ch;
+            pos := (lineno, j + 1) :: !pos
           end)
         line;
-      if Buffer.length current > 0 then Buffer.add_char current ' ')
+      if Buffer.length buf > 0 then begin
+        Buffer.add_char buf ' ';
+        pos := (lineno, String.length line + 1) :: !pos
+      end)
     no_comments;
-  (match String.trim (Buffer.contents current) with
-  | "" -> ()
-  | text -> fail !start_line "missing ';' after %S" text);
+  (match trimmed () with
+  | None -> ()
+  | Some s -> fail_at s 0 "missing ';' after %S" s.text);
   List.rev !acc
 
-(* Tiny recursive-descent parser for angle expressions. *)
-module Expr = struct
-  type token = Num of float | Pi | Plus | Minus | Star | Slash | LPar | RPar
+(* Offset of the first non-whitespace character of [s]. *)
+let ltrim_off s =
+  let i = ref 0 in
+  while !i < String.length s && is_ws s.[!i] do incr i done;
+  !i
 
-  let tokenize line s =
+(* Split [text] (located at [off] within its statement) on commas, keeping
+   each piece's offset. *)
+let split_commas ~off text =
+  let pieces = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i ch ->
+      if ch = ',' then begin
+        pieces := (off + !start, String.sub text !start (i - !start)) :: !pieces;
+        start := i + 1
+      end)
+    text;
+  pieces :=
+    (off + !start, String.sub text !start (String.length text - !start))
+    :: !pieces;
+  List.rev !pieces
+
+(* Tiny recursive-descent parser for angle expressions.  Expressions
+   evaluate to affine parameter forms ({!Param.t}): floating literals, [pi]
+   and the symbolic variational parameters [t0], [t1], ... combined with
+   [+ - * /], unary minus and parentheses — as long as the result stays
+   affine in at most one parameter (products of two parameters, division
+   by a parameter, or mixing different parameters are rejected). *)
+module Expr = struct
+  type token = Num of float | Pi | Var of int | Plus | Minus | Star | Slash | LPar | RPar
+
+  (* Tokens carry their offset within the statement text. *)
+  let tokenize stmt ~off s =
     let n = String.length s in
     let tokens = ref [] in
     let i = ref 0 in
+    let push t = tokens := (t, off + !i) :: !tokens in
     while !i < n do
       let ch = s.[!i] in
       if ch = ' ' || ch = '\t' then incr i
-      else if ch = '+' then (tokens := Plus :: !tokens; incr i)
-      else if ch = '-' then (tokens := Minus :: !tokens; incr i)
-      else if ch = '*' then (tokens := Star :: !tokens; incr i)
-      else if ch = '/' then (tokens := Slash :: !tokens; incr i)
-      else if ch = '(' then (tokens := LPar :: !tokens; incr i)
-      else if ch = ')' then (tokens := RPar :: !tokens; incr i)
+      else if ch = '+' then (push Plus; incr i)
+      else if ch = '-' then (push Minus; incr i)
+      else if ch = '*' then (push Star; incr i)
+      else if ch = '/' then (push Slash; incr i)
+      else if ch = '(' then (push LPar; incr i)
+      else if ch = ')' then (push RPar; incr i)
       else if (ch >= '0' && ch <= '9') || ch = '.' then begin
         let j = ref !i in
         while
@@ -123,31 +188,58 @@ module Expr = struct
         done;
         let text = String.sub s !i (!j - !i) in
         (match float_of_string_opt text with
-        | Some v -> tokens := Num v :: !tokens
-        | None -> fail line "bad number %S" text);
+        | Some v -> push (Num v)
+        | None -> fail_at stmt (off + !i) "bad number %S" text);
         i := !j
       end
-      else if String.length s - !i >= 2 && String.sub s !i 2 = "pi" then begin
-        tokens := Pi :: !tokens;
+      else if n - !i >= 2 && String.sub s !i 2 = "pi" then begin
+        push Pi;
         i := !i + 2
       end
-      else fail line "unexpected character %C in expression %S" ch s
+      else if ch = 't' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9'
+      then begin
+        let j = ref (!i + 1) in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+        let text = String.sub s (!i + 1) (!j - !i - 1) in
+        (match int_of_string_opt text with
+        | Some v -> push (Var v)
+        | None -> fail_at stmt (off + !i) "bad parameter index t%s" text);
+        i := !j
+      end
+      else fail_at stmt (off + !i) "unexpected character %C in expression %S" ch s
     done;
     List.rev !tokens
 
   (* expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* ;
-     factor := '-' factor | '(' expr ')' | number | pi *)
-  let parse line tokens =
+     factor := '-' factor | '(' expr ')' | number | pi | tN *)
+  let parse stmt ~off ~len tokens =
     let rest = ref tokens in
+    let last = off + len in
     let peek () = match !rest with [] -> None | t :: _ -> Some t in
+    let here () = match !rest with [] -> last | (_, p) :: _ -> p in
     let advance () = match !rest with [] -> () | _ :: tl -> rest := tl in
+    let add_or_fail p a b =
+      match Param.add a b with
+      | Some v -> v
+      | None ->
+        fail_at stmt p
+          "angle expression mixes different parameters (t%d and t%d)"
+          (Option.value (Param.depends_on a) ~default:(-1))
+          (Option.value (Param.depends_on b) ~default:(-1))
+    in
     let rec expr () =
       let v = ref (term ()) in
       let rec loop () =
         match peek () with
-        | Some Plus -> advance (); v := !v +. term (); loop ()
-        | Some Minus -> advance (); v := !v -. term (); loop ()
-        | Some (Num _ | Pi | Star | Slash | LPar | RPar) | None -> ()
+        | Some (Plus, p) ->
+          advance ();
+          v := add_or_fail p !v (term ());
+          loop ()
+        | Some (Minus, p) ->
+          advance ();
+          v := add_or_fail p !v (Param.neg (term ()));
+          loop ()
+        | Some ((Num _ | Pi | Var _ | Star | Slash | LPar | RPar), _) | None -> ()
       in
       loop ();
       !v
@@ -155,57 +247,79 @@ module Expr = struct
       let v = ref (factor ()) in
       let rec loop () =
         match peek () with
-        | Some Star -> advance (); v := !v *. factor (); loop ()
-        | Some Slash ->
+        | Some (Star, p) ->
+          advance ();
+          let f = factor () in
+          (match Param.is_const !v, Param.is_const f with
+          | true, _ -> v := Param.scale_by (Param.bind !v [||]) f
+          | _, true -> v := Param.scale_by (Param.bind f [||]) !v
+          | false, false ->
+            fail_at stmt p "angle expression multiplies two parameters");
+          loop ()
+        | Some (Slash, p) ->
           advance ();
           let d = factor () in
-          if d = 0.0 then fail line "division by zero in angle expression";
-          v := !v /. d;
+          if not (Param.is_const d) then
+            fail_at stmt p "angle expression divides by a parameter";
+          let d = Param.bind d [||] in
+          if d = 0.0 then fail_at stmt p "division by zero in angle expression";
+          v := Param.scale_by (1.0 /. d) !v;
           loop ()
-        | Some (Num _ | Pi | Plus | Minus | LPar | RPar) | None -> ()
+        | Some ((Num _ | Pi | Var _ | Plus | Minus | LPar | RPar), _) | None -> ()
       in
       loop ();
       !v
     and factor () =
       match peek () with
-      | Some Minus -> advance (); -.factor ()
-      | Some (Num v) -> advance (); v
-      | Some Pi -> advance (); Float.pi
-      | Some LPar ->
+      | Some (Minus, _) -> advance (); Param.neg (factor ())
+      | Some (Num v, _) -> advance (); Param.const v
+      | Some (Pi, _) -> advance (); Param.const Float.pi
+      | Some (Var v, p) ->
+        advance ();
+        if v < 0 then fail_at stmt p "bad parameter index t%d" v;
+        Param.var v
+      | Some (LPar, _) ->
         advance ();
         let v = expr () in
         (match peek () with
-        | Some RPar -> advance (); v
-        | Some _ | None -> fail line "expected ')'")
-      | Some (Plus | Star | Slash | RPar) | None ->
-        fail line "malformed angle expression"
+        | Some (RPar, _) -> advance (); v
+        | Some _ | None -> fail_at stmt (here ()) "expected ')'")
+      | Some ((Plus | Star | Slash | RPar), p) ->
+        fail_at stmt p "malformed angle expression"
+      | None -> fail_at stmt last "malformed angle expression"
     in
     let v = expr () in
-    (match !rest with [] -> () | _ :: _ -> fail line "trailing tokens in expression");
+    (match !rest with
+    | [] -> ()
+    | (_, p) :: _ -> fail_at stmt p "trailing tokens in expression");
     v
 
-  let eval line s = parse line (tokenize line s)
+  let eval stmt ~off s =
+    parse stmt ~off ~len:(String.length s) (tokenize stmt ~off s)
 end
 
-let parse_operand line ~reg ~size text =
+let parse_operand stmt ~off ~reg ~size text =
+  let lead = ltrim_off text in
+  let off = off + lead in
   let text = String.trim text in
   match String.index_opt text '[' with
-  | None -> fail line "expected %s[index], got %S" reg text
+  | None -> fail_at stmt off "expected %s[index], got %S" reg text
   | Some i ->
     let name = String.sub text 0 i in
-    if name <> reg then fail line "unknown register %S (declared %S)" name reg;
+    if name <> reg then
+      fail_at stmt off "unknown register %S (declared %S)" name reg;
     (match String.index_opt text ']' with
-    | None -> fail line "missing ']' in %S" text
+    | None -> fail_at stmt off "missing ']' in %S" text
     | Some j ->
       let idx = String.sub text (i + 1) (j - i - 1) in
       (match int_of_string_opt (String.trim idx) with
       | Some q when q >= 0 && q < size -> q
-      | Some q -> fail line "qubit %d out of range [0,%d)" q size
-      | None -> fail line "bad qubit index %S" idx))
+      | Some q -> fail_at stmt (off + i + 1) "qubit %d out of range [0,%d)" q size
+      | None -> fail_at stmt (off + i + 1) "bad qubit index %S" idx))
 
-(* Split "mnemonic(args) operands" into pieces. *)
-let split_application line text =
-  let text = String.trim text in
+(* Split "mnemonic(args) operands" into pieces, each with its offset. *)
+let split_application stmt =
+  let text = stmt.text in
   let name_end =
     let rec go i =
       if i >= String.length text then i
@@ -216,10 +330,11 @@ let split_application line text =
     in
     go 0
   in
-  if name_end = 0 then fail line "expected gate name in %S" text;
+  if name_end = 0 then fail_at stmt 0 "expected gate name in %S" text;
   let name = String.sub text 0 name_end in
-  let rest = String.sub text name_end (String.length text - name_end) in
-  let rest = String.trim rest in
+  let rest_raw = String.sub text name_end (String.length text - name_end) in
+  let rest_off = name_end + ltrim_off rest_raw in
+  let rest = String.trim rest_raw in
   if String.length rest > 0 && rest.[0] = '(' then begin
     (* Find the matching close parenthesis (angle expressions nest). *)
     let close = ref None and depth = ref 0 in
@@ -233,95 +348,101 @@ let split_application line text =
           end)
       rest;
     match !close with
-    | None -> fail line "missing ')' in %S" text
+    | None -> fail_at stmt rest_off "missing ')' in %S" text
     | Some j ->
       let args = String.sub rest 1 (j - 1) in
-      let operands = String.sub rest (j + 1) (String.length rest - j - 1) in
-      (name, Some args, String.trim operands)
+      let tail = String.sub rest (j + 1) (String.length rest - j - 1) in
+      let tail_off = rest_off + j + 1 + ltrim_off tail in
+      (name, Some (args, rest_off + 1), (String.trim tail, tail_off))
   end
-  else (name, None, rest)
+  else (name, None, (rest, rest_off))
 
 let of_qasm source =
   let stmts = statements source in
   let reg = ref None in
   let builder = ref None in
-  let ensure_builder line =
+  let ensure_builder stmt =
     match !builder with
     | Some b -> b
-    | None -> fail line "gate application before qreg declaration"
+    | None -> fail_at stmt 0 "gate application before qreg declaration"
   in
-  let angle line = function
-    | Some args -> Expr.eval line args
-    | None -> fail line "missing angle argument"
+  let angle stmt = function
+    | Some (args, off) -> Expr.eval stmt ~off args
+    | None -> fail_at stmt 0 "missing angle argument"
   in
-  let no_args line name = function
+  let no_args stmt name = function
     | None -> ()
-    | Some _ -> fail line "%s takes no argument" name
+    | Some (_, off) -> fail_at stmt off "%s takes no argument" name
   in
   List.iter
-    (fun (line, text) ->
+    (fun stmt ->
+      let text = stmt.text in
       let lower = String.lowercase_ascii text in
       let starts p =
-        String.length lower >= String.length p && String.sub lower 0 (String.length p) = p
+        String.length lower >= String.length p
+        && String.sub lower 0 (String.length p) = p
       in
       if starts "openqasm" || starts "include" || starts "creg" || starts "barrier"
       then ()
       else if starts "measure" || starts "if" || starts "gate" || starts "reset"
-      then fail line "unsupported statement %S" text
+      then fail_at stmt 0 "unsupported statement %S" text
       else if starts "qreg" then begin
-        if !reg <> None then fail line "multiple qreg declarations";
-        let rest = String.trim (String.sub text 4 (String.length text - 4)) in
+        if !reg <> None then fail_at stmt 0 "multiple qreg declarations";
+        let rest_raw = String.sub text 4 (String.length text - 4) in
+        let rest_off = 4 + ltrim_off rest_raw in
+        let rest = String.trim rest_raw in
         match String.index_opt rest '[' with
-        | None -> fail line "bad qreg declaration %S" text
+        | None -> fail_at stmt 0 "bad qreg declaration %S" text
         | Some i ->
           let name = String.trim (String.sub rest 0 i) in
           (match String.index_opt rest ']' with
-          | None -> fail line "missing ']' in qreg"
+          | None -> fail_at stmt (rest_off + i) "missing ']' in qreg"
           | Some j ->
             (match int_of_string_opt (String.sub rest (i + 1) (j - i - 1)) with
             | Some n when n > 0 ->
               reg := Some (name, n);
               builder := Some (Circuit.Builder.create n)
-            | Some _ | None -> fail line "bad qreg size"))
+            | Some _ | None -> fail_at stmt (rest_off + i + 1) "bad qreg size"))
       end
       else begin
-        let b = ensure_builder line in
+        let b = ensure_builder stmt in
         let reg_name, size = Option.get !reg in
-        let name, args, operand_text = split_application line text in
+        let name, args, (operand_text, operands_off) = split_application stmt in
         let operands =
-          String.split_on_char ',' operand_text
-          |> List.map (parse_operand line ~reg:reg_name ~size)
+          split_commas ~off:operands_off operand_text
+          |> List.map (fun (off, piece) ->
+                 parse_operand stmt ~off ~reg:reg_name ~size piece)
         in
         let add1 g =
           match operands with
           | [ q ] -> Circuit.Builder.add b g [ q ]
-          | _ -> fail line "%s expects one operand" name
+          | _ -> fail_at stmt 0 "%s expects one operand" name
         in
         let add2 g =
           match operands with
           | [ a; c ] -> Circuit.Builder.add b g [ a; c ]
-          | _ -> fail line "%s expects two operands" name
+          | _ -> fail_at stmt 0 "%s expects two operands" name
         in
         match String.lowercase_ascii name with
-        | "id" -> no_args line name args
-        | "h" -> no_args line name args; add1 Gate.H
-        | "x" -> no_args line name args; add1 Gate.X
-        | "y" -> no_args line name args; add1 Gate.Y
-        | "z" -> no_args line name args; add1 Gate.Z
-        | "s" -> no_args line name args; add1 Gate.S
-        | "sdg" -> no_args line name args; add1 Gate.Sdg
-        | "t" -> no_args line name args; add1 Gate.T
-        | "tdg" -> no_args line name args; add1 Gate.Tdg
-        | "rx" -> add1 (Gate.Rx (Param.const (angle line args)))
-        | "ry" -> add1 (Gate.Ry (Param.const (angle line args)))
-        | "rz" | "u1" -> add1 (Gate.Rz (Param.const (angle line args)))
-        | "cx" | "cnot" -> no_args line name args; add2 Gate.CX
-        | "cz" -> no_args line name args; add2 Gate.CZ
-        | "swap" -> no_args line name args; add2 Gate.Swap
-        | "iswap" -> no_args line name args; add2 Gate.ISwap
-        | other -> fail line "unsupported gate %S" other
+        | "id" -> no_args stmt name args
+        | "h" -> no_args stmt name args; add1 Gate.H
+        | "x" -> no_args stmt name args; add1 Gate.X
+        | "y" -> no_args stmt name args; add1 Gate.Y
+        | "z" -> no_args stmt name args; add1 Gate.Z
+        | "s" -> no_args stmt name args; add1 Gate.S
+        | "sdg" -> no_args stmt name args; add1 Gate.Sdg
+        | "t" -> no_args stmt name args; add1 Gate.T
+        | "tdg" -> no_args stmt name args; add1 Gate.Tdg
+        | "rx" -> add1 (Gate.Rx (angle stmt args))
+        | "ry" -> add1 (Gate.Ry (angle stmt args))
+        | "rz" | "u1" -> add1 (Gate.Rz (angle stmt args))
+        | "cx" | "cnot" -> no_args stmt name args; add2 Gate.CX
+        | "cz" -> no_args stmt name args; add2 Gate.CZ
+        | "swap" -> no_args stmt name args; add2 Gate.Swap
+        | "iswap" -> no_args stmt name args; add2 Gate.ISwap
+        | other -> fail_at stmt 0 "unsupported gate %S" other
       end)
     stmts;
   match !builder with
   | Some b -> Circuit.Builder.to_circuit b
-  | None -> fail 1 "no qreg declaration found"
+  | None -> fail ~line:1 ~col:1 "no qreg declaration found"

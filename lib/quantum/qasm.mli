@@ -8,9 +8,14 @@
     Supported subset: one quantum register; the gate set of {!Gate} (with
     [u1] read as [rz] and [id] skipped); [creg], [barrier] and comments are
     accepted and ignored.  Angle expressions understand floating literals,
-    [pi], unary minus, [+ - * /] and parentheses. *)
+    [pi], the symbolic variational parameters [t0], [t1], ... (an extension
+    of OpenQASM 2.0 — each expression must stay affine in at most one
+    parameter, matching {!Param}), unary minus, [+ - * /] and
+    parentheses. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
+(** Every parse error carries the 1-based source line and column of the
+    offending token. *)
 
 val to_qasm : ?theta:float array -> Circuit.t -> string
 (** Serialize a circuit.  Parametrized gates are bound with [theta] first;
@@ -18,6 +23,8 @@ val to_qasm : ?theta:float array -> Circuit.t -> string
     has no free symbols). *)
 
 val of_qasm : string -> Circuit.t
-(** Parse a program.  Raises {!Parse_error} with a line number on invalid
-    input, and on constructs outside the subset ([measure], [if], [gate]
-    definitions, multiple [qreg]s). *)
+(** Parse a program.  Raises {!Parse_error} with a line and column on
+    invalid input, and on constructs outside the subset ([measure], [if],
+    [gate] definitions, multiple [qreg]s).  Programs using the [tN]
+    parameter extension produce parametrized circuits (bind with
+    {!Circuit.bind}). *)

@@ -6,6 +6,7 @@ type open_block = {
   id : int;
   mutable qset : int list; (* sorted *)
   mutable rev_instrs : Circuit.instr list;
+  mutable rev_indices : int list; (* original instruction indices *)
 }
 
 let sorted_union a b =
@@ -18,15 +19,19 @@ let sorted_union a b =
    4-qubit circuit collapse into a single GRAPE block no matter how its
    gates interleave). *)
 let merge_adjacent ~max_width blocks =
-  let fuse a b =
-    { qubits = sorted_union a.qubits b.qubits;
-      circuit = Pqc_quantum.Circuit.concat a.circuit b.circuit }
+  let fuse (a, ai) (b, bi) =
+    ( { qubits = sorted_union a.qubits b.qubits;
+        circuit = Pqc_quantum.Circuit.concat a.circuit b.circuit },
+      ai @ bi )
   in
-  let shares_qubit a b = List.exists (fun q -> List.mem q b.qubits) a.qubits in
+  let shares_qubit (a, _) (b, _) =
+    List.exists (fun q -> List.mem q b.qubits) a.qubits
+  in
   let rec pass acc = function
     | a :: b :: rest
       when shares_qubit a b
-           && List.length (sorted_union a.qubits b.qubits) <= max_width ->
+           && List.length (sorted_union (fst a).qubits (fst b).qubits)
+              <= max_width ->
       (* Fuse only dependent neighbours: fusing disjoint blocks would
          serialize work the scheduler could otherwise overlap. *)
       pass acc (fuse a b :: rest)
@@ -39,20 +44,25 @@ let merge_adjacent ~max_width blocks =
   in
   fixpoint blocks
 
-let partition ~max_width c =
+let partition_with_indices ~max_width c =
   if max_width < 2 then invalid_arg "Block.partition: max_width must be >= 2";
   let n = Circuit.n_qubits c in
   let owner = Array.make n None in
   let blocks = ref [] (* reversed creation order *) in
   let next_id = ref 0 in
-  let fresh qset instr =
-    let b = { id = !next_id; qset; rev_instrs = [ instr ] } in
+  let fresh qset instr idx =
+    let b =
+      { id = !next_id; qset; rev_instrs = [ instr ]; rev_indices = [ idx ] }
+    in
     incr next_id;
     blocks := b :: !blocks;
     b
   in
+  let index = ref (-1) in
   Circuit.iter
     (fun (instr : Circuit.instr) ->
+      incr index;
+      let idx = !index in
       let qs = List.sort compare (Array.to_list instr.qubits) in
       let owners =
         List.sort_uniq compare
@@ -61,6 +71,7 @@ let partition ~max_width c =
       let extend b =
         b.qset <- sorted_union b.qset qs;
         b.rev_instrs <- instr :: b.rev_instrs;
+        b.rev_indices <- idx :: b.rev_indices;
         List.iter (fun q -> owner.(q) <- Some b) qs
       in
       let target =
@@ -79,15 +90,19 @@ let partition ~max_width c =
       match target with
       | Some b -> extend b
       | None ->
-        let b = fresh qs instr in
+        let b = fresh qs instr idx in
         List.iter (fun q -> owner.(q) <- Some b) qs)
     c;
   List.rev_map
     (fun b ->
-      { qubits = b.qset;
-        circuit = Circuit.of_instrs n (List.rev b.rev_instrs) })
+      ( { qubits = b.qset;
+          circuit = Circuit.of_instrs n (List.rev b.rev_instrs) },
+        List.rev b.rev_indices ))
     !blocks
   |> merge_adjacent ~max_width
+
+let partition ~max_width c =
+  List.map fst (partition_with_indices ~max_width c)
 
 let extract b =
   let rank =
@@ -99,10 +114,9 @@ let extract b =
 
 let depends b =
   match Circuit.depends b.circuit with
-  | [] -> None
-  | [ v ] -> Some v
-  | _ :: _ :: _ ->
-    invalid_arg "Block.depends: block depends on several parameters"
+  | [] -> Ok None
+  | [ v ] -> Ok (Some v)
+  | _ :: _ :: _ as vs -> Error vs
 
 let concat_all ~n blocks =
   let builder = Circuit.Builder.create n in

@@ -20,14 +20,22 @@ val partition : max_width:int -> Circuit.t -> block list
 (** Blocks in a dependency-respecting order; concatenating them (in order)
     reproduces a circuit equivalent to the input (property-tested). *)
 
+val partition_with_indices :
+  max_width:int -> Circuit.t -> (block * int list) list
+(** Like {!partition}, but each block carries the original instruction
+    indices of its contents (in emission order) — used by the static
+    analyzer to report block findings with source spans. *)
+
 val extract : block -> Circuit.t
 (** The block as a standalone circuit over [List.length qubits] qubits,
     operands renamed by rank — the form handed to GRAPE. *)
 
-val depends : block -> int option
-(** The single variational parameter the block depends on, [None] for fixed
-    blocks.  Raises [Invalid_argument] when the block depends on several
-    parameters (callers ensure single-parameter slicing first). *)
+val depends : block -> (int option, int list) result
+(** The single variational parameter the block depends on: [Ok None] for
+    fixed blocks, [Ok (Some v)] for single-parameter blocks, and
+    [Error vs] listing every parameter when the block depends on several —
+    the caller decides whether that is a slicing bug (flexible partial
+    compilation requires single-parameter dependence) or expected. *)
 
 val concat_all : n:int -> block list -> Circuit.t
 (** Re-assemble blocks into one circuit over the original [n]-qubit

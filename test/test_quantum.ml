@@ -236,6 +236,43 @@ let test_circuit_concat_append () =
   Alcotest.(check bool) "HH = I" true
     (Cmat.max_abs_diff (Circuit.unitary cc) (Cmat.identity 4) < 1e-12)
 
+let same_instrs a b =
+  Circuit.length a = Circuit.length b
+  && List.for_all
+       (fun k -> Circuit.instr a k = Circuit.instr b k)
+       (List.init (Circuit.length a) Fun.id)
+
+let prop_append_extend_builder_agree =
+  QCheck.Test.make ~name:"append fold = extend = builder" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 3 12 in
+      let gates =
+        Array.to_list (Circuit.instrs c)
+        |> List.map (fun (i : Circuit.instr) ->
+               (i.Circuit.gate, Array.to_list i.Circuit.qubits))
+      in
+      let by_append =
+        List.fold_left
+          (fun acc (g, qs) -> Circuit.append acc g qs)
+          (Circuit.empty 3) gates
+      in
+      let by_extend = Circuit.extend (Circuit.empty 3) gates in
+      let b = Circuit.Builder.create 3 in
+      List.iter (fun (g, qs) -> Circuit.Builder.add b g qs) gates;
+      let by_builder = Circuit.Builder.to_circuit b in
+      same_instrs by_append c && same_instrs by_extend c
+      && same_instrs by_builder c)
+
+let test_circuit_extend_validates () =
+  let c = Circuit.of_gates 2 [ (Gate.H, [ 0 ]) ] in
+  Alcotest.(check bool) "bad operand rejected" true
+    (try ignore (Circuit.extend c [ (Gate.X, [ 5 ]) ]); false
+     with Invalid_argument _ -> true);
+  let c2 = Circuit.extend c [ (Gate.CX, [ 0; 1 ]); (Gate.X, [ 1 ]) ] in
+  Alcotest.(check int) "extended length" 3 (Circuit.length c2)
+
 let test_circuit_relabel () =
   let c = Circuit.of_gates 2 [ (Gate.CX, [ 0; 1 ]) ] in
   let r = Circuit.relabel c ~n:3 ~mapping:(fun q -> q + 1) in
@@ -456,6 +493,60 @@ let test_qasm_error_line_numbers () =
      Alcotest.fail "must raise"
    with Qasm.Parse_error { line; _ } -> Alcotest.(check int) "line" 3 line)
 
+(* Corpus of invalid programs: every entry must raise Parse_error with a
+   sane position; entries with a known position pin it exactly. *)
+let test_qasm_error_positions () =
+  let corpus =
+    [ ("unsupported gate", "qreg q[2];\nh q[0];\nfoo q[1];", Some (3, 1));
+      ("out of range", "qreg q[1]; h q[3];", Some (1, 16));
+      ("division by zero", "qreg q[1]; rz(1/0) q[0];", Some (1, 16));
+      ("bad char in expr", "qreg q[1]; rz(pi@2) q[0];", Some (1, 17));
+      ("unclosed paren", "qreg q[1]; rz((pi) q[0];", Some (1, 14));
+      ("missing semicolon", "qreg q[1]; h q[0]", Some (1, 12));
+      ("measure", "qreg q[1];\nmeasure q[0] -> c[0];", Some (2, 1));
+      ("mixed params", "qreg q[1]; rz(t0+t1) q[0];", Some (1, 17));
+      ("nonlinear", "qreg q[1];\nrz(t0*t1) q[0];", Some (2, 6));
+      ("param divisor", "qreg q[1]; rz(1/t0) q[0];", None);
+      ("wrong register", "qreg q[2]; h r[0];", Some (1, 14));
+      ("bad qubit index", "qreg q[1]; h q[x];", Some (1, 16));
+      ("trailing tokens", "qreg q[1]; rz(1 2) q[0];", Some (1, 17));
+      ("empty angle", "qreg q[1]; rz() q[0];", None);
+      ("angle on h", "qreg q[1]; h(0.5) q[0];", Some (1, 14)) ]
+  in
+  List.iter
+    (fun (name, src, expect) ->
+      match Qasm.of_qasm src with
+      | _ -> Alcotest.fail (name ^ ": expected Parse_error")
+      | exception Qasm.Parse_error { line; col; message = _ } -> (
+        Alcotest.(check bool) (name ^ " has position") true
+          (line >= 1 && col >= 1);
+        match expect with
+        | Some (l, c) ->
+          Alcotest.(check (pair int int)) (name ^ " position") (l, c) (line, col)
+        | None -> ()))
+    corpus
+
+let test_qasm_symbolic_params () =
+  let c =
+    Qasm.of_qasm
+      "qreg q[2];\nrz(t0) q[0];\nrx(pi*t1/2) q[1];\nry(-t0+pi/4) q[0];\n\
+       cx q[0],q[1];"
+  in
+  Alcotest.(check int) "gates" 4 (Circuit.length c);
+  Alcotest.(check (list int)) "depends" [ 0; 1 ]
+    (List.sort compare (Circuit.depends c));
+  (match Gate.param (Circuit.instr c 1).Circuit.gate with
+  | Some p ->
+    Alcotest.(check (float 1e-12)) "pi*t1/2 scaled"
+      (Float.pi *. 0.5 *. 0.5)
+      (Param.bind p [| 0.0; 0.5 |])
+  | None -> Alcotest.fail "rx should be parametrized");
+  let theta = [| 0.3; 0.7 |] in
+  let c2 = Qasm.of_qasm (Qasm.to_qasm ~theta c) in
+  Alcotest.(check bool) "bound round-trip unitary" true
+    (Unitary.equal_up_to_phase ~tol:1e-9 (Circuit.unitary ~theta c)
+       (Circuit.unitary c2))
+
 let test_qasm_roundtrip_benchmarks () =
   (* Real workload circuits survive the interchange format. *)
   List.iter
@@ -633,6 +724,8 @@ let () =
           Alcotest.test_case "bind" `Quick test_circuit_bind;
           Alcotest.test_case "counts" `Quick test_circuit_counts;
           Alcotest.test_case "concat/append" `Quick test_circuit_concat_append;
+          Alcotest.test_case "extend validates" `Quick test_circuit_extend_validates;
+          QCheck_alcotest.to_alcotest prop_append_extend_builder_agree;
           Alcotest.test_case "relabel" `Quick test_circuit_relabel;
           Alcotest.test_case "embed CX" `Quick test_embed_cx_msb;
           QCheck_alcotest.to_alcotest prop_circuit_inverse;
@@ -659,6 +752,8 @@ let () =
           Alcotest.test_case "ignores creg/barrier" `Quick test_qasm_ignores_noise_statements;
           Alcotest.test_case "rejects bad input" `Quick test_qasm_rejects;
           Alcotest.test_case "error line numbers" `Quick test_qasm_error_line_numbers;
+          Alcotest.test_case "error positions corpus" `Quick test_qasm_error_positions;
+          Alcotest.test_case "symbolic parameters" `Quick test_qasm_symbolic_params;
           Alcotest.test_case "benchmark round-trips" `Quick test_qasm_roundtrip_benchmarks;
           QCheck_alcotest.to_alcotest prop_qasm_roundtrip ] );
       ( "density",

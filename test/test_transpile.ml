@@ -353,8 +353,55 @@ let test_block_extract () =
 let test_block_depends () =
   let c = Circuit.of_gates 2 [ (Gate.Rz (Param.var 3), [0]) ] in
   match Block.partition ~max_width:2 c with
-  | [ b ] -> Alcotest.(check bool) "single param" true (Block.depends b = Some 3)
+  | [ b ] ->
+    Alcotest.(check bool) "single param" true (Block.depends b = Ok (Some 3))
   | _ -> Alcotest.fail "expected one block"
+
+let test_block_depends_multi_param () =
+  (* Two parameters land in the same block: a typed Error lists both
+     instead of raising. *)
+  let c =
+    Circuit.of_gates 2
+      [ (Gate.Rz (Param.var 0), [ 0 ]); (Gate.Rz (Param.var 1), [ 0 ]) ]
+  in
+  match Block.partition ~max_width:2 c with
+  | [ b ] ->
+    Alcotest.(check bool) "fixed block" true
+      (Block.depends { b with circuit = Circuit.empty 2 } = Ok None);
+    (match Block.depends b with
+    | Error vs -> Alcotest.(check (list int)) "both params" [ 0; 1 ] (List.sort compare vs)
+    | Ok _ -> Alcotest.fail "expected Error on multi-parameter block")
+  | _ -> Alcotest.fail "expected one block"
+
+let prop_partition_indices_cover_circuit =
+  QCheck.Test.make
+    ~name:"partition_with_indices covers every instruction exactly once"
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_circuit rng 5 25 in
+      let with_idx = Block.partition_with_indices ~max_width:3 c in
+      let all_indices = List.concat_map snd with_idx in
+      let covers =
+        List.sort compare all_indices = List.init (Circuit.length c) Fun.id
+      in
+      (* Each block's k-th instruction is the original instruction at its
+         k-th recorded index. *)
+      let faithful =
+        List.for_all
+          (fun ((b : Block.block), indices) ->
+            Circuit.length b.circuit = List.length indices
+            && List.for_all2
+                 (fun k idx -> Circuit.instr b.circuit k = Circuit.instr c idx)
+                 (List.init (List.length indices) Fun.id)
+                 indices)
+          with_idx
+      in
+      let consistent =
+        List.map fst with_idx = Block.partition ~max_width:3 c
+      in
+      covers && faithful && consistent)
 
 (* --- Slice --- *)
 
@@ -396,6 +443,49 @@ let prop_strict_region_roundtrip =
         (Circuit.unitary ~theta rebuilt)
         (Circuit.unitary ~theta c)
       < 1e-9)
+
+(* Instruction-level strengthening of the unitary round-trips above: the
+   region-semantics comment in slice.ml promises that concatenating the
+   emitted slices reproduces the circuit — exactly for linear slicing,
+   per-qubit for region slicing (which may reorder across qubits). *)
+let prop_strict_linear_concat_exact =
+  QCheck.Test.make ~name:"strict_linear concat is instruction-identical"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 4 5 in
+      let rebuilt = Slice.concat_all ~n:4 (Slice.strict_linear c) in
+      Circuit.instrs rebuilt = Circuit.instrs c)
+
+let prop_strict_region_concat_per_qubit_exact =
+  QCheck.Test.make
+    ~name:"strict region concat preserves per-qubit instruction order"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 4 5 in
+      let rebuilt = Slice.concat_all ~n:4 (Slice.strict c) in
+      let projection q circ =
+        Array.to_list (Circuit.instrs circ)
+        |> List.filter (fun (i : Circuit.instr) -> Array.mem q i.qubits)
+      in
+      Circuit.length rebuilt = Circuit.length c
+      && List.for_all
+           (fun q -> projection q rebuilt = projection q c)
+           (List.init 4 Fun.id))
+
+let prop_flexible_concat_exact =
+  QCheck.Test.make ~name:"flexible concat is instruction-identical" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = random_variational rng 4 5 in
+      if Slice.is_monotone c then
+        let rebuilt = Slice.concat_all ~n:4 (Slice.flexible c) in
+        Circuit.instrs rebuilt = Circuit.instrs c
+      else QCheck.assume_fail ())
 
 let prop_strict_fixed_have_no_params =
   QCheck.Test.make ~name:"strict region fixed slices have no params" ~count:25
@@ -500,6 +590,8 @@ let () =
         [ Alcotest.test_case "whole 4q circuit" `Quick test_block_whole_circuit;
           Alcotest.test_case "extract" `Quick test_block_extract;
           Alcotest.test_case "depends" `Quick test_block_depends;
+          Alcotest.test_case "depends multi-param" `Quick test_block_depends_multi_param;
+          QCheck_alcotest.to_alcotest prop_partition_indices_cover_circuit;
           QCheck_alcotest.to_alcotest prop_block_width_respected;
           QCheck_alcotest.to_alcotest prop_block_gate_conservation;
           QCheck_alcotest.to_alcotest prop_block_concat_equivalent ] );
@@ -510,6 +602,9 @@ let () =
           Alcotest.test_case "fixed gate fraction" `Quick test_fixed_gate_fraction;
           QCheck_alcotest.to_alcotest prop_strict_linear_roundtrip;
           QCheck_alcotest.to_alcotest prop_strict_region_roundtrip;
+          QCheck_alcotest.to_alcotest prop_strict_linear_concat_exact;
+          QCheck_alcotest.to_alcotest prop_strict_region_concat_per_qubit_exact;
+          QCheck_alcotest.to_alcotest prop_flexible_concat_exact;
           QCheck_alcotest.to_alcotest prop_strict_fixed_have_no_params;
           QCheck_alcotest.to_alcotest prop_flexible_single_var;
           QCheck_alcotest.to_alcotest prop_flexible_roundtrip;
