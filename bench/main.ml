@@ -52,7 +52,7 @@ let qaoa_graphs n =
 
 let theta_for seed c =
   let rng = Rng.create seed in
-  let n = match List.rev (Circuit.depends c) with [] -> 0 | v :: _ -> v + 1 in
+  let n = Circuit.n_params c in
   Array.init n (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
 
 let prepared_cache : (string, Circuit.t) Hashtbl.t = Hashtbl.create 64
@@ -729,6 +729,72 @@ let micro () =
       | Some _ | None -> Printf.printf "  %-34s (no estimate)\n" name)
     results
 
+(* --- Machine-readable bench: sequential vs parallel wall-clock --- *)
+
+let bench_json () =
+  section "json"
+    "machine-readable bench: sequential vs parallel compile (numeric GRAPE)";
+  let workers = Pqc_parallel.Pool.workers_from_env ~default:4 () in
+  let out =
+    Option.value
+      (Sys.getenv_opt "PQC_BENCH_JSON")
+      ~default:"BENCH_partial_compilation.json"
+  in
+  (* Deliberately no wall-clock deadline: a deadline firing in one run
+     but not the other would make the determinism check flaky.  The
+     iteration budget bounds the work instead. *)
+  let settings =
+    { Grape.fast_settings with
+      Grape.dt = 1.0;
+      max_iters = (if full_mode then 120 else 60);
+      target_fidelity = 0.98 }
+  in
+  let run_one (name, strategy, max_width, c) =
+    let theta = theta_for 7 c in
+    (* A fresh engine per run: neither run may warm the other's cache,
+       and forked children's CPU only shows up on the wall clock — hence
+       gettimeofday, not Sys.time. *)
+    let compile ~workers =
+      let engine = Engine.numeric ~settings () in
+      let t0 = Unix.gettimeofday () in
+      let r = Compiler.compile ~workers ~max_width ~engine strategy c ~theta in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let seq, sequential_s = compile ~workers:1 in
+    let par, parallel_s = compile ~workers in
+    let speedup = sequential_s /. parallel_s in
+    let equal_pulse =
+      Float.equal seq.Strategy.duration_ns par.Strategy.duration_ns
+    in
+    note "  %-12s %-15s seq %6.2f s  par %6.2f s  speedup %4.2fx  %s\n" name
+      (Compiler.strategy_name strategy)
+      sequential_s parallel_s speedup
+      (if equal_pulse then "pulses equal" else "PULSES DIFFER");
+    { Bench_report.name;
+      strategy = Compiler.strategy_name strategy;
+      engine = "numeric";
+      pulse_duration_ns = par.Strategy.duration_ns;
+      sequential_s;
+      parallel_s;
+      speedup;
+      cache_hits = par.Strategy.pool.Engine.cache_hits;
+      blocks_compiled = par.Strategy.pool.Engine.dispatched;
+      workers = par.Strategy.pool.Engine.workers;
+      equal_pulse }
+  in
+  let experiments =
+    List.map run_one
+      [ ("uccsd-h2", Compiler.Strict_partial, 2, vqe_prepared Molecule.h2);
+        ("uccsd-lih", Compiler.Strict_partial, 2, vqe_prepared Molecule.lih) ]
+  in
+  let report =
+    { Bench_report.mode = (if full_mode then "full" else "fast");
+      workers;
+      experiments }
+  in
+  Bench_report.write ~path:out report;
+  note "  wrote %s (schema v%d)\n" out Bench_report.schema_version
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -737,7 +803,8 @@ let experiments =
     ("table5", table5); ("aggregate", aggregate); ("noise", noise);
     ("ablation-blocking", ablation_blocking);
     ("ablation-slicing", ablation_slicing); ("qaoa-quality", qaoa_quality);
-    ("ablation-transpile", ablation_transpile); ("micro", micro) ]
+    ("ablation-transpile", ablation_transpile); ("micro", micro);
+    ("json", bench_json) ]
 
 let () =
   let requested =

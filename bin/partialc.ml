@@ -53,7 +53,7 @@ let benchmark_circuit name =
 
 let theta_for seed c =
   let rng = Rng.create seed in
-  let n = match List.rev (Circuit.depends c) with [] -> 0 | v :: _ -> v + 1 in
+  let n = Circuit.n_params c in
   Array.init n (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
 
 (* --- compile --- *)

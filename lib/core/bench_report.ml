@@ -1,0 +1,76 @@
+let schema_version = 1
+
+type experiment = {
+  name : string;
+  strategy : string;
+  engine : string;
+  pulse_duration_ns : float;
+  sequential_s : float;
+  parallel_s : float;
+  speedup : float;
+  cache_hits : int;
+  blocks_compiled : int;
+  workers : int;
+  equal_pulse : bool;
+}
+
+type t = { mode : string; workers : int; experiments : experiment list }
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* JSON has no inf/nan tokens; a benchmark that produced one (e.g. a
+   speedup with a zero-duration denominator) renders as null rather than
+   emitting a document nothing can parse. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let experiment_json e =
+  String.concat ""
+    [ "    {\n";
+      "      \"name\": "; json_string e.name; ",\n";
+      "      \"strategy\": "; json_string e.strategy; ",\n";
+      "      \"engine\": "; json_string e.engine; ",\n";
+      "      \"pulse_duration_ns\": "; json_float e.pulse_duration_ns; ",\n";
+      "      \"sequential_s\": "; json_float e.sequential_s; ",\n";
+      "      \"parallel_s\": "; json_float e.parallel_s; ",\n";
+      "      \"speedup\": "; json_float e.speedup; ",\n";
+      "      \"cache_hits\": "; string_of_int e.cache_hits; ",\n";
+      "      \"blocks_compiled\": "; string_of_int e.blocks_compiled; ",\n";
+      "      \"workers\": "; string_of_int e.workers; ",\n";
+      "      \"equal_pulse\": "; string_of_bool e.equal_pulse; "\n";
+      "    }" ]
+
+let to_json t =
+  String.concat ""
+    [ "{\n";
+      "  \"schema_version\": "; string_of_int schema_version; ",\n";
+      "  \"mode\": "; json_string t.mode; ",\n";
+      "  \"workers\": "; string_of_int t.workers; ",\n";
+      "  \"experiments\": [\n";
+      String.concat ",\n" (List.map experiment_json t.experiments);
+      "\n  ]\n";
+      "}\n" ]
+
+let write ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json t));
+  Sys.rename tmp path

@@ -1,0 +1,40 @@
+(** Machine-readable benchmark output.
+
+    The interactive bench harness prints human-oriented tables; CI and
+    downstream tooling need something parseable instead.  This module
+    renders a small, stable JSON document — schema changes must bump
+    {!schema_version}, and the rendered form is pinned by a golden test
+    so accidental drift fails [dune runtest]. *)
+
+val schema_version : int
+(** Bumped on any change to the document structure below. *)
+
+type experiment = {
+  name : string;  (** Benchmark circuit, e.g. ["uccsd-lih"]. *)
+  strategy : string;  (** Compilation strategy compiled under. *)
+  engine : string;  (** ["model"] or ["numeric"]. *)
+  pulse_duration_ns : float;  (** Compiled pulse duration (parallel run). *)
+  sequential_s : float;  (** Wall-clock of the [workers = 1] compile. *)
+  parallel_s : float;  (** Wall-clock of the [workers = n] compile. *)
+  speedup : float;  (** [sequential_s /. parallel_s]. *)
+  cache_hits : int;  (** Pool cache hits during the parallel compile. *)
+  blocks_compiled : int;  (** Blocks dispatched during the parallel compile. *)
+  workers : int;  (** Workers used by the parallel compile. *)
+  equal_pulse : bool;
+      (** Whether sequential and parallel compiles produced the same
+          pulse duration — the determinism contract, re-checked on every
+          benchmark run. *)
+}
+
+type t = {
+  mode : string;  (** ["fast"] or ["full"] ([REPRO_MODE]). *)
+  workers : int;  (** Worker count the parallel runs used. *)
+  experiments : experiment list;
+}
+
+val to_json : t -> string
+(** Deterministic pretty-printed JSON (2-space indent, fixed key order,
+    trailing newline).  Non-finite floats render as [null]. *)
+
+val write : path:string -> t -> unit
+(** Atomic write of {!to_json} (temp file + rename). *)

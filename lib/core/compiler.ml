@@ -30,33 +30,39 @@ let gate_based c ~theta =
   in
   { Strategy.strategy = "gate-based"; duration_ns = duration;
     precompute = Engine.zero_cost; per_iteration = Engine.zero_cost;
-    pulse = Pulse.of_segments segments; degradations = [] }
+    pulse = Pulse.of_segments segments; degradations = [];
+    pool = Engine.zero_pool_stats }
 
-(* Blocks of a (bound) circuit as schedulable jobs with engine durations;
-   also accumulates the engine search cost and any per-block fallbacks. *)
-let block_jobs ~max_width ~engine bound =
+let block_label (b : Block.block) =
+  Printf.sprintf "block[%s]"
+    (String.concat "," (List.map string_of_int b.qubits))
+
+(* One block's schedulable job from its engine result, accumulating the
+   search cost and any per-block fallback into the caller's refs. *)
+let job_of_result ~cost ~degs (b : Block.block) (r : Engine.block_result) =
+  let label = block_label b in
+  cost := Engine.add_cost !cost r.Engine.search_cost;
+  (match r.Engine.fallback with
+  | Some reason ->
+    degs :=
+      { Resilience.stage = "engine:" ^ label; reason;
+        detail = "block search fell back to lookup-table duration" }
+      :: !degs
+  | None -> ());
+  { Strategy.label; qubits = b.qubits; duration = r.Engine.duration_ns }
+
+(* Blocks of a (bound) circuit as schedulable jobs with engine durations —
+   searched as one batch over the worker pool — plus the accumulated
+   search cost, per-block fallbacks, and pool accounting. *)
+let block_jobs ?workers ~max_width ~engine bound =
   let blocks = Block.partition ~max_width bound in
+  let results, pstats, pool_degs =
+    Engine.search_many ?workers engine (List.map Block.extract blocks)
+  in
   let cost = ref Engine.zero_cost in
   let degs = ref [] in
-  let jobs =
-    List.map
-      (fun (b : Block.block) ->
-        let label = Printf.sprintf "block[%s]"
-            (String.concat "," (List.map string_of_int b.qubits))
-        in
-        let r = Engine.search engine (Block.extract b) in
-        cost := Engine.add_cost !cost r.Engine.search_cost;
-        (match r.Engine.fallback with
-        | Some reason ->
-          degs :=
-            { Resilience.stage = "engine:" ^ label; reason;
-              detail = "block search fell back to lookup-table duration" }
-            :: !degs
-        | None -> ());
-        { Strategy.label; qubits = b.qubits; duration = r.Engine.duration_ns })
-      blocks
-  in
-  (jobs, !cost, List.rev !degs)
+  let jobs = List.map2 (job_of_result ~cost ~degs) blocks results in
+  (jobs, !cost, List.rev !degs @ pool_degs, pstats)
 
 let pulse_of_jobs jobs =
   Pulse.of_segments
@@ -65,9 +71,9 @@ let pulse_of_jobs jobs =
          Pulse.Optimized { label = j.label; duration = j.duration; samples = None })
        jobs)
 
-let full_grape ?(max_width = 4) ~engine c ~theta =
+let full_grape ?workers ?(max_width = 4) ~engine c ~theta =
   let bound = Circuit.bind c theta in
-  let jobs, cost, degs = block_jobs ~max_width ~engine bound in
+  let jobs, cost, degs, pstats = block_jobs ?workers ~max_width ~engine bound in
   { Strategy.strategy = "full-grape";
     duration_ns = Strategy.makespan ~n:(Circuit.n_qubits c) jobs;
     precompute = Engine.zero_cost;
@@ -76,39 +82,64 @@ let full_grape ?(max_width = 4) ~engine c ~theta =
        GRAPE untenable (Section 1). *)
     per_iteration = cost;
     pulse = pulse_of_jobs jobs;
-    degradations = degs }
+    degradations = degs;
+    pool = pstats }
 
-let strict_jobs ~max_width ~engine ~theta slices =
-  let precompute = ref Engine.zero_cost in
-  let degs = ref [] in
-  let jobs =
-    List.concat_map
+let strict_jobs ?workers ~max_width ~engine ~theta slices =
+  (* Fixed blocks from every slice are gathered into one engine batch, so
+     the worker pool sees the whole strict precompute at once instead of
+     one slice's blocks at a time. *)
+  let tagged =
+    List.map
       (fun (s : Slice.slice) ->
         match s.var with
         | None ->
           (* Fixed slice: GRAPE-precompiled offline, blocked to width. *)
-          let jobs, cost, d = block_jobs ~max_width ~engine s.circuit in
-          precompute := Engine.add_cost !precompute cost;
-          degs := !degs @ d;
-          jobs
+          Either.Left (Block.partition ~max_width s.circuit)
         | Some _ ->
           (* Parametrized gate: lookup-table pulse at runtime. *)
-          lookup_jobs (Circuit.bind s.circuit theta))
+          Either.Right (lookup_jobs (Circuit.bind s.circuit theta)))
       slices
   in
-  (jobs, !precompute, !degs)
+  let fixed =
+    List.concat_map
+      (function Either.Left bs -> bs | Either.Right _ -> [])
+      tagged
+  in
+  let results, pstats, pool_degs =
+    Engine.search_many ?workers engine (List.map Block.extract fixed)
+  in
+  let precompute = ref Engine.zero_cost in
+  let degs = ref [] in
+  let remaining = ref results in
+  let jobs =
+    List.concat_map
+      (function
+        | Either.Right js -> js
+        | Either.Left bs ->
+          List.map
+            (fun b ->
+              match !remaining with
+              | r :: rest ->
+                remaining := rest;
+                job_of_result ~cost:precompute ~degs b r
+              | [] -> assert false (* one result per fixed block *))
+            bs)
+      tagged
+  in
+  (jobs, !precompute, List.rev !degs @ pool_degs, pstats)
 
-let strict_partial ?(max_width = 4) ~engine c ~theta =
+let strict_partial ?workers ?(max_width = 4) ~engine c ~theta =
   let n = Circuit.n_qubits c in
   (* Both slicings are zero-latency at runtime, so the compiler
      precompiles both offline and keeps whichever schedule is shorter
      (region slicing wins when parameters are dense, linear slicing when
      they are sparse enough that deep runs survive whole). *)
-  let region_jobs, region_cost, region_degs =
-    strict_jobs ~max_width ~engine ~theta (Slice.strict c)
+  let region_jobs, region_cost, region_degs, region_pool =
+    strict_jobs ?workers ~max_width ~engine ~theta (Slice.strict c)
   in
-  let linear_jobs, linear_cost, linear_degs =
-    strict_jobs ~max_width ~engine ~theta (Slice.strict_linear c)
+  let linear_jobs, linear_cost, linear_degs, linear_pool =
+    strict_jobs ?workers ~max_width ~engine ~theta (Slice.strict_linear c)
   in
   let region_span = Strategy.makespan ~n region_jobs in
   let linear_span = Strategy.makespan ~n linear_jobs in
@@ -127,55 +158,62 @@ let strict_partial ?(max_width = 4) ~engine c ~theta =
     precompute;
     per_iteration = Engine.zero_cost;
     pulse = pulse_of_jobs jobs;
-    degradations = degs }
+    degradations = degs;
+    (* Both slicings were compiled, so both batches' work is reported
+       even though only one schedule survives. *)
+    pool = Engine.add_pool_stats region_pool linear_pool }
 
-let flexible_partial ?(max_width = 4) ~engine c ~theta =
+let flexible_partial ?workers ?(max_width = 4) ~engine c ~theta =
   let n = Circuit.n_qubits c in
   let slices = Slice.flexible c in
+  let items =
+    List.concat_map
+      (fun (s : Slice.slice) ->
+        Block.partition ~max_width s.circuit
+        |> List.map (fun (b : Block.block) ->
+               (s, b, Circuit.bind (Block.extract b) theta)))
+      slices
+  in
+  (* Search + hyperparameter tuning + one tuned run per slice block, the
+     whole per-block pipeline batched over the pool. *)
+  let results, pstats, pool_degs =
+    Engine.flex_many ?workers engine (List.map (fun (_, _, c) -> c) items)
+  in
   let precompute = ref Engine.zero_cost in
   let per_iteration = ref Engine.zero_cost in
   let degs = ref [] in
   let jobs =
-    List.concat_map
-      (fun (s : Slice.slice) ->
-        let blocks = Block.partition ~max_width s.circuit in
-        List.map
-          (fun (b : Block.block) ->
-            let bound = Circuit.bind (Block.extract b) theta in
-            let r = Engine.search engine bound in
-            let label = Printf.sprintf "slice[t%s]"
-                (match s.var with Some v -> string_of_int v | None -> "-")
-            in
-            (match r.Engine.fallback with
-            | Some reason ->
-              degs :=
-                !degs
-                @ [ { Resilience.stage = "engine:" ^ label; reason;
-                      detail =
-                        "slice block search fell back to lookup-table duration" } ]
-            | None -> ());
-            (* Offline: the minimal-time search plus hyperparameter
-               tuning, once per slice block. *)
-            precompute :=
-              Engine.add_cost !precompute
-                (Engine.add_cost r.Engine.search_cost
-                   (Engine.hyperopt_cost engine bound
-                      ~duration:r.Engine.duration_ns));
-            (* Online: one tuned GRAPE run at the known duration. *)
-            per_iteration :=
-              Engine.add_cost !per_iteration
-                (Engine.tuned_run_cost engine bound ~duration:r.Engine.duration_ns);
-            { Strategy.label; qubits = b.qubits;
-              duration = r.Engine.duration_ns })
-          blocks)
-      slices
+    List.map2
+      (fun ((s : Slice.slice), (b : Block.block), _) (fr : Engine.flex_result) ->
+        let r = fr.Engine.search in
+        let label = Printf.sprintf "slice[t%s]"
+            (match s.var with Some v -> string_of_int v | None -> "-")
+        in
+        (match r.Engine.fallback with
+        | Some reason ->
+          degs :=
+            { Resilience.stage = "engine:" ^ label; reason;
+              detail =
+                "slice block search fell back to lookup-table duration" }
+            :: !degs
+        | None -> ());
+        (* Offline: the minimal-time search plus hyperparameter tuning,
+           once per slice block. *)
+        precompute :=
+          Engine.add_cost !precompute
+            (Engine.add_cost r.Engine.search_cost fr.Engine.hyperopt);
+        (* Online: one tuned GRAPE run at the known duration. *)
+        per_iteration := Engine.add_cost !per_iteration fr.Engine.tuned;
+        { Strategy.label; qubits = b.qubits; duration = r.Engine.duration_ns })
+      items results
   in
   { Strategy.strategy = "flexible-partial";
     duration_ns = Strategy.makespan ~n jobs;
     precompute = !precompute;
     per_iteration = !per_iteration;
     pulse = pulse_of_jobs jobs;
-    degradations = !degs }
+    degradations = List.rev !degs @ pool_degs;
+    pool = pstats }
 
 type strategy = Gate_based | Strict_partial | Flexible_partial | Full_grape
 
@@ -187,12 +225,12 @@ let strategy_name = function
   | Flexible_partial -> "flexible-partial"
   | Full_grape -> "full-grape"
 
-let run_strategy ~max_width ~engine strategy c ~theta =
+let run_strategy ?workers ~max_width ~engine strategy c ~theta =
   match strategy with
   | Gate_based -> gate_based c ~theta
-  | Strict_partial -> strict_partial ~max_width ~engine c ~theta
-  | Flexible_partial -> flexible_partial ~max_width ~engine c ~theta
-  | Full_grape -> full_grape ~max_width ~engine c ~theta
+  | Strict_partial -> strict_partial ?workers ~max_width ~engine c ~theta
+  | Flexible_partial -> flexible_partial ?workers ~max_width ~engine c ~theta
+  | Full_grape -> full_grape ?workers ~max_width ~engine c ~theta
 
 (* Graceful degradation ladder.  Gate-based is the terminal rung: pure
    table lookups, no optimizer, cannot fail. *)
@@ -228,17 +266,18 @@ let analysis_gate ~max_width strategy c ~theta =
         detail = Pqc_analysis.Diagnostic.to_string d })
     (Pqc_analysis.Runner.warnings report)
 
-let compile ?(max_width = 4) ?(analysis = true) ~engine strategy c ~theta =
+let compile ?workers ?(max_width = 4) ?(analysis = true) ~engine strategy c
+    ~theta =
   let lint_degs =
     if analysis then analysis_gate ~max_width strategy c ~theta else []
   in
   let rec go degs = function
     | [] -> assert false (* chains always end in Gate_based *)
     | [ last ] ->
-      let r = run_strategy ~max_width ~engine last c ~theta in
+      let r = run_strategy ?workers ~max_width ~engine last c ~theta in
       { r with Strategy.degradations = degs @ r.Strategy.degradations }
     | s :: rest -> (
-      match run_strategy ~max_width ~engine s c ~theta with
+      match run_strategy ?workers ~max_width ~engine s c ~theta with
       | r when usable r ->
         { r with Strategy.degradations = degs @ r.Strategy.degradations }
       | _ ->

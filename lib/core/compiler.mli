@@ -30,18 +30,25 @@ val prepare : ?topology:Topology.t -> Circuit.t -> Circuit.t
 
 val gate_based : Circuit.t -> theta:float array -> Strategy.compiled
 
+(** The engine-backed strategies below take [?workers]: independent block
+    searches are batched over {!Pqc_parallel.Pool} forked workers.
+    Defaults to the [PQC_WORKERS] environment variable (1 when unset —
+    fully sequential, no fork).  Results are deterministic in the worker
+    count; a lost worker degrades to in-process recompute and is recorded
+    in the result's [degradations] and [pool] fields. *)
+
 val full_grape :
-  ?max_width:int -> engine:Engine.t -> Circuit.t -> theta:float array ->
-  Strategy.compiled
+  ?workers:int -> ?max_width:int -> engine:Engine.t -> Circuit.t ->
+  theta:float array -> Strategy.compiled
 (** [max_width] defaults to 4 (Section 5.2). *)
 
 val strict_partial :
-  ?max_width:int -> engine:Engine.t -> Circuit.t -> theta:float array ->
-  Strategy.compiled
+  ?workers:int -> ?max_width:int -> engine:Engine.t -> Circuit.t ->
+  theta:float array -> Strategy.compiled
 
 val flexible_partial :
-  ?max_width:int -> engine:Engine.t -> Circuit.t -> theta:float array ->
-  Strategy.compiled
+  ?workers:int -> ?max_width:int -> engine:Engine.t -> Circuit.t ->
+  theta:float array -> Strategy.compiled
 (** Requires parameter monotonicity (guaranteed for {!Pqc_vqe.Uccsd} and
     {!Pqc_qaoa.Qaoa} circuits). *)
 
@@ -59,8 +66,8 @@ val degrade_chain : strategy -> strategy list
     that cannot fail. *)
 
 val compile :
-  ?max_width:int -> ?analysis:bool -> engine:Engine.t -> strategy ->
-  Circuit.t -> theta:float array -> Strategy.compiled
+  ?workers:int -> ?max_width:int -> ?analysis:bool -> engine:Engine.t ->
+  strategy -> Circuit.t -> theta:float array -> Strategy.compiled
 (** Fault-tolerant compilation entry point: runs the requested strategy
     and, if it raises or yields a non-finite duration, walks
     {!degrade_chain} until a realizable pulse is produced (gate-based

@@ -6,6 +6,7 @@ module Grape = Pqc_grape.Grape
 module Hamiltonian = Pqc_grape.Hamiltonian
 module Hyperopt = Pqc_hyperopt.Hyperopt
 module Rng = Pqc_util.Rng
+module Pool = Pqc_parallel.Pool
 
 type cost = { grape_runs : int; grape_iterations : int; seconds : float }
 
@@ -35,7 +36,11 @@ type numeric_config = {
 
 type fault = Nan_fidelity | No_converge | Stall
 
-type fault_plan = { frng : Rng.t; rate : float; kinds : fault array }
+(* [fseed] keeps the original seed around so batch drivers can derive an
+   independent, position-keyed injection stream per item: a shared
+   mutable [frng] would make the injection pattern depend on execution
+   order, which forked workers do not preserve. *)
+type fault_plan = { frng : Rng.t; fseed : int; rate : float; kinds : fault array }
 
 type t =
   | Model
@@ -117,7 +122,7 @@ let faulty ?(rate = 1.0) ?(kinds = [| Nan_fidelity; No_converge; Stall |])
     ~seed inner =
   if Array.length kinds = 0 then
     invalid_arg "Engine.faulty: kinds must be non-empty";
-  Faulty ({ frng = Rng.create seed; rate; kinds }, inner)
+  Faulty ({ frng = Rng.create seed; fseed = seed; rate; kinds }, inner)
 
 type base = Base_model | Base_numeric of numeric_config
 
@@ -143,7 +148,9 @@ let persist t =
          Hashtbl.fold (fun key r acc -> entry_of_result key r :: acc)
            cfg.cache []
        in
-       Pulse_cache.save ~path entries)
+       (* Merge, not overwrite: two engines (or two worker pools) that
+          persist to the same cache path must both survive on disk. *)
+       Pulse_cache.merge ~path entries)
 
 let cache_size t =
   match unwrap t with
@@ -246,11 +253,16 @@ let fallback_result c reason spent =
     fidelity = None;
     fallback = Some reason }
 
-let search t c =
+(* [search] plus a flag telling whether the result was produced under an
+   injected fault (and therefore must never be cached or persisted) —
+   the batch drivers ship this flag over the worker pipe so the parent's
+   merge step applies the same no-poison rule as the in-process path. *)
+let search_flagged t c =
   require_bound c;
   if Circuit.length c = 0 then
-    { duration_ns = 0.0; search_cost = zero_cost; fidelity = None;
-      fallback = None }
+    ({ duration_ns = 0.0; search_cost = zero_cost; fidelity = None;
+       fallback = None },
+     false)
   else
     let plan, base = unwrap t in
     let policy, deadline =
@@ -269,7 +281,7 @@ let search t c =
       | Base_model -> Either.Right None
     in
     match cached_key with
-    | Either.Left r -> r
+    | Either.Left r -> (r, false)
     | Either.Right store ->
       let injected = ref false in
       (* Real (non-injected) attempts that failed still burned optimizer
@@ -301,7 +313,9 @@ let search t c =
       (match store with
        | Some (cfg, key) when not !injected -> Hashtbl.replace cfg.cache key r
        | _ -> ());
-      r
+      (r, !injected)
+
+let search t c = fst (search_flagged t c)
 
 let tuned_run_cost t c ~duration =
   require_bound c;
@@ -360,3 +374,221 @@ let hyperopt_cost t c ~duration =
     { grape_runs = 8;
       grape_iterations = int_of_float (8.0 *. score.Hyperopt.iterations);
       seconds = Sys.time () -. t0 }
+
+(* --- Batch compilation over the worker pool --- *)
+
+type pool_stats = {
+  workers : int;
+  dispatched : int;
+  cache_hits : int;
+  recovered : int;
+}
+
+let zero_pool_stats = { workers = 1; dispatched = 0; cache_hits = 0; recovered = 0 }
+
+let add_pool_stats a b =
+  { workers = max a.workers b.workers;
+    dispatched = a.dispatched + b.dispatched;
+    cache_hits = a.cache_hits + b.cache_hits;
+    recovered = a.recovered + b.recovered }
+
+(* Block results travel over the worker pipe in the pulse-cache record
+   format, so they carry the same FNV-1a checksum on the wire as on
+   disk.  A leading flag char marks results produced under an injected
+   fault — those must never reach the cache. *)
+let encode_search key (r, injected) =
+  (if injected then "!" else "=")
+  ^ Pulse_cache.encode_entry (entry_of_result key r)
+
+let decode_search s =
+  if String.length s < 2 then None
+  else
+    let injected =
+      match s.[0] with '!' -> Some true | '=' -> Some false | _ -> None
+    in
+    Option.bind injected (fun injected ->
+        Option.bind
+          (Pulse_cache.decode_entry (String.sub s 1 (String.length s - 1)))
+          (fun (e : Pulse_cache.entry) ->
+            Option.map
+              (fun r -> (e.key, (r, injected)))
+              (result_of_entry e)))
+
+let encode_cost (c : cost) =
+  let p =
+    Printf.sprintf "%d\t%d\t%h" c.grape_runs c.grape_iterations c.seconds
+  in
+  Pulse_cache.checksum p ^ "\t" ^ p
+
+let decode_cost s =
+  match String.index_opt s '\t' with
+  | None -> None
+  | Some i ->
+    let crc = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    if not (String.equal (Pulse_cache.checksum rest) crc) then None
+    else
+      (match
+         Scanf.sscanf rest "%d\t%d\t%h" (fun gr gi sec -> (gr, gi, sec))
+       with
+      | gr, gi, sec when Float.is_finite sec ->
+        Some { grape_runs = gr; grape_iterations = gi; seconds = sec }
+      | _ -> None
+      | exception _ -> None)
+
+(* Each batch item gets its own injection stream, keyed on the plan seed
+   and the item's input position: the pattern of injected faults is then
+   a pure function of the batch, identical whether items run in one
+   process or across any number of forked workers, in any order. *)
+let item_engine t plan idx =
+  match plan with
+  | None -> t
+  | Some p ->
+    Faulty ({ p with frng = Rng.create (p.fseed + ((idx + 1) * 0x2545f491)) }, t)
+
+(* Generic batch driver: dedup by block key, resolve memo hits in the
+   parent, fan the rest out over the pool, verify each record landed on
+   the key it was dispatched for, merge cacheable results back into the
+   memo table, and reassemble per input order.  [compute] runs in forked
+   children {e and} in the parent (sequential mode and recovery), so the
+   two paths stay behaviorally identical by construction. *)
+let run_batch (type r) ?workers t circuits
+    ~(compute : t -> Pqc_quantum.Circuit.t -> r)
+    ~(encode : string -> r -> string)
+    ~(decode : string -> (string * r) option)
+    ~(cached : numeric_config -> string -> r option)
+    ~(cacheable : r -> bool)
+    ~(store : numeric_config -> string -> r -> unit) :
+    r list * pool_stats * Resilience.degradation list =
+  List.iter require_bound circuits;
+  let plan, base = unwrap t in
+  let arr = Array.of_list circuits in
+  let n = Array.length arr in
+  let keys = Array.map block_key arr in
+  let first = Hashtbl.create (2 * n + 16) in
+  Array.iteri
+    (fun i k -> if not (Hashtbl.mem first k) then Hashtbl.add first k i)
+    keys;
+  let results : r option array = Array.make n None in
+  let cache_hits = ref 0 in
+  let todo = ref [] in
+  Array.iteri
+    (fun i k ->
+      if Hashtbl.find first k <> i then
+        (* Duplicate block: assembled from its first occurrence below. *)
+        incr cache_hits
+      else if Circuit.length arr.(i) = 0 then
+        (* Empty blocks are free; computing them in-process keeps them
+           out of the cache, exactly as the single-item path does. *)
+        results.(i) <- Some (compute t arr.(i))
+      else
+        let hit =
+          match base with
+          | Base_numeric cfg -> cached cfg k
+          | Base_model -> None
+        in
+        match hit with
+        | Some r ->
+          incr cache_hits;
+          results.(i) <- Some r
+        | None -> todo := (i, k, arr.(i)) :: !todo)
+    keys;
+  let todo = List.rev !todo in
+  let f (idx, _k, c) = compute (item_engine t plan idx) c in
+  let pool_out, pstats =
+    Pool.map ?workers
+      ~encode:(fun (k, r) -> encode k r)
+      ~decode
+      (fun ((_, k, _) as item) -> (k, f item))
+      todo
+  in
+  let degs = ref [] in
+  let mismatched = ref 0 in
+  List.iter2
+    (fun ((idx, k, _c) as item) ((rk, r), pool_recovered) ->
+      let r, recovered =
+        if String.equal rk k then (r, pool_recovered)
+        else begin
+          (* The record checksums fine but answers a different key: the
+             index framing was corrupted in transit.  Recompute rather
+             than trust it. *)
+          incr mismatched;
+          (f item, true)
+        end
+      in
+      if recovered then
+        degs :=
+          { Resilience.stage = "worker-pool"; reason = Resilience.Worker_lost;
+            detail =
+              Printf.sprintf
+                "batch item %d recomputed in-process after its worker's \
+                 record was lost or corrupt"
+                idx }
+          :: !degs;
+      (match base with
+      | Base_numeric cfg when cacheable r -> store cfg k r
+      | _ -> ());
+      results.(idx) <- Some r)
+    todo pool_out;
+  let out =
+    List.init n (fun i ->
+        match results.(Hashtbl.find first keys.(i)) with
+        | Some r -> r
+        | None -> assert false (* every first occurrence was resolved *))
+  in
+  let stats =
+    { workers = pstats.Pool.workers;
+      dispatched = List.length todo;
+      cache_hits = !cache_hits;
+      recovered = pstats.Pool.recovered + !mismatched }
+  in
+  (out, stats, List.rev !degs)
+
+let search_many ?workers t circuits =
+  let rs, stats, degs =
+    run_batch ?workers t circuits
+      ~compute:search_flagged
+      ~encode:encode_search
+      ~decode:decode_search
+      ~cached:(fun cfg k ->
+        Option.map (fun r -> (r, false)) (Hashtbl.find_opt cfg.cache k))
+      ~cacheable:(fun (_, injected) -> not injected)
+      ~store:(fun cfg k (r, _) -> Hashtbl.replace cfg.cache k r)
+  in
+  (List.map fst rs, stats, degs)
+
+type flex_result = { search : block_result; hyperopt : cost; tuned : cost }
+
+let flex_many ?workers t circuits =
+  let compute eng c =
+    let r, injected = search_flagged eng c in
+    let hyperopt = hyperopt_cost eng c ~duration:r.duration_ns in
+    let tuned = tuned_run_cost eng c ~duration:r.duration_ns in
+    ({ search = r; hyperopt; tuned }, injected)
+  in
+  let encode k ({ search = r; hyperopt; tuned }, injected) =
+    String.concat "\x1f"
+      [ encode_search k (r, injected); encode_cost hyperopt;
+        encode_cost tuned ]
+  in
+  let decode s =
+    match String.split_on_char '\x1f' s with
+    | [ se; he; te ] ->
+      Option.bind (decode_search se) (fun (k, (r, injected)) ->
+          Option.bind (decode_cost he) (fun hyperopt ->
+              Option.map
+                (fun tuned ->
+                  (k, ({ search = r; hyperopt; tuned }, injected)))
+                (decode_cost te)))
+    | _ -> None
+  in
+  let rs, stats, degs =
+    run_batch ?workers t circuits ~compute ~encode ~decode
+      (* Hyperopt and tuned-run costs are never memoized, so every unique
+         block dispatches; the search inside still hits the memo table
+         the child inherited at fork time. *)
+      ~cached:(fun _ _ -> None)
+      ~cacheable:(fun (_, injected) -> not injected)
+      ~store:(fun cfg k ({ search = r; _ }, _) -> Hashtbl.replace cfg.cache k r)
+  in
+  (List.map fst rs, stats, degs)

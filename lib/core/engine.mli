@@ -102,3 +102,56 @@ val tuned_run_cost : t -> Circuit.t -> duration:float -> cost
 val hyperopt_cost : t -> Circuit.t -> duration:float -> cost
 (** Offline hyperparameter-tuning cost for one slice (grid search).
     Bounded by the engine's search deadline. *)
+
+(** {2 Batch compilation over the worker pool}
+
+    The batch entry points compile a whole list of blocks at once,
+    fanning independent searches out over [workers] forked processes
+    ({!Pqc_parallel.Pool}) and reassembling results in input order.
+    They are {e deterministic in the worker count}: for any [workers],
+    the returned durations, fidelities, fallbacks and iteration counts
+    are identical to the sequential run — including under {!faulty}
+    injection, whose per-item streams are keyed on batch position rather
+    than execution order.  Only measured wall-clock [seconds] fields may
+    differ between runs. *)
+
+type pool_stats = {
+  workers : int;  (** Workers actually used (1 = sequential). *)
+  dispatched : int;  (** Unique uncached blocks sent to the pool. *)
+  cache_hits : int;
+      (** Inputs served without dispatch: memo-table hits plus duplicate
+          blocks within the batch. *)
+  recovered : int;
+      (** Items recomputed in-process after their worker died or shipped
+          a corrupt record. *)
+}
+
+val zero_pool_stats : pool_stats
+val add_pool_stats : pool_stats -> pool_stats -> pool_stats
+(** Componentwise sum; [workers] is the max of the two. *)
+
+val search_many :
+  ?workers:int -> t -> Circuit.t list ->
+  block_result list * pool_stats * Resilience.degradation list
+(** Batched {!search}: results in input order, one per circuit.
+    [workers] defaults to {!Pqc_parallel.Pool.workers_from_env}
+    ([PQC_WORKERS], default 1 — no fork, exact single-item behaviour).
+    Results travel back in the checksummed {!Pulse_cache} record format;
+    any lost or corrupt record is recomputed in the parent and recorded
+    as a [Worker_lost] degradation.  Genuine (non-injected) results are
+    merged into the engine's memo table exactly as {!search} would. *)
+
+type flex_result = {
+  search : block_result;
+  hyperopt : cost;  (** Offline {!hyperopt_cost} at the found duration. *)
+  tuned : cost;  (** Per-iteration {!tuned_run_cost} at that duration. *)
+}
+
+val flex_many :
+  ?workers:int -> t -> Circuit.t list ->
+  flex_result list * pool_stats * Resilience.degradation list
+(** Batched flexible-partial precompute: per block, the minimal-time
+    search plus hyperparameter tuning plus one tuned run, all executed
+    inside the same worker so the pool parallelizes the whole per-slice
+    pipeline (not just the search).  Same determinism, recovery and
+    caching contract as {!search_many}. *)

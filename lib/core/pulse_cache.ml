@@ -68,6 +68,12 @@ let parse_line line =
     let rest = String.sub line (i + 1) (String.length line - i - 1) in
     if String.equal (checksum rest) crc then parse_payload rest else None
 
+let encode_entry e =
+  let p = payload e in
+  checksum p ^ "\t" ^ p
+
+let decode_entry = parse_line
+
 let save ~path entries =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
@@ -78,10 +84,7 @@ let save ~path entries =
       output_char oc '\n';
       List.iter
         (fun e ->
-          let p = payload e in
-          output_string oc (checksum p);
-          output_char oc '\t';
-          output_string oc p;
+          output_string oc (encode_entry e);
           output_char oc '\n')
         entries);
   Sys.rename tmp path
@@ -124,3 +127,47 @@ let load ~path =
         in
         { entries; dropped = !dropped }
   end
+
+(* Read-merge-write under an exclusive advisory lock on [path ^ ".lock"]:
+   concurrent pools persisting to the same cache serialize here, so a
+   merge sees every record an earlier merge wrote (the union survives)
+   and the atomic [save] rename means a reader never observes a torn
+   file even if the lock protocol is ignored. *)
+let merge ~path entries =
+  let lock_path = path ^ ".lock" in
+  let fd = Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ()))
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      let { entries = existing; dropped = _ } = load ~path in
+      (* Newest record wins on key collision: fresh entries replace their
+         on-disk predecessors in place; genuinely new keys append in the
+         order given. *)
+      let fresh = Hashtbl.create (List.length entries * 2 + 16) in
+      List.iter (fun e -> Hashtbl.replace fresh e.key e) entries;
+      let kept =
+        List.map
+          (fun e ->
+            match Hashtbl.find_opt fresh e.key with
+            | Some latest ->
+              Hashtbl.remove fresh e.key;
+              latest
+            | None -> e)
+          existing
+      in
+      let appended =
+        (* Keys not already on disk, appended once each (latest value)
+           at their first position in [entries]. *)
+        List.filter_map
+          (fun e ->
+            match Hashtbl.find_opt fresh e.key with
+            | Some latest ->
+              Hashtbl.remove fresh e.key;
+              Some latest
+            | None -> None)
+          entries
+      in
+      save ~path (kept @ appended))

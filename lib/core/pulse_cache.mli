@@ -35,8 +35,25 @@ val checksum : string -> string
 (** FNV-1a 64-bit of a payload string, as 16 hex digits (exposed for
     tests and external validators). *)
 
+val encode_entry : entry -> string
+(** One checksummed record line (no trailing newline) — the exact wire
+    format of a cache file record.  Also used by the worker pool to ship
+    block results over a pipe, so a bit flip in transit is caught by the
+    same FNV-1a check that guards the file. *)
+
+val decode_entry : string -> entry option
+(** Inverse of {!encode_entry}: [None] on checksum mismatch, truncation,
+    or an unparseable payload. *)
+
 val save : path:string -> entry list -> unit
 (** Atomic write: serializes to [path ^ ".tmp"], then renames. *)
+
+val merge : path:string -> entry list -> unit
+(** Read-merge-write under an exclusive lock on [path ^ ".lock"]: loads
+    the current file, replaces colliding keys with the fresh entries
+    (newest record wins), appends genuinely new keys, and saves
+    atomically.  Concurrent merges from separate processes serialize on
+    the lock, so no merge can clobber another's records. *)
 
 type load_result = {
   entries : entry list;  (** Valid records, in file order. *)

@@ -1,6 +1,8 @@
 module Grape = Pqc_grape.Grape
 
-type failure = Non_finite | Diverged | Deadline_exceeded | Cache_corrupt | Lint
+type failure =
+  | Non_finite | Diverged | Deadline_exceeded | Cache_corrupt | Lint
+  | Worker_lost
 
 let failure_to_string = function
   | Non_finite -> "non-finite"
@@ -8,6 +10,7 @@ let failure_to_string = function
   | Deadline_exceeded -> "deadline-exceeded"
   | Cache_corrupt -> "cache-corrupt"
   | Lint -> "lint"
+  | Worker_lost -> "worker-lost"
 
 let failure_of_string = function
   | "non-finite" -> Some Non_finite
@@ -15,15 +18,17 @@ let failure_of_string = function
   | "deadline-exceeded" -> Some Deadline_exceeded
   | "cache-corrupt" -> Some Cache_corrupt
   | "lint" -> Some Lint
+  | "worker-lost" -> Some Worker_lost
   | _ -> None
 
 (* Deadlines and cache failures are not retryable: the former because the
    budget is already gone, the latter because re-reading the same bytes
    cannot help.  Lint findings are static properties of the circuit, so
-   retrying cannot change them either. *)
+   retrying cannot change them either.  A lost worker's items are already
+   recomputed in-process by the pool, so there is nothing left to retry. *)
 let retryable = function
   | Non_finite | Diverged -> true
-  | Deadline_exceeded | Cache_corrupt | Lint -> false
+  | Deadline_exceeded | Cache_corrupt | Lint | Worker_lost -> false
 
 (* --- Retry policy --- *)
 

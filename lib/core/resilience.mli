@@ -15,13 +15,17 @@ type failure =
   | Deadline_exceeded  (** Wall-clock budget expired. *)
   | Cache_corrupt  (** Persistent cache entry failed validation. *)
   | Lint  (** Static analysis warning recorded by the pre-GRAPE gate. *)
+  | Worker_lost
+      (** A pool worker died (or shipped a corrupt record) and its share
+          was recomputed in-process by the parent. *)
 
 val failure_to_string : failure -> string
 val failure_of_string : string -> failure option
 
 val retryable : failure -> bool
 (** [Non_finite] and [Diverged] are worth retrying with fresh settings;
-    [Deadline_exceeded], [Cache_corrupt] and [Lint] are not. *)
+    [Deadline_exceeded], [Cache_corrupt], [Lint] and [Worker_lost] are
+    not. *)
 
 type policy = {
   max_attempts : int;  (** Total attempts, first try included. *)

@@ -19,6 +19,7 @@ type compiled = {
   per_iteration : Engine.cost;
   pulse : Pulse.t;
   degradations : Resilience.degradation list;
+  pool : Engine.pool_stats;
 }
 
 let speedup ~baseline c = baseline.duration_ns /. c.duration_ns

@@ -26,6 +26,10 @@ type compiled = {
       (** Every fallback taken while compiling: block searches that
           degraded to lookup-table durations, and whole strategies the
           compiler had to abandon.  Empty for a clean compile. *)
+  pool : Engine.pool_stats;
+      (** Worker-pool accounting for the batched block searches this
+          compile dispatched ({!Engine.zero_pool_stats} for strategies
+          that never touch the engine). *)
 }
 
 val speedup : baseline:compiled -> compiled -> float

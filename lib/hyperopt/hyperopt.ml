@@ -48,27 +48,69 @@ let better a b =
   | true, true -> if a.iterations <= b.iterations then a else b
   | false, false -> if a.mean_fidelity >= b.mean_fidelity then a else b
 
-let grid_search ?(lr_grid = default_lr_grid) ?(decay_grid = default_decay_grid)
-    ?(angles = default_angles) ?deadline obj =
+(* Grid cells ship back from workers as one checksum-free but strictly
+   parsed line; a cell that fails to round-trip is simply re-evaluated
+   in the parent by the pool's recovery path. *)
+let encode_score s =
+  Printf.sprintf "%h\t%h\t%h\t%B\t%h" s.hyperparams.Grape.learning_rate
+    s.hyperparams.Grape.decay s.iterations s.converged_all s.mean_fidelity
+
+let decode_score line =
+  match
+    Scanf.sscanf line "%h\t%h\t%h\t%B\t%h"
+      (fun learning_rate decay iterations converged_all mean_fidelity ->
+        { hyperparams = { Grape.learning_rate; decay }; iterations;
+          converged_all; mean_fidelity })
+  with
+  | s -> Some s
+  | exception _ -> None
+
+let grid_search ?(workers = 1) ?(lr_grid = default_lr_grid)
+    ?(decay_grid = default_decay_grid) ?(angles = default_angles) ?deadline
+    obj =
   let expired () =
     match deadline with Some d -> Unix.gettimeofday () > d | None -> false
   in
-  let best = ref None in
-  Array.iter
-    (fun learning_rate ->
-      Array.iter
-        (fun decay ->
-          (* Always score at least one candidate so callers get a usable
-             hyperparameter set even with an already-expired deadline; the
-             remaining grid is skipped once the budget runs out. *)
-          if !best = None || not (expired ()) then begin
-            let s = evaluate ?deadline obj ~angles { Grape.learning_rate; decay } in
-            best :=
-              Some (match !best with None -> s | Some b -> better s b)
-          end)
-        decay_grid)
-    lr_grid;
-  Option.get !best
+  if workers <= 1 then begin
+    let best = ref None in
+    Array.iter
+      (fun learning_rate ->
+        Array.iter
+          (fun decay ->
+            (* Always score at least one candidate so callers get a usable
+               hyperparameter set even with an already-expired deadline; the
+               remaining grid is skipped once the budget runs out. *)
+            if !best = None || not (expired ()) then begin
+              let s = evaluate ?deadline obj ~angles { Grape.learning_rate; decay } in
+              best :=
+                Some (match !best with None -> s | Some b -> better s b)
+            end)
+          decay_grid)
+      lr_grid;
+    Option.get !best
+  end
+  else begin
+    (* Parallel mode scores the whole grid (each GRAPE run still honours
+       [deadline] individually) and folds [better] in grid order, so the
+       winner ties break exactly as they do sequentially. *)
+    let cells =
+      Array.to_list lr_grid
+      |> List.concat_map (fun learning_rate ->
+             Array.to_list decay_grid
+             |> List.map (fun decay -> { Grape.learning_rate; decay }))
+    in
+    let scores, _stats =
+      Pqc_parallel.Pool.map ~workers ~encode:encode_score ~decode:decode_score
+        (fun hp -> evaluate ?deadline obj ~angles hp)
+        cells
+    in
+    match List.map fst scores with
+    | [] -> invalid_arg "Hyperopt.grid_search: empty hyperparameter grid"
+    | s :: rest ->
+      (* The sequential loop calls [better candidate incumbent], letting a
+         later cell win exact ties; keep that argument order here. *)
+      List.fold_left (fun acc s -> better s acc) s rest
+  end
 
 type robustness_point = {
   angle : float;

@@ -38,8 +38,8 @@ val evaluate :
     [deadline] (absolute wall-clock) is threaded into each GRAPE run. *)
 
 val grid_search :
-  ?lr_grid:float array -> ?decay_grid:float array -> ?angles:float array ->
-  ?deadline:float -> objective -> score
+  ?workers:int -> ?lr_grid:float array -> ?decay_grid:float array ->
+  ?angles:float array -> ?deadline:float -> objective -> score
 (** Exhaustive search over the hyperparameter grid (defaults: 6 logarithmic
     learning rates in [0.03, 3], decays {0.995, 0.999, 1.0}; probe angles
     {0.5, 2.0}).  Returns the best score: fewest mean iterations among
@@ -47,7 +47,14 @@ val grid_search :
 
     With a [deadline] (absolute wall-clock), at least one candidate is
     always scored; the rest of the grid is skipped once the deadline
-    expires, so a bounded search still returns usable hyperparameters. *)
+    expires, so a bounded search still returns usable hyperparameters.
+
+    [workers] (default 1, deliberately {e not} [PQC_WORKERS]: this runs
+    inside pool workers during flexible-partial precompute, and nested
+    forking should be explicit) scores grid cells on forked
+    {!Pqc_parallel.Pool} workers when > 1.  The winner is identical to
+    the sequential search, except that an expired deadline skips no cell
+    — each GRAPE run is still individually deadline-bounded. *)
 
 type robustness_point = {
   angle : float;

@@ -1,0 +1,101 @@
+type stats = { workers : int; recovered : int }
+
+let workers_from_env ?(default = 1) () =
+  match Sys.getenv_opt "PQC_WORKERS" with
+  | None -> default
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> default)
+
+let sequential f items =
+  (List.map (fun x -> (f x, false)) items, { workers = 1; recovered = 0 })
+
+(* Worker [j] of [w] owns items j, j+w, j+2w, ... — round-robin sharding
+   balances shards even when item cost correlates with position (deep
+   blocks cluster at the end of UCCSD ansatz partitions). *)
+let child_loop ~encode ~f ~items ~wr j w =
+  let oc = Unix.out_channel_of_descr wr in
+  let n = Array.length items in
+  let i = ref j in
+  (try
+     while !i < n do
+       (match encode (f items.(!i)) with
+        | s ->
+          (* A payload with a newline would desynchronize the line
+             framing; drop it and let the parent recompute. *)
+          if not (String.contains s '\n') then
+            Printf.fprintf oc "%d\t%s\n" !i s
+        | exception _ -> ());
+       i := !i + w
+     done;
+     flush oc
+   with _ -> ());
+  (try flush oc with _ -> ())
+
+let parse_line ~decode ~n line =
+  match String.index_opt line '\t' with
+  | None -> None
+  | Some t ->
+    (match int_of_string_opt (String.sub line 0 t) with
+     | Some i when i >= 0 && i < n ->
+       let payload = String.sub line (t + 1) (String.length line - t - 1) in
+       Option.map (fun v -> (i, v)) (decode payload)
+     | Some _ | None -> None)
+
+let map ?workers ~encode ~decode f items =
+  let requested =
+    match workers with Some w -> max 1 w | None -> workers_from_env ()
+  in
+  let n = List.length items in
+  if requested <= 1 || n <= 1 then sequential f items
+  else begin
+    let items = Array.of_list items in
+    let w = min requested n in
+    let results = Array.make n None in
+    let spawn j =
+      let r, wr = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        (* Child: compute the shard, stream results, and _exit without
+           running at_exit handlers or flushing buffers inherited from
+           the parent (which would duplicate its pending output). *)
+        Unix.close r;
+        child_loop ~encode ~f ~items ~wr j w;
+        Unix._exit 0
+      | pid ->
+        Unix.close wr;
+        (pid, r)
+    in
+    let children = Array.init w spawn in
+    (* Drain pipes one worker at a time: the parent only reads, so a
+       worker blocked on a full pipe simply waits for its turn — no
+       deadlock, and no need for select-based multiplexing. *)
+    Array.iter
+      (fun (pid, r) ->
+        let ic = Unix.in_channel_of_descr r in
+        (try
+           while true do
+             match parse_line ~decode ~n (input_line ic) with
+             | Some (i, v) -> results.(i) <- Some v
+             | None -> ()
+           done
+         with End_of_file | Sys_error _ -> ());
+        close_in_noerr ic;
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()))
+      children;
+    (* Fan-in recovery: anything a worker failed to deliver — death,
+       corrupt record, encode failure — is recomputed here.  Exceptions
+       from [f] now surface in the parent, exactly as they would have
+       sequentially. *)
+    let recovered = ref 0 in
+    let out =
+      List.init n (fun i ->
+          match results.(i) with
+          | Some v -> (v, false)
+          | None ->
+            incr recovered;
+            (f items.(i), true))
+    in
+    (out, { workers = w; recovered = !recovered })
+  end

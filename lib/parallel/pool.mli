@@ -1,0 +1,51 @@
+(** Fork-based worker pool for batch compilation.
+
+    GRAPE block searches are CPU-bound, independent, and embarrassingly
+    parallel; this module fans a batch of them out over [Unix.fork]
+    workers and reassembles the results {e in input order}, so callers
+    observe the same result list regardless of how the batch was sharded
+    or in which order workers finished.
+
+    The design is deliberately crash-only: workers ship each result as
+    one framed line over a pipe as soon as it is computed, and a worker
+    that dies mid-shard (segfault, OOM kill, deadline SIGKILL) simply
+    truncates its stream.  The parent recomputes every missing item
+    in-process after the fan-in, so a lost worker can slow a batch down
+    but can never lose it or corrupt it.
+
+    Payload integrity is the codec's concern: [decode] should reject
+    truncated or bit-flipped payloads (the engine's codec reuses the
+    checksummed {!Pqc_core.Pulse_cache} record format), and any payload
+    [decode] rejects is treated exactly like a lost worker. *)
+
+type stats = {
+  workers : int;  (** Workers actually forked (1 = ran sequentially). *)
+  recovered : int;
+      (** Items whose worker result was missing or corrupt and which were
+          recomputed in-process by the parent. *)
+}
+
+val workers_from_env : ?default:int -> unit -> int
+(** Worker count from the [PQC_WORKERS] environment variable ([default]
+    — itself defaulting to 1 — when unset or invalid).  1 means fully
+    sequential: no processes are forked anywhere. *)
+
+val map :
+  ?workers:int ->
+  encode:('b -> string) ->
+  decode:(string -> 'b option) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b * bool) list * stats
+(** [map ~workers ~encode ~decode f items] computes [f] over [items] on
+    [workers] forked processes (round-robin sharding) and returns the
+    results in input order, each flagged [true] when it had to be
+    recovered by recomputing in the parent.  [workers] defaults to
+    {!workers_from_env}; with [workers <= 1] or fewer than two items the
+    whole batch runs sequentially in-process ([f x, false] per item, no
+    fork — exactly the pre-pool behaviour).
+
+    [encode] must produce a single line (no newline); a payload that
+    fails to encode, decode, or checksum is recomputed in the parent
+    rather than trusted.  [f] runs in the forked children {e and} in the
+    parent for recovered items, so it must be safe to call in both. *)

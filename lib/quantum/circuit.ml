@@ -72,6 +72,14 @@ let depends c =
   in
   S.elements s
 
+let n_params c =
+  Array.fold_left
+    (fun acc i ->
+      match Gate.depends_on i.gate with
+      | Some v -> max acc (v + 1)
+      | None -> acc)
+    0 c.ops
+
 let count c ~f =
   Array.fold_left (fun acc i -> if f i then acc + 1 else acc) 0 c.ops
 

@@ -58,6 +58,11 @@ val depends : t -> int list
 (** Sorted, duplicate-free list of variational parameters the circuit's gates
     depend on. *)
 
+val n_params : t -> int
+(** Length of the smallest theta vector every gate of the circuit can be
+    bound with: one past the highest parameter index used, which is {e not}
+    [List.length (depends c)] when the circuit skips indices. *)
+
 val parametrized_gate_count : t -> int
 (** Number of gates whose angle varies with some theta_i. *)
 

@@ -15,11 +15,7 @@ let run ?(max_evals = 1500) ?(seed = 11) ?(optimizer = `Nelder_mead)
     ~hamiltonian ~ansatz () =
   if Pauli.(hamiltonian.n_qubits) <> Circuit.n_qubits ansatz then
     invalid_arg "Vqe.run: Hamiltonian/ansatz width mismatch";
-  let n_params =
-    match List.rev (Circuit.depends ansatz) with
-    | [] -> 0
-    | last :: _ -> last + 1
-  in
+  let n_params = Circuit.n_params ansatz in
   let rng = Rng.create seed in
   let x0 =
     Array.init n_params (fun _ -> Rng.uniform rng ~lo:(-0.1) ~hi:0.1)

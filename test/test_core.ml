@@ -16,7 +16,7 @@ module Graph = Pqc_qaoa.Graph
 module Qaoa = Pqc_qaoa.Qaoa
 
 let theta_for rng c =
-  let n = match List.rev (Circuit.depends c) with [] -> 0 | v :: _ -> v + 1 in
+  let n = Circuit.n_params c in
   Array.init n (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
 
 let random_block rng n len =
@@ -214,7 +214,7 @@ let test_makespan_serial () =
 let test_speedup () =
   let mk d = { Strategy.strategy = ""; duration_ns = d; precompute = Engine.zero_cost;
                per_iteration = Engine.zero_cost; pulse = Pqc_pulse.Pulse.empty;
-               degradations = [] } in
+               degradations = []; pool = Engine.zero_pool_stats } in
   Alcotest.(check (float 1e-12)) "2x" 2.0 (Strategy.speedup ~baseline:(mk 10.0) (mk 5.0))
 
 (* --- Compiler: the paper's headline relationships --- *)

@@ -226,6 +226,25 @@ let test_circuit_counts () =
     (Circuit.gate_counts c);
   Alcotest.(check bool) "qubit used" true (Circuit.qubit_used c 1)
 
+let test_circuit_n_params () =
+  let no_params = Circuit.of_gates 2 [ (Gate.H, [ 0 ]); (Gate.CX, [ 0; 1 ]) ] in
+  Alcotest.(check int) "no params" 0 (Circuit.n_params no_params);
+  (* Parameter indices may have gaps: a circuit touching only theta.(5)
+     still needs a 6-element vector.  Deriving the count from the length
+     of [depends] (the old idiom) would report 1 here. *)
+  let gap = Circuit.of_gates 1 [ (Gate.Rz (Param.var 5), [ 0 ]) ] in
+  Alcotest.(check int) "gap index" 6 (Circuit.n_params gap);
+  Alcotest.(check int) "depends is sparser" 1 (List.length (Circuit.depends gap));
+  let shared =
+    Circuit.of_gates 2
+      [ (Gate.Rx (Param.var 2), [ 0 ]); (Gate.Rz (Param.var 2), [ 1 ]);
+        (Gate.Ry (Param.var 0), [ 0 ]) ]
+  in
+  Alcotest.(check int) "shared var, gap at 1" 3 (Circuit.n_params shared);
+  (* Binding removes dependencies, so the bound circuit needs no theta. *)
+  let bound = Circuit.bind gap (Array.make 6 0.5) in
+  Alcotest.(check int) "bound" 0 (Circuit.n_params bound)
+
 let test_circuit_concat_append () =
   let a = Circuit.of_gates 2 [ (Gate.H, [ 0 ]) ] in
   let b = Circuit.append a Gate.CX [ 0; 1 ] in
@@ -723,6 +742,7 @@ let () =
         [ Alcotest.test_case "validation" `Quick test_circuit_validation;
           Alcotest.test_case "bind" `Quick test_circuit_bind;
           Alcotest.test_case "counts" `Quick test_circuit_counts;
+          Alcotest.test_case "n_params" `Quick test_circuit_n_params;
           Alcotest.test_case "concat/append" `Quick test_circuit_concat_append;
           Alcotest.test_case "extend validates" `Quick test_circuit_extend_validates;
           QCheck_alcotest.to_alcotest prop_append_extend_builder_agree;
