@@ -32,6 +32,7 @@ module Molecule = Pqc_vqe.Molecule
 module Uccsd = Pqc_vqe.Uccsd
 module Graph = Pqc_qaoa.Graph
 module Qaoa = Pqc_qaoa.Qaoa
+module Obs = Pqc_obs.Obs
 open Pqc_core
 
 let full_mode =
@@ -761,7 +762,20 @@ let bench_json () =
       (r, Unix.gettimeofday () -. t0)
     in
     let seq, sequential_s = compile ~workers:1 in
+    (* Trace the parallel run: its span rollup lands in the report's
+       "trace" array.  Tracing is scoped to this compile so rollups do
+       not bleed across experiments, and a fresh reset keeps the
+       counters per-experiment. *)
+    let was_enabled = Obs.enabled () in
+    Obs.reset ();
+    Obs.enable ();
     let par, parallel_s = compile ~workers in
+    let trace =
+      List.map
+        (fun (span, count, total_s) -> { Bench_report.span; count; total_s })
+        (Obs.rollup ())
+    in
+    if not was_enabled then Obs.disable ();
     let speedup = sequential_s /. parallel_s in
     let equal_pulse =
       Float.equal seq.Strategy.duration_ns par.Strategy.duration_ns
@@ -780,7 +794,8 @@ let bench_json () =
       cache_hits = par.Strategy.pool.Engine.cache_hits;
       blocks_compiled = par.Strategy.pool.Engine.dispatched;
       workers = par.Strategy.pool.Engine.workers;
-      equal_pulse }
+      equal_pulse;
+      trace }
   in
   let experiments =
     List.map run_one

@@ -58,12 +58,47 @@ let theta_for seed c =
 
 (* --- compile --- *)
 
-let run_compile benchmark strategy numeric seed =
-  match benchmark_circuit benchmark with
+let load_qasm path =
+  try
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Pqc_quantum.Qasm.of_qasm s with
+    | c -> Ok c
+    | exception Pqc_quantum.Qasm.Parse_error { line; col; message } ->
+      Error (Printf.sprintf "%s:%d:%d: %s" path line col message)
+  with Sys_error e -> Error e
+
+(* Scope tracing to the wrapped action: enable, run, write the Chrome
+   trace atomically, and print the span/counter summary table. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let module Obs = Pqc_obs.Obs in
+    Obs.reset ();
+    Obs.enable ();
+    let code = f () in
+    Obs.write ~path ();
+    Printf.printf "wrote trace %s (%d events)\n" path
+      (List.length (Obs.events ()));
+    print_string (Obs.summary ());
+    print_newline ();
+    code
+
+let run_compile file benchmark strategy numeric seed trace =
+  let circuit =
+    match file with
+    | Some path -> load_qasm path
+    | None -> benchmark_circuit benchmark
+  in
+  let label = match file with Some p -> p | None -> benchmark in
+  match circuit with
   | Error e ->
     prerr_endline e;
     1
   | Ok circuit ->
+    with_trace trace @@ fun () ->
     let prepared = Compiler.prepare circuit in
     let theta = theta_for seed prepared in
     let engine = if numeric then Engine.numeric () else Engine.model in
@@ -72,7 +107,7 @@ let run_compile benchmark strategy numeric seed =
       | None -> Compiler.all_strategies
       | Some s -> [ s ]
     in
-    Printf.printf "%s: %d qubits, %d gates, %d parameters (seed %d)\n" benchmark
+    Printf.printf "%s: %d qubits, %d gates, %d parameters (seed %d)\n" label
       (Circuit.n_qubits prepared) (Circuit.length prepared)
       (List.length (Circuit.depends prepared))
       seed;
@@ -218,7 +253,7 @@ let run_export benchmark strategy out seed =
     write (out ^ ".pulse.json") json;
     Printf.printf "%s under %s: %.1f ns over %d segments\n" benchmark
       r.Strategy.strategy r.Strategy.duration_ns
-      (List.length r.Strategy.pulse.Pqc_pulse.Pulse.segments);
+      (Pqc_pulse.Pulse.length r.Strategy.pulse);
     0
 
 (* --- qasm --- *)
@@ -388,8 +423,25 @@ let compile_cmd =
     Arg.(value & flag & info [ "numeric" ] ~doc:"Use the real GRAPE engine (slow).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Parametrization seed.") in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:
+            "Record compilation telemetry and write a Chrome trace-event \
+             JSON file (open in chrome://tracing or Perfetto). A span/counter \
+             summary table is printed after the compile.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Optional OpenQASM 2.0 file to compile instead of a named benchmark.")
+  in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a benchmark under the four strategies")
-    Term.(const run_compile $ benchmark $ strategy $ numeric $ seed)
+    Term.(const run_compile $ file $ benchmark $ strategy $ numeric $ seed $ trace)
 
 let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print the Table 1/2 benchmark statistics")

@@ -1,4 +1,8 @@
-let schema_version = 1
+(* v2: experiments gained a "trace" array of per-span rollups from the
+   telemetry layer (empty when tracing was off for the run). *)
+let schema_version = 2
+
+type span_rollup = { span : string; count : int; total_s : float }
 
 type experiment = {
   name : string;
@@ -12,6 +16,7 @@ type experiment = {
   blocks_compiled : int;
   workers : int;
   equal_pulse : bool;
+  trace : span_rollup list;
 }
 
 type t = { mode : string; workers : int; experiments : experiment list }
@@ -40,6 +45,18 @@ let json_string s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
 
+let rollup_json r =
+  String.concat ""
+    [ "        { \"span\": "; json_string r.span;
+      ", \"count\": "; string_of_int r.count;
+      ", \"total_s\": "; json_float r.total_s; " }" ]
+
+let trace_json = function
+  | [] -> "[]"
+  | rs ->
+    String.concat ""
+      [ "[\n"; String.concat ",\n" (List.map rollup_json rs); "\n      ]" ]
+
 let experiment_json e =
   String.concat ""
     [ "    {\n";
@@ -53,7 +70,8 @@ let experiment_json e =
       "      \"cache_hits\": "; string_of_int e.cache_hits; ",\n";
       "      \"blocks_compiled\": "; string_of_int e.blocks_compiled; ",\n";
       "      \"workers\": "; string_of_int e.workers; ",\n";
-      "      \"equal_pulse\": "; string_of_bool e.equal_pulse; "\n";
+      "      \"equal_pulse\": "; string_of_bool e.equal_pulse; ",\n";
+      "      \"trace\": "; trace_json e.trace; "\n";
       "    }" ]
 
 let to_json t =

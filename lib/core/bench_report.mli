@@ -9,6 +9,13 @@
 val schema_version : int
 (** Bumped on any change to the document structure below. *)
 
+type span_rollup = {
+  span : string;  (** Span name, e.g. ["engine.search"]. *)
+  count : int;  (** Times the span closed during the run. *)
+  total_s : float;  (** Summed span duration, seconds. *)
+}
+(** One row of {!Pqc_obs.Obs.rollup}, embedded per experiment. *)
+
 type experiment = {
   name : string;  (** Benchmark circuit, e.g. ["uccsd-lih"]. *)
   strategy : string;  (** Compilation strategy compiled under. *)
@@ -24,6 +31,9 @@ type experiment = {
       (** Whether sequential and parallel compiles produced the same
           pulse duration — the determinism contract, re-checked on every
           benchmark run. *)
+  trace : span_rollup list;
+      (** Per-span rollups from the traced parallel compile ([[]] when
+          tracing was off). *)
 }
 
 type t = {

@@ -226,6 +226,9 @@ let strategy_name = function
   | Full_grape -> "full-grape"
 
 let run_strategy ?workers ~max_width ~engine strategy c ~theta =
+  Pqc_obs.Obs.Span.with_ ~name:"compiler.strategy"
+    ~attrs:[ ("strategy", strategy_name strategy) ]
+  @@ fun () ->
   match strategy with
   | Gate_based -> gate_based c ~theta
   | Strict_partial -> strict_partial ?workers ~max_width ~engine c ~theta
@@ -254,6 +257,7 @@ let analysis_target = function
    warnings become degradation records so the accounting that already
    tracks engine fallbacks also shows what the analyzer flagged. *)
 let analysis_gate ~max_width strategy c ~theta =
+  Pqc_obs.Obs.Span.with_ ~name:"compiler.analysis" @@ fun () ->
   let report =
     Pqc_analysis.Runner.analyze ~theta_len:(Array.length theta) ~max_width
       ~target:(analysis_target strategy) c
@@ -268,6 +272,12 @@ let analysis_gate ~max_width strategy c ~theta =
 
 let compile ?workers ?(max_width = 4) ?(analysis = true) ~engine strategy c
     ~theta =
+  Pqc_obs.Obs.Span.with_ ~name:"compiler.compile"
+    ~attrs:
+      [ ("strategy", strategy_name strategy);
+        ("qubits", string_of_int (Circuit.n_qubits c));
+        ("gates", string_of_int (Circuit.length c)) ]
+  @@ fun () ->
   let lint_degs =
     if analysis then analysis_gate ~max_width strategy c ~theta else []
   in
@@ -281,6 +291,7 @@ let compile ?workers ?(max_width = 4) ?(analysis = true) ~engine strategy c
       | r when usable r ->
         { r with Strategy.degradations = degs @ r.Strategy.degradations }
       | _ ->
+        Pqc_obs.Obs.count "compiler.degraded";
         go
           (degs
           @ [ { Resilience.stage = strategy_name s;
@@ -288,6 +299,7 @@ let compile ?workers ?(max_width = 4) ?(analysis = true) ~engine strategy c
                 detail = "strategy produced a non-finite pulse duration" } ])
           rest
       | exception e ->
+        Pqc_obs.Obs.count "compiler.degraded";
         go
           (degs
           @ [ { Resilience.stage = strategy_name s;

@@ -7,6 +7,7 @@ module Hamiltonian = Pqc_grape.Hamiltonian
 module Hyperopt = Pqc_hyperopt.Hyperopt
 module Rng = Pqc_util.Rng
 module Pool = Pqc_parallel.Pool
+module Obs = Pqc_obs.Obs
 
 type cost = { grape_runs : int; grape_iterations : int; seconds : float }
 
@@ -150,7 +151,9 @@ let persist t =
        in
        (* Merge, not overwrite: two engines (or two worker pools) that
           persist to the same cache path must both survive on disk. *)
-       Pulse_cache.merge ~path entries)
+       Obs.Span.with_ ~name:"engine.persist"
+         ~attrs:[ ("entries", string_of_int (List.length entries)) ]
+         (fun () -> Pulse_cache.merge ~path entries))
 
 let cache_size t =
   match unwrap t with
@@ -281,8 +284,18 @@ let search_flagged t c =
       | Base_model -> Either.Right None
     in
     match cached_key with
-    | Either.Left r -> (r, false)
+    | Either.Left r ->
+      Obs.count "engine.cache.hit";
+      (r, false)
     | Either.Right store ->
+      (match store with
+      | Some _ -> Obs.count "engine.cache.miss"
+      | None -> ());
+      Obs.Span.with_ ~name:"engine.search"
+        ~attrs:
+          [ ("width", string_of_int (Circuit.n_qubits c));
+            ("gates", string_of_int (Circuit.length c)) ]
+      @@ fun () ->
       let injected = ref false in
       (* Real (non-injected) attempts that failed still burned optimizer
          time; surface at least the run count in the fallback's cost. *)
@@ -452,7 +465,7 @@ let item_engine t plan idx =
    memo table, and reassemble per input order.  [compute] runs in forked
    children {e and} in the parent (sequential mode and recovery), so the
    two paths stay behaviorally identical by construction. *)
-let run_batch (type r) ?workers t circuits
+let run_batch (type r) ?workers ?min_items t circuits
     ~(compute : t -> Pqc_quantum.Circuit.t -> r)
     ~(encode : string -> r -> string)
     ~(decode : string -> (string * r) option)
@@ -461,6 +474,9 @@ let run_batch (type r) ?workers t circuits
     ~(store : numeric_config -> string -> r -> unit) :
     r list * pool_stats * Resilience.degradation list =
   List.iter require_bound circuits;
+  Obs.Span.with_ ~name:"engine.batch"
+    ~attrs:[ ("items", string_of_int (List.length circuits)) ]
+  @@ fun () ->
   let plan, base = unwrap t in
   let arr = Array.of_list circuits in
   let n = Array.length arr in
@@ -494,9 +510,13 @@ let run_batch (type r) ?workers t circuits
         | None -> todo := (i, k, arr.(i)) :: !todo)
     keys;
   let todo = List.rev !todo in
+  if !cache_hits > 0 then
+    Obs.count ~by:(float_of_int !cache_hits) "engine.batch.cache_hits";
+  if todo <> [] then
+    Obs.count ~by:(float_of_int (List.length todo)) "engine.batch.dispatched";
   let f (idx, _k, c) = compute (item_engine t plan idx) c in
   let pool_out, pstats =
-    Pool.map ?workers
+    Pool.map ?workers ?min_items
       ~encode:(fun (k, r) -> encode k r)
       ~decode
       (fun ((_, k, _) as item) -> (k, f item))
@@ -544,9 +564,9 @@ let run_batch (type r) ?workers t circuits
   in
   (out, stats, List.rev !degs)
 
-let search_many ?workers t circuits =
+let search_many ?workers ?min_items t circuits =
   let rs, stats, degs =
-    run_batch ?workers t circuits
+    run_batch ?workers ?min_items t circuits
       ~compute:search_flagged
       ~encode:encode_search
       ~decode:decode_search
@@ -559,7 +579,7 @@ let search_many ?workers t circuits =
 
 type flex_result = { search : block_result; hyperopt : cost; tuned : cost }
 
-let flex_many ?workers t circuits =
+let flex_many ?workers ?min_items t circuits =
   let compute eng c =
     let r, injected = search_flagged eng c in
     let hyperopt = hyperopt_cost eng c ~duration:r.duration_ns in
@@ -583,7 +603,7 @@ let flex_many ?workers t circuits =
     | _ -> None
   in
   let rs, stats, degs =
-    run_batch ?workers t circuits ~compute ~encode ~decode
+    run_batch ?workers ?min_items t circuits ~compute ~encode ~decode
       (* Hyperopt and tuned-run costs are never memoized, so every unique
          block dispatches; the search inside still hits the memo table
          the child inherited at fork time. *)

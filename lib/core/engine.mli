@@ -131,15 +131,21 @@ val add_pool_stats : pool_stats -> pool_stats -> pool_stats
 (** Componentwise sum; [workers] is the max of the two. *)
 
 val search_many :
-  ?workers:int -> t -> Circuit.t list ->
+  ?workers:int -> ?min_items:int -> t -> Circuit.t list ->
   block_result list * pool_stats * Resilience.degradation list
 (** Batched {!search}: results in input order, one per circuit.
     [workers] defaults to {!Pqc_parallel.Pool.workers_from_env}
     ([PQC_WORKERS], default 1 — no fork, exact single-item behaviour).
-    Results travel back in the checksummed {!Pulse_cache} record format;
-    any lost or corrupt record is recomputed in the parent and recorded
-    as a [Worker_lost] degradation.  Genuine (non-injected) results are
-    merged into the engine's memo table exactly as {!search} would. *)
+    Memo-table hits and intra-batch duplicates are resolved in the
+    parent before anything forks; only the remaining misses are sent to
+    the pool, and when fewer than [min_items] of them remain (default
+    {!Pqc_parallel.Pool.min_items_from_env}, [PQC_PAR_MIN_ITEMS]) they
+    run sequentially in-process — a cache-hot batch never pays fork
+    overhead.  Results travel back in the checksummed {!Pulse_cache}
+    record format; any lost or corrupt record is recomputed in the
+    parent and recorded as a [Worker_lost] degradation.  Genuine
+    (non-injected) results are merged into the engine's memo table
+    exactly as {!search} would. *)
 
 type flex_result = {
   search : block_result;
@@ -148,7 +154,7 @@ type flex_result = {
 }
 
 val flex_many :
-  ?workers:int -> t -> Circuit.t list ->
+  ?workers:int -> ?min_items:int -> t -> Circuit.t list ->
   flex_result list * pool_stats * Resilience.degradation list
 (** Batched flexible-partial precompute: per block, the minimal-time
     search plus hyperparameter tuning plus one tuned run, all executed

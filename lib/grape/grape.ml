@@ -1,6 +1,7 @@
 module Cmat = Pqc_linalg.Cmat
 module Expm = Pqc_linalg.Expm
 module Rng = Pqc_util.Rng
+module Obs = Pqc_obs.Obs
 
 type hyperparams = { learning_rate : float; decay : float }
 
@@ -97,6 +98,12 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
       (Printf.sprintf
          "Grape.optimize: total_time %g / dt %g needs %d steps (cap %d)"
          total_time settings.dt n_steps max_steps);
+  Obs.Span.with_ ~name:"grape.optimize"
+    ~attrs:
+      [ ("dim", string_of_int dim);
+        ("total_time", Printf.sprintf "%g" total_time);
+        ("max_iters", string_of_int settings.max_iters) ]
+  @@ fun () ->
   let dt = settings.dt in
   let dsub2 =
     let d = float_of_int (Hamiltonian.subspace_dim sys) in
@@ -132,6 +139,23 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
   let converged = ref false in
   let diverged = ref false in
   let deadline_hit = ref false in
+  (* Convergence profile: ~32 evenly strided snapshots per run when
+     tracing is on.  Collection reads the loop state but never writes
+     it, so traced and untraced runs compute identical pulses. *)
+  let prof_points = ref [] in
+  let prof_stride = max 1 (settings.max_iters / 32) in
+  let prof_snapshot iter fid lr =
+    if Obs.enabled () && (iter = 1 || iter mod prof_stride = 0) then begin
+      let gn = ref 0.0 in
+      for i = 0 to flat_dim - 1 do
+        gn := !gn +. (flat_grad.(i) *. flat_grad.(i))
+      done;
+      prof_points :=
+        { Obs.iteration = iter; infidelity = 1.0 -. fid; learning_rate = lr;
+          grad_norm = sqrt !gn }
+        :: !prof_points
+    end
+  in
   (try
      for iter = 1 to settings.max_iters do
        iterations := iter;
@@ -225,6 +249,7 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
          settings.hyperparams.learning_rate
          *. (settings.hyperparams.decay ** float_of_int (iter - 1))
        in
+       prof_snapshot iter fid lr;
        Adam.step adam ~learning_rate:lr ~params:flat_params ~grad:flat_grad;
        for j = 0 to nc - 1 do
          let cap = sys.controls.(j).max_amp in
@@ -235,6 +260,12 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
        done
      done
    with Exit -> ());
+  if !prof_points <> [] then
+    Obs.profile
+      ~label:
+        (Printf.sprintf "grape[dim=%d,T=%g]" dim
+           (float_of_int n_steps *. dt))
+      (List.rev !prof_points);
   { fidelity = !best_fidelity; iterations = !iterations; converged = !converged;
     diverged = !diverged; deadline_hit = !deadline_hit;
     total_time = float_of_int n_steps *. dt; n_steps; controls = best_u;
@@ -281,6 +312,11 @@ type search = {
 
 let minimal_time ?(settings = default_settings) ?(precision = 0.3) ?deadline
     ~upper_bound sys ~target =
+  Obs.Span.with_ ~name:"grape.minimal_time"
+    ~attrs:
+      [ ("dim", string_of_int sys.Hamiltonian.dim);
+        ("upper_bound", Printf.sprintf "%g" upper_bound) ]
+  @@ fun () ->
   let probes = ref [] in
   let iters = ref 0 in
   let hit = ref false in

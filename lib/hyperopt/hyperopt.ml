@@ -154,6 +154,10 @@ let best_lr_stability points =
         (fun p ->
           List.iter
             (fun (lr, e) ->
+              (* A diverged run reports a NaN error; NaN totals sort first
+                 under polymorphic compare and would crown the diverged
+                 learning rate.  Treat divergence as infinitely bad. *)
+              let e = if Float.is_nan e then Float.infinity else e in
               Hashtbl.replace totals lr
                 (e +. Option.value ~default:0.0 (Hashtbl.find_opt totals lr)))
             p.error_by_lr)

@@ -1,0 +1,460 @@
+type attr = string * string
+
+type point = {
+  iteration : int;
+  infidelity : float;
+  learning_rate : float;
+  grad_norm : float;
+}
+
+type event =
+  | Span of {
+      id : int;
+      parent : int;
+      name : string;
+      attrs : attr list;
+      ts : float;
+      dur : float;
+      tid : int;
+    }
+  | Count of { name : string; by : float; ts : float; tid : int }
+  | Gauge of { name : string; value : float; ts : float; tid : int }
+  | Profile of { label : string; points : point list; ts : float; tid : int }
+
+(* Global, process-local trace state.  Forked pool children inherit a
+   copy-on-write snapshot; everything they record past the fork point is
+   shipped back explicitly via encode_since/absorb, so the parent never
+   sees duplicates. *)
+let enabled_flag = ref false
+let t0 = ref 0.0
+let events_rev = ref []
+let n_events = ref 0
+let stack = ref []
+let next_id = ref 0
+let tid = ref 0
+let counters : (string, float) Hashtbl.t = Hashtbl.create 16
+
+(* Backstop against a runaway instrumentation loop eating the heap; a
+   real compile records a few thousand events. *)
+let max_events = 500_000
+
+let enabled () = !enabled_flag
+
+let enable () =
+  if not !enabled_flag then begin
+    enabled_flag := true;
+    if !t0 = 0.0 then t0 := Unix.gettimeofday ()
+  end
+
+let disable () = enabled_flag := false
+
+let reset () =
+  events_rev := [];
+  n_events := 0;
+  stack := [];
+  next_id := 0;
+  Hashtbl.reset counters;
+  t0 := Unix.gettimeofday ()
+
+let now () = Unix.gettimeofday () -. !t0
+
+let push e =
+  if !n_events < max_events then begin
+    events_rev := e :: !events_rev;
+    incr n_events
+  end
+
+let events () = List.rev !events_rev
+let mark () = !n_events
+
+let set_worker w =
+  tid := w;
+  next_id := !next_id + (w * 1_000_000)
+
+module Span = struct
+  let with_ ~name ?(attrs = []) f =
+    if not !enabled_flag then f ()
+    else begin
+      incr next_id;
+      let id = !next_id in
+      let parent = match !stack with p :: _ -> p | [] -> 0 in
+      stack := id :: !stack;
+      let ts = now () in
+      let close attrs =
+        (match !stack with
+        | s :: rest when s = id -> stack := rest
+        | _ -> stack := List.filter (fun s -> s <> id) !stack);
+        let dur = now () -. ts in
+        push (Span { id; parent; name; attrs; ts; dur; tid = !tid })
+      in
+      match f () with
+      | v ->
+        close attrs;
+        v
+      | exception e ->
+        close (attrs @ [ ("error", Printexc.to_string e) ]);
+        raise e
+    end
+end
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some v -> v | None -> 0.0
+
+let count ?(by = 1.0) name =
+  if !enabled_flag then begin
+    Hashtbl.replace counters name (counter_value name +. by);
+    push (Count { name; by; ts = now (); tid = !tid })
+  end
+
+let gauge name value =
+  if !enabled_flag then push (Gauge { name; value; ts = now (); tid = !tid })
+
+let profile ~label points =
+  if !enabled_flag then
+    push (Profile { label; points; ts = now (); tid = !tid })
+
+let rollup () =
+  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Span s ->
+        let n, total =
+          match Hashtbl.find_opt tbl s.name with
+          | Some (n, t) -> (n, t)
+          | None -> (0, 0.0)
+        in
+        Hashtbl.replace tbl s.name (n + 1, total +. s.dur)
+      | _ -> ())
+    (events ());
+  Hashtbl.fold (fun name (n, t) acc -> (name, n, t) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+(* ---- pipe codec -------------------------------------------------------
+   Events serialized for the pool pipe: records joined by '\x1e', fields
+   by '\x1f', list elements by '\x1d', pair halves by '\x1c'.  Strings
+   are escaped so no separator, newline or tab survives (the pool frames
+   lines and splits at the first tab). *)
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\x1e' -> Buffer.add_string buf "\\e"
+      | '\x1f' -> Buffer.add_string buf "\\f"
+      | '\x1d' -> Buffer.add_string buf "\\g"
+      | '\x1c' -> Buffer.add_string buf "\\h"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unesc s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char buf '\\'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'e' -> Buffer.add_char buf '\x1e'
+       | 'f' -> Buffer.add_char buf '\x1f'
+       | 'g' -> Buffer.add_char buf '\x1d'
+       | 'h' -> Buffer.add_char buf '\x1c'
+       | c ->
+         Buffer.add_char buf '\\';
+         Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let encode_event e =
+  let f = Printf.sprintf "%h" in
+  match e with
+  | Span s ->
+    let attrs =
+      String.concat "\x1d"
+        (List.map (fun (k, v) -> esc k ^ "\x1c" ^ esc v) s.attrs)
+    in
+    String.concat "\x1f"
+      [ "S"; string_of_int s.id; string_of_int s.parent; esc s.name;
+        f s.ts; f s.dur; string_of_int s.tid; attrs ]
+  | Count c ->
+    String.concat "\x1f"
+      [ "C"; esc c.name; f c.by; f c.ts; string_of_int c.tid ]
+  | Gauge g ->
+    String.concat "\x1f"
+      [ "G"; esc g.name; f g.value; f g.ts; string_of_int g.tid ]
+  | Profile p ->
+    let pts =
+      String.concat "\x1d"
+        (List.map
+           (fun pt ->
+             String.concat "\x1c"
+               [ string_of_int pt.iteration; f pt.infidelity;
+                 f pt.learning_rate; f pt.grad_norm ])
+           p.points)
+    in
+    String.concat "\x1f"
+      [ "P"; esc p.label; f p.ts; string_of_int p.tid; pts ]
+
+let decode_event s =
+  let fields = String.split_on_char '\x1f' s in
+  match fields with
+  | [ "S"; id; parent; name; ts; dur; tid; attrs ] ->
+    let attrs =
+      if attrs = "" then []
+      else
+        String.split_on_char '\x1d' attrs
+        |> List.filter_map (fun pair ->
+               match String.index_opt pair '\x1c' with
+               | Some i ->
+                 Some
+                   ( unesc (String.sub pair 0 i),
+                     unesc
+                       (String.sub pair (i + 1) (String.length pair - i - 1))
+                   )
+               | None -> None)
+    in
+    Some
+      (Span
+         {
+           id = int_of_string id;
+           parent = int_of_string parent;
+           name = unesc name;
+           attrs;
+           ts = float_of_string ts;
+           dur = float_of_string dur;
+           tid = int_of_string tid;
+         })
+  | [ "C"; name; by; ts; tid ] ->
+    Some
+      (Count
+         {
+           name = unesc name;
+           by = float_of_string by;
+           ts = float_of_string ts;
+           tid = int_of_string tid;
+         })
+  | [ "G"; name; value; ts; tid ] ->
+    Some
+      (Gauge
+         {
+           name = unesc name;
+           value = float_of_string value;
+           ts = float_of_string ts;
+           tid = int_of_string tid;
+         })
+  | [ "P"; label; ts; tid; pts ] ->
+    let points =
+      if pts = "" then []
+      else
+        String.split_on_char '\x1d' pts
+        |> List.filter_map (fun pt ->
+               match String.split_on_char '\x1c' pt with
+               | [ it; inf; lr; gn ] ->
+                 Some
+                   {
+                     iteration = int_of_string it;
+                     infidelity = float_of_string inf;
+                     learning_rate = float_of_string lr;
+                     grad_norm = float_of_string gn;
+                   }
+               | _ -> None)
+    in
+    Some
+      (Profile
+         {
+           label = unesc label;
+           points;
+           ts = float_of_string ts;
+           tid = int_of_string tid;
+         })
+  | _ -> None
+
+let encode_since m =
+  let fresh = !n_events - m in
+  if fresh <= 0 then ""
+  else begin
+    let rec take n l acc =
+      if n = 0 then acc
+      else match l with [] -> acc | x :: rest -> take (n - 1) rest (x :: acc)
+    in
+    let recent = take fresh !events_rev [] in
+    String.concat "\x1e" (List.map encode_event recent)
+  end
+
+let absorb line =
+  if line <> "" then
+    String.split_on_char '\x1e' line
+    |> List.iter (fun s ->
+           match (try decode_event s with _ -> None) with
+           | None -> ()
+           | Some e ->
+             (match e with
+             | Count c ->
+               Hashtbl.replace counters c.name (counter_value c.name +. c.by)
+             | _ -> ());
+             push e)
+
+(* ---- Chrome trace-event export --------------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+let micros s = Printf.sprintf "%.3f" (s *. 1e6)
+
+let to_chrome_json ?(normalize = false) () =
+  let buf = Buffer.create 4096 in
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  Buffer.add_string buf "{\n  \"traceEvents\": [\n";
+  let first = ref true in
+  let emit_event ~name ~ph ~ts ~tid extra =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf "    {\"name\": ";
+    Buffer.add_string buf (json_string name);
+    Buffer.add_string buf (Printf.sprintf ", \"ph\": \"%s\", \"ts\": %s" ph ts);
+    Buffer.add_string buf extra;
+    Buffer.add_string buf (Printf.sprintf ", \"pid\": 1, \"tid\": %d}" tid)
+  in
+  List.iteri
+    (fun i e ->
+      let ts s = if normalize then string_of_int i else micros s in
+      match e with
+      | Span s ->
+        let dur = if normalize then "1" else micros s.dur in
+        let args =
+          String.concat ", "
+            (Printf.sprintf "\"id\": \"%d\"" s.id
+            :: Printf.sprintf "\"parent\": \"%d\"" s.parent
+            :: List.map
+                 (fun (k, v) ->
+                   Printf.sprintf "%s: %s" (json_string k) (json_string v))
+                 s.attrs)
+        in
+        emit_event ~name:s.name ~ph:"X" ~ts:(ts s.ts) ~tid:s.tid
+          (Printf.sprintf ", \"dur\": %s, \"args\": {%s}" dur args)
+      | Count c ->
+        let total =
+          match Hashtbl.find_opt totals c.name with
+          | Some t -> t +. c.by
+          | None -> c.by
+        in
+        Hashtbl.replace totals c.name total;
+        emit_event ~name:c.name ~ph:"C" ~ts:(ts c.ts) ~tid:c.tid
+          (Printf.sprintf ", \"args\": {%s: %s}" (json_string c.name)
+             (json_float total))
+      | Gauge g ->
+        emit_event ~name:g.name ~ph:"C" ~ts:(ts g.ts) ~tid:g.tid
+          (Printf.sprintf ", \"args\": {%s: %s}" (json_string g.name)
+             (json_float g.value))
+      | Profile p ->
+        let col f = String.concat ", " (List.map f p.points) in
+        let args =
+          String.concat ""
+            [ "\"label\": "; json_string p.label;
+              ", \"iteration\": [";
+              col (fun pt -> string_of_int pt.iteration);
+              "], \"infidelity\": [";
+              col (fun pt -> json_float pt.infidelity);
+              "], \"learning_rate\": [";
+              col (fun pt -> json_float pt.learning_rate);
+              "], \"grad_norm\": [";
+              col (fun pt -> json_float pt.grad_norm);
+              "]" ]
+        in
+        emit_event
+          ~name:("grape.profile:" ^ p.label)
+          ~ph:"i" ~ts:(ts p.ts) ~tid:p.tid
+          (Printf.sprintf ", \"s\": \"t\", \"args\": {%s}" args))
+    (events ());
+  Buffer.add_string buf "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  Buffer.contents buf
+
+let write ?normalize ~path () =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json ?normalize ()));
+  Sys.rename tmp path
+
+let summary () =
+  let t = Pqc_util.Table.create [ "name"; "kind"; "count"; "total" ] in
+  List.iter
+    (fun (name, n, total) ->
+      Pqc_util.Table.add_row t
+        [ name; "span"; string_of_int n;
+          Pqc_util.Table.cell_f ~decimals:3 (total *. 1e3) ^ " ms" ])
+    (rollup ());
+  let incs : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let gauges : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let profiles = ref [] in
+  List.iter
+    (function
+      | Count c ->
+        Hashtbl.replace incs c.name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt incs c.name))
+      | Gauge g -> Hashtbl.replace gauges g.name g.value
+      | Profile p -> profiles := (p.label, List.length p.points) :: !profiles
+      | Span _ -> ())
+    (events ());
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) incs []
+  |> List.sort compare
+  |> List.iter (fun (name, n) ->
+         Pqc_util.Table.add_row t
+           [ name; "counter"; string_of_int n;
+             Pqc_util.Table.cell_f ~decimals:3 (counter_value name) ]);
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) gauges []
+  |> List.sort compare
+  |> List.iter (fun (name, v) ->
+         Pqc_util.Table.add_row t
+           [ name; "gauge"; ""; Pqc_util.Table.cell_f ~decimals:3 v ]);
+  List.rev !profiles
+  |> List.iter (fun (label, n) ->
+         Pqc_util.Table.add_row t [ label; "profile"; string_of_int n; "" ]);
+  Pqc_util.Table.render t
+
+(* PQC_TRACE: "1"/"true"/"summary" enable with a stderr summary at exit;
+   any other non-empty, non-"0" value enables and is treated as the
+   output path for the Chrome trace.  Forked pool children exit through
+   Unix._exit, which skips at_exit, so only the parent ever writes. *)
+let () =
+  match Sys.getenv_opt "PQC_TRACE" with
+  | None -> ()
+  | Some v -> (
+    let v = String.trim v in
+    if v = "" || v = "0" then ()
+    else begin
+      enable ();
+      match v with
+      | "1" | "true" | "summary" ->
+        at_exit (fun () ->
+            if !n_events > 0 then (
+              prerr_string (summary ());
+              prerr_newline ()))
+      | path -> at_exit (fun () -> try write ~path () with _ -> ())
+    end)

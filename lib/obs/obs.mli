@@ -1,0 +1,125 @@
+(** Compilation telemetry: timed spans, monotonic counters, gauges, and
+    per-GRAPE-run convergence profiles, exported as Chrome trace-event
+    JSON plus a text summary table.
+
+    The layer is {e disabled by default} and every instrumentation point
+    is a no-op until {!enable} is called (or the [PQC_TRACE] environment
+    variable is set, see below).  Tracing never changes compilation
+    results: trace records carry timestamps, but pulse outputs are
+    bit-for-bit identical with tracing on or off, and trace data is
+    excluded from pulse-cache keys, checksums and the worker-pool result
+    protocol (trace records travel on their own frames).
+
+    State is global to the process.  Forked worker-pool children inherit
+    the enabled flag and the open span stack, record into their own
+    (copy-on-write) buffer, and ship their events back to the parent over
+    the pool pipe ({!encode_since}/{!absorb}); inherited span ids stay
+    valid, so reassembled child spans keep their correct parents.
+
+    [PQC_TRACE] semantics: unset/empty/["0"] — disabled; ["1"], ["true"]
+    or ["summary"] — enabled, text summary printed to stderr at exit;
+    any other value — enabled, treated as a path and the Chrome trace
+    JSON is written there at exit. *)
+
+type attr = string * string
+(** Span attribute: key and pre-rendered value. *)
+
+type point = {
+  iteration : int;
+  infidelity : float;  (** [1 - fidelity] at that iteration. *)
+  learning_rate : float;  (** Decayed ADAM learning rate in effect. *)
+  grad_norm : float;  (** L2 norm of the flattened gradient. *)
+}
+(** One snapshot of a GRAPE optimization trajectory. *)
+
+type event =
+  | Span of {
+      id : int;
+      parent : int;  (** Enclosing span id; 0 at top level. *)
+      name : string;
+      attrs : attr list;
+      ts : float;  (** Seconds since the trace epoch. *)
+      dur : float;  (** Seconds. *)
+      tid : int;  (** 0 in the parent; worker index + 1 in pool children. *)
+    }
+  | Count of { name : string; by : float; ts : float; tid : int }
+      (** One increment of a monotonic counter (totals are accumulated at
+          export time, so child increments merge additively). *)
+  | Gauge of { name : string; value : float; ts : float; tid : int }
+  | Profile of { label : string; points : point list; ts : float; tid : int }
+
+(** {2 Lifecycle} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded events and counters and restart the trace epoch. *)
+
+(** {2 Recording} *)
+
+module Span : sig
+  val with_ : name:string -> ?attrs:attr list -> (unit -> 'a) -> 'a
+  (** [with_ ~name ~attrs f] runs [f] inside a timed span.  When tracing
+      is disabled this is just [f ()].  An exception closes the span
+      (with an ["error"] attribute) and re-raises. *)
+end
+
+val count : ?by:float -> string -> unit
+(** Increment a monotonic counter (default [by] 1.0). *)
+
+val gauge : string -> float -> unit
+
+val profile : label:string -> point list -> unit
+(** Attach one GRAPE convergence profile to the trace. *)
+
+(** {2 Introspection} *)
+
+val events : unit -> event list
+(** Recorded events in emission order (spans appear when they close, so
+    children precede their parents). *)
+
+val counter_value : string -> float
+(** Current total of a counter (0 if never incremented). *)
+
+val rollup : unit -> (string * int * float) list
+(** Per-span-name [(name, count, total seconds)], sorted by name — the
+    shape embedded in the bench JSON under ["trace"]. *)
+
+(** {2 Export} *)
+
+val to_chrome_json : ?normalize:bool -> unit -> string
+(** Chrome trace-event JSON ([chrome://tracing] / Perfetto), fields in
+    deterministic order.  [normalize] replaces every timestamp with the
+    event's emission index and every duration with 1 — used by the
+    golden-fixture test so the document is bit-stable. *)
+
+val write : ?normalize:bool -> path:string -> unit -> unit
+(** Atomically write {!to_chrome_json} to [path]. *)
+
+val summary : unit -> string
+(** Rendered {!Pqc_util.Table}: span counts and total milliseconds,
+    counter totals, last gauge values. *)
+
+(** {2 Worker-pool plumbing} *)
+
+val mark : unit -> int
+(** Current event count; pass to {!encode_since} to serialize only the
+    events recorded after this point (e.g. since a fork). *)
+
+val set_worker : int -> unit
+(** Tag this process as pool worker [w] (1-based): subsequent events get
+    [tid = w] and span ids move to a disjoint namespace so they cannot
+    collide with the parent's or a sibling's. *)
+
+val encode_since : int -> string
+(** Single-line (newline-free) serialization of the events recorded
+    after the given {!mark}; [""] when there are none or tracing is
+    disabled. *)
+
+val absorb : string -> unit
+(** Append events serialized by {!encode_since} in another process to
+    this process's buffer (and fold their counter increments into the
+    totals).  Undecodable records are dropped — trace data is
+    best-effort by design. *)

@@ -1,15 +1,44 @@
+module Obs = Pqc_obs.Obs
+
 type stats = { workers : int; recovered : int }
+
+(* Warn once per distinct bad value, not once per call: grid searches
+   call workers_from_env per batch and a thousand identical lines on
+   stderr would bury the signal. *)
+let warned_invalid : (string, unit) Hashtbl.t = Hashtbl.create 4
 
 let workers_from_env ?(default = 1) () =
   match Sys.getenv_opt "PQC_WORKERS" with
   | None -> default
+  | Some s when String.trim s = "" -> default
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None ->
+       if not (Hashtbl.mem warned_invalid s) then begin
+         Hashtbl.add warned_invalid s ();
+         Printf.eprintf
+           "partialqc: ignoring invalid PQC_WORKERS=%S (expected an integer \
+            >= 1); using %d\n%!"
+           s default
+       end;
+       Obs.count "pool.env.invalid";
+       default)
+
+let min_items_from_env ?(default = 4) () =
+  match Sys.getenv_opt "PQC_PAR_MIN_ITEMS" with
+  | None -> default
+  | Some s when String.trim s = "" -> default
   | Some s ->
     (match int_of_string_opt (String.trim s) with
      | Some n when n >= 1 -> n
      | Some _ | None -> default)
 
+let item_span f x = Obs.Span.with_ ~name:"pool.item" (fun () -> f x)
+
 let sequential f items =
-  (List.map (fun x -> (f x, false)) items, { workers = 1; recovered = 0 })
+  ( List.map (fun x -> (item_span f x, false)) items,
+    { workers = 1; recovered = 0 } )
 
 (* Worker [j] of [w] owns items j, j+w, j+2w, ... — round-robin sharding
    balances shards even when item cost correlates with position (deep
@@ -18,17 +47,31 @@ let child_loop ~encode ~f ~items ~wr j w =
   let oc = Unix.out_channel_of_descr wr in
   let n = Array.length items in
   let i = ref j in
+  (* Events recorded before the fork belong to the parent; only ship
+     what this child adds past this point. *)
+  let m = Obs.mark () in
+  Obs.set_worker (j + 1);
   (try
-     while !i < n do
-       (match encode (f items.(!i)) with
-        | s ->
-          (* A payload with a newline would desynchronize the line
-             framing; drop it and let the parent recompute. *)
-          if not (String.contains s '\n') then
-            Printf.fprintf oc "%d\t%s\n" !i s
-        | exception _ -> ());
-       i := !i + w
-     done;
+     Obs.Span.with_ ~name:"pool.worker"
+       ~attrs:[ ("worker", string_of_int (j + 1)) ]
+       (fun () ->
+         while !i < n do
+           (match encode (item_span f items.(!i)) with
+            | s ->
+              (* A payload with a newline would desynchronize the line
+                 framing; drop it and let the parent recompute. *)
+              if not (String.contains s '\n') then
+                Printf.fprintf oc "%d\t%s\n" !i s
+            | exception _ -> ());
+           i := !i + w
+         done);
+     (* Trace frames ride the same pipe under a "T" pseudo-index that
+        parse_line already ignores, so untraced parents stay compatible. *)
+     (match Obs.encode_since m with
+      | "" -> ()
+      | payload ->
+        if not (String.contains payload '\n') then
+          Printf.fprintf oc "T\t%s\n" payload);
      flush oc
    with _ -> ());
   (try flush oc with _ -> ())
@@ -43,59 +86,76 @@ let parse_line ~decode ~n line =
        Option.map (fun v -> (i, v)) (decode payload)
      | Some _ | None -> None)
 
-let map ?workers ~encode ~decode f items =
+let is_trace_line line =
+  String.length line >= 2 && line.[0] = 'T' && line.[1] = '\t'
+
+let map ?workers ?min_items ~encode ~decode f items =
   let requested =
     match workers with Some w -> max 1 w | None -> workers_from_env ()
   in
+  let min_items =
+    match min_items with Some m -> max 1 m | None -> min_items_from_env ()
+  in
   let n = List.length items in
-  if requested <= 1 || n <= 1 then sequential f items
-  else begin
-    let items = Array.of_list items in
-    let w = min requested n in
-    let results = Array.make n None in
-    let spawn j =
-      let r, wr = Unix.pipe () in
-      match Unix.fork () with
-      | 0 ->
-        (* Child: compute the shard, stream results, and _exit without
-           running at_exit handlers or flushing buffers inherited from
-           the parent (which would duplicate its pending output). *)
-        Unix.close r;
-        child_loop ~encode ~f ~items ~wr j w;
-        Unix._exit 0
-      | pid ->
-        Unix.close wr;
-        (pid, r)
-    in
-    let children = Array.init w spawn in
-    (* Drain pipes one worker at a time: the parent only reads, so a
-       worker blocked on a full pipe simply waits for its turn — no
-       deadlock, and no need for select-based multiplexing. *)
-    Array.iter
-      (fun (pid, r) ->
-        let ic = Unix.in_channel_of_descr r in
-        (try
-           while true do
-             match parse_line ~decode ~n (input_line ic) with
-             | Some (i, v) -> results.(i) <- Some v
-             | None -> ()
-           done
-         with End_of_file | Sys_error _ -> ());
-        close_in_noerr ic;
-        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()))
-      children;
-    (* Fan-in recovery: anything a worker failed to deliver — death,
-       corrupt record, encode failure — is recomputed here.  Exceptions
-       from [f] now surface in the parent, exactly as they would have
-       sequentially. *)
-    let recovered = ref 0 in
-    let out =
-      List.init n (fun i ->
-          match results.(i) with
-          | Some v -> (v, false)
-          | None ->
-            incr recovered;
-            (f items.(i), true))
-    in
-    (out, { workers = w; recovered = !recovered })
-  end
+  if requested <= 1 || n <= 1 || n < min_items then sequential f items
+  else
+    Obs.Span.with_ ~name:"pool.map"
+      ~attrs:
+        [ ("items", string_of_int n);
+          ("workers", string_of_int (min requested n)) ]
+      (fun () ->
+        let items = Array.of_list items in
+        let w = min requested n in
+        let results = Array.make n None in
+        let spawn j =
+          let r, wr = Unix.pipe () in
+          match Unix.fork () with
+          | 0 ->
+            (* Child: compute the shard, stream results, and _exit without
+               running at_exit handlers or flushing buffers inherited from
+               the parent (which would duplicate its pending output). *)
+            Unix.close r;
+            child_loop ~encode ~f ~items ~wr j w;
+            Unix._exit 0
+          | pid ->
+            Unix.close wr;
+            (pid, r)
+        in
+        let children = Array.init w spawn in
+        (* Drain pipes one worker at a time: the parent only reads, so a
+           worker blocked on a full pipe simply waits for its turn — no
+           deadlock, and no need for select-based multiplexing. *)
+        Array.iter
+          (fun (pid, r) ->
+            let ic = Unix.in_channel_of_descr r in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if is_trace_line line then
+                   Obs.absorb
+                     (String.sub line 2 (String.length line - 2))
+                 else
+                   match parse_line ~decode ~n line with
+                   | Some (i, v) -> results.(i) <- Some v
+                   | None -> ()
+               done
+             with End_of_file | Sys_error _ -> ());
+            close_in_noerr ic;
+            (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()))
+          children;
+        (* Fan-in recovery: anything a worker failed to deliver — death,
+           corrupt record, encode failure — is recomputed here.  Exceptions
+           from [f] now surface in the parent, exactly as they would have
+           sequentially. *)
+        let recovered = ref 0 in
+        let out =
+          List.init n (fun i ->
+              match results.(i) with
+              | Some v -> (v, false)
+              | None ->
+                incr recovered;
+                Obs.count "pool.recovered";
+                ( Obs.Span.with_ ~name:"pool.recover" (fun () -> f items.(i)),
+                  true ))
+        in
+        (out, { workers = w; recovered = !recovered }))

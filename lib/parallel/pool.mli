@@ -16,7 +16,15 @@
     Payload integrity is the codec's concern: [decode] should reject
     truncated or bit-flipped payloads (the engine's codec reuses the
     checksummed {!Pqc_core.Pulse_cache} record format), and any payload
-    [decode] rejects is treated exactly like a lost worker. *)
+    [decode] rejects is treated exactly like a lost worker.
+
+    When tracing is enabled ({!Pqc_obs.Obs}), each [map] records a
+    [pool.map] span, per-item [pool.item] spans, and — in forked
+    children — a [pool.worker] span per worker.  Child events travel
+    back over the same pipe on a dedicated ["T"]-indexed frame and are
+    reassembled in the parent with their original parent-span ids, so a
+    trace shows which worker ran which block.  Trace frames never touch
+    result payloads and tracing never changes results. *)
 
 type stats = {
   workers : int;  (** Workers actually forked (1 = ran sequentially). *)
@@ -27,11 +35,23 @@ type stats = {
 
 val workers_from_env : ?default:int -> unit -> int
 (** Worker count from the [PQC_WORKERS] environment variable ([default]
-    — itself defaulting to 1 — when unset or invalid).  1 means fully
-    sequential: no processes are forked anywhere. *)
+    — itself defaulting to 1 — when unset, empty, or invalid).  The
+    accepted range is integers >= 1; 1 means fully sequential (no
+    processes are forked anywhere).  An invalid value ([0], [-3],
+    ["four"], ...) falls back to [default] with a one-line stderr
+    warning (once per distinct value) and a [pool.env.invalid] trace
+    counter; an unset or empty variable falls back silently. *)
+
+val min_items_from_env : ?default:int -> unit -> int
+(** Batch-size floor from the [PQC_PAR_MIN_ITEMS] environment variable
+    ([default] — itself defaulting to 4 — when unset or invalid;
+    accepted range: integers >= 1).  Batches smaller than the floor run
+    sequentially in-process: for tiny batches the fork/pipe overhead
+    exceeds the compute being sharded. *)
 
 val map :
   ?workers:int ->
+  ?min_items:int ->
   encode:('b -> string) ->
   decode:(string -> 'b option) ->
   ('a -> 'b) ->
@@ -41,9 +61,10 @@ val map :
     [workers] forked processes (round-robin sharding) and returns the
     results in input order, each flagged [true] when it had to be
     recovered by recomputing in the parent.  [workers] defaults to
-    {!workers_from_env}; with [workers <= 1] or fewer than two items the
-    whole batch runs sequentially in-process ([f x, false] per item, no
-    fork — exactly the pre-pool behaviour).
+    {!workers_from_env}; [min_items] defaults to {!min_items_from_env}.
+    With [workers <= 1], fewer than two items, or fewer than [min_items]
+    items the whole batch runs sequentially in-process ([f x, false] per
+    item, no fork — exactly the pre-pool behaviour).
 
     [encode] must produce a single line (no newline); a payload that
     fails to encode, decode, or checksum is recomputed in the parent

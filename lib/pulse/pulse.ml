@@ -7,22 +7,32 @@ type segment =
   | Lookup of { gate_name : string; duration : float }
   | Optimized of { label : string; duration : float; samples : samples option }
 
-type t = { segments : segment list; duration : float }
+(* Segments are stored newest-first so [append] is an O(1) cons; the
+   paper's strict-partial assembly appends one segment per gate or block
+   and the old [segments @ [s]] made deep-circuit compilation O(n²).
+   The representation is canonical (same logical schedule ⇒ same value),
+   so structural equality on [t] still compares schedules. *)
+type t = { rev_segments : segment list; duration : float }
 
-let empty = { segments = []; duration = 0.0 }
+let empty = { rev_segments = []; duration = 0.0 }
+let duration t = t.duration
+let segments t = List.rev t.rev_segments
+let length t = List.length t.rev_segments
 
 let segment_duration = function
   | Lookup { duration; _ } | Optimized { duration; _ } -> duration
 
 let of_segments segments =
-  { segments;
+  { rev_segments = List.rev segments;
     duration = List.fold_left (fun acc s -> acc +. segment_duration s) 0.0 segments }
 
 let append t s =
-  { segments = t.segments @ [ s ]; duration = t.duration +. segment_duration s }
+  { rev_segments = s :: t.rev_segments;
+    duration = t.duration +. segment_duration s }
 
 let concat a b =
-  { segments = a.segments @ b.segments; duration = a.duration +. b.duration }
+  { rev_segments = b.rev_segments @ a.rev_segments;
+    duration = a.duration +. b.duration }
 
 let lookup_gate (i : Circuit.instr) =
   Lookup { gate_name = Gate.name i.gate; duration = Gate_times.instr_duration i }
@@ -72,13 +82,12 @@ let to_json t =
         Buffer.add_char buf ']');
       Buffer.add_char buf '}';
       t0 := !t0 +. duration)
-    t.segments;
+    (segments t);
   Buffer.add_string buf (Printf.sprintf "],\"total_duration\":%.3f}" t.duration);
   Buffer.contents buf
 
 let pp fmt t =
-  Format.fprintf fmt "pulse[%.1f ns, %d segments]@." t.duration
-    (List.length t.segments);
+  Format.fprintf fmt "pulse[%.1f ns, %d segments]@." t.duration (length t);
   List.iter
     (fun s ->
       match s with
@@ -86,4 +95,4 @@ let pp fmt t =
         Format.fprintf fmt "  lookup %-6s %5.1f ns@." gate_name duration
       | Optimized { label; duration; _ } ->
         Format.fprintf fmt "  grape  %-6s %5.1f ns@." label duration)
-    t.segments
+    (segments t)

@@ -19,18 +19,34 @@ type segment =
   | Optimized of { label : string; duration : float; samples : samples option }
       (** A GRAPE-optimized pulse for a whole subcircuit. *)
 
-type t = { segments : segment list; duration : float }
-(** [duration] is the sum of segment durations (segments are serial; any
-    available parallelism is already folded into each segment's duration by
-    the scheduler). *)
+type t
+(** A schedule: ordered segments plus their total duration.  The
+    representation is abstract (segments are kept newest-first so
+    {!append} is O(1) rather than O(n)); it stays canonical, so
+    structural equality / polymorphic compare on [t] still compare
+    schedules.  Use {!segments} for the segments in schedule order. *)
 
 val empty : t
+
+val duration : t -> float
+(** Sum of segment durations (segments are serial; any available
+    parallelism is already folded into each segment's duration by the
+    scheduler). *)
+
+val segments : t -> segment list
+(** Segments in schedule order (earliest first).  O(n): reverses the
+    internal list — fine for export/inspection, but prefer {!length} /
+    {!duration} in hot paths. *)
+
+val length : t -> int
+(** Number of segments. *)
 
 val segment_duration : segment -> float
 
 val of_segments : segment list -> t
 
 val append : t -> segment -> t
+(** O(1). *)
 
 val concat : t -> t -> t
 

@@ -101,6 +101,13 @@ let partition_with_indices ~max_width c =
     !blocks
   |> merge_adjacent ~max_width
 
+let partition_with_indices ~max_width c =
+  Pqc_obs.Obs.Span.with_ ~name:"block.partition"
+    ~attrs:
+      [ ("max_width", string_of_int max_width);
+        ("gates", string_of_int (Circuit.length c)) ]
+    (fun () -> partition_with_indices ~max_width c)
+
 let partition ~max_width c =
   List.map fst (partition_with_indices ~max_width c)
 

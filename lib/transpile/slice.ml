@@ -23,6 +23,11 @@ let strict_linear c =
   acc := close n !fixed_run None !acc;
   List.rev !acc
 
+let strict_linear c =
+  Pqc_obs.Obs.Span.with_ ~name:"slice.strict_linear"
+    ~attrs:[ ("gates", string_of_int (Circuit.length c)) ]
+    (fun () -> strict_linear c)
+
 (* The paper's Figure 3b semantics: a parametrized gate seals only its own
    qubit's timeline, so Fixed subcircuits are two-dimensional regions of the
    circuit DAG, maximal under the rule that a fixed gate extends the open
@@ -78,6 +83,11 @@ let strict c =
            let r = Hashtbl.find regions id in
            { var = None; circuit = Circuit.of_instrs n (List.rev !r) })
 
+let strict c =
+  Pqc_obs.Obs.Span.with_ ~name:"slice.strict"
+    ~attrs:[ ("gates", string_of_int (Circuit.length c)) ]
+    (fun () -> strict c)
+
 let is_monotone c =
   let seen = Hashtbl.create 8 in
   let current = ref None in
@@ -116,6 +126,11 @@ let flexible c =
     c;
   acc := close n !run !cur !acc;
   List.rev !acc
+
+let flexible c =
+  Pqc_obs.Obs.Span.with_ ~name:"slice.flexible"
+    ~attrs:[ ("gates", string_of_int (Circuit.length c)) ]
+    (fun () -> flexible c)
 
 let concat_all ~n slices =
   let b = Circuit.Builder.create n in

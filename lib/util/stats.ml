@@ -16,22 +16,42 @@ let stddev a =
     sqrt (ss /. float_of_int (n - 1))
   end
 
-let minimum a = Array.fold_left min a.(0) a
-let maximum a = Array.fold_left max a.(0) a
+(* NaN is unordered: every [<] against it is false, so a NaN in the
+   first slot used to poison minimum/maximum/median/argmin — a diverged
+   GRAPE run (infidelity = NaN) could be crowned "best" by hyperopt.
+   Order statistics skip NaNs; an all-NaN array has no order statistic
+   and raises. *)
+let drop_nans ~who a =
+  let b = Array.of_seq (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq a)) in
+  if Array.length b = 0 then
+    invalid_arg (Printf.sprintf "Stats.%s: all values are NaN" who);
+  b
+
+let minimum a =
+  assert (Array.length a > 0);
+  let b = drop_nans ~who:"minimum" a in
+  Array.fold_left min b.(0) b
+
+let maximum a =
+  assert (Array.length a > 0);
+  let b = drop_nans ~who:"maximum" a in
+  Array.fold_left max b.(0) b
 
 let median a =
-  let b = Array.copy a in
+  assert (Array.length a > 0);
+  let b = drop_nans ~who:"median" a in
   Array.sort compare b;
   let n = Array.length b in
-  assert (n > 0);
   if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
 
 let argmin a =
   assert (Array.length a > 0);
-  let best = ref 0 in
-  for i = 1 to Array.length a - 1 do
-    if a.(i) < a.(!best) then best := i
+  let best = ref (-1) in
+  for i = 0 to Array.length a - 1 do
+    if (not (Float.is_nan a.(i))) && (!best < 0 || a.(i) < a.(!best)) then
+      best := i
   done;
+  if !best < 0 then invalid_arg "Stats.argmin: all values are NaN";
   !best
 
 let linspace lo hi n =

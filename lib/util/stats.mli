@@ -13,12 +13,17 @@ val stddev : float array -> float
 
 val minimum : float array -> float
 val maximum : float array -> float
+(** Order statistics over the non-NaN values (NaN is unordered and would
+    otherwise poison the fold). Require a non-empty array; raise
+    [Invalid_argument] if every value is NaN. *)
 
 val median : float array -> float
-(** Median (averages the two central elements for even lengths). *)
+(** Median of the non-NaN values (averages the two central elements for
+    even lengths). Raises [Invalid_argument] if every value is NaN. *)
 
 val argmin : float array -> int
-(** Index of the smallest element (first occurrence). *)
+(** Index of the smallest non-NaN element (first occurrence). NaN entries
+    are skipped; raises [Invalid_argument] if every value is NaN. *)
 
 val linspace : float -> float -> int -> float array
 (** [linspace lo hi n] is [n] evenly spaced points from [lo] to [hi]

@@ -19,7 +19,14 @@ let () =
                cache_hits = 320;
                blocks_compiled = 21;
                workers = 4;
-               equal_pulse = true };
+               equal_pulse = true;
+               trace =
+                 [ { Pqc_core.Bench_report.span = "engine.batch";
+                     count = 2;
+                     total_s = 4.75 };
+                   { Pqc_core.Bench_report.span = "engine.search";
+                     count = 21;
+                     total_s = 4.5 } ] };
              { Pqc_core.Bench_report.name = "qaoa-er8\"p1";
                strategy = "flexible-partial";
                engine = "model";
@@ -30,4 +37,5 @@ let () =
                cache_hits = 0;
                blocks_compiled = 0;
                workers = 1;
-               equal_pulse = false } ] })
+               equal_pulse = false;
+               trace = [] } ] })

@@ -1,0 +1,28 @@
+(* Prints the normalized Chrome trace of a fixed, tiny, model-engine
+   compile; the golden test diffs it against
+   examples/fixtures/trace_fixture.golden.json, pinning the exported
+   trace schema (field order, span names, attribute keys).  Normalized
+   form replaces timestamps with emission indices and durations with 1,
+   so the document is bit-stable.  Refresh deliberately with
+   `dune promote` after a deliberate schema change. *)
+
+module Obs = Pqc_obs.Obs
+module Param = Pqc_quantum.Param
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Engine = Pqc_core.Engine
+module Compiler = Pqc_core.Compiler
+
+let () =
+  Obs.reset ();
+  Obs.enable ();
+  let c =
+    Compiler.prepare
+      (Circuit.of_gates 2
+         [ (Gate.H, [ 0 ]); (Gate.CX, [ 0; 1 ]);
+           (Gate.Rz (Param.var 0), [ 1 ]) ])
+  in
+  ignore
+    (Compiler.strict_partial ~workers:1 ~max_width:2 ~engine:Engine.model c
+       ~theta:[| 0.5 |]);
+  print_string (Obs.to_chrome_json ~normalize:true ())

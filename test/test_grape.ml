@@ -220,8 +220,8 @@ let test_to_pulse () =
   let r = Grape.optimize ~settings:quick sys ~target:(gate_target 1 Gate.H [ 0 ]) ~total_time:2.0 in
   let p = Grape.to_pulse ~label:"h" r in
   Alcotest.(check (float 1e-9)) "duration preserved" r.Grape.total_time
-    p.Pqc_pulse.Pulse.duration;
-  match p.Pqc_pulse.Pulse.segments with
+    (Pqc_pulse.Pulse.duration p);
+  match Pqc_pulse.Pulse.segments p with
   | [ Pqc_pulse.Pulse.Optimized { samples = Some s; _ } ] ->
     Alcotest.(check int) "all control channels exported"
       (Array.length sys.Hamiltonian.controls)

@@ -77,6 +77,21 @@ let test_stability_partial () =
 let test_stability_empty () =
   Alcotest.(check (float 1e-9)) "vacuous" 1.0 (Hyperopt.best_lr_stability [])
 
+let test_stability_diverged_lr () =
+  (* Regression: a learning rate that diverges reports NaN infidelity at
+     every probe angle.  NaN totals sort first under polymorphic compare,
+     so pre-fix the diverged rate was crowned overall winner — two grid
+     steps from every angle's actual best — collapsing stability to 0.
+     Divergence must read as infinitely bad, not infinitely good. *)
+  let point angle =
+    { Hyperopt.angle;
+      error_by_lr =
+        [ (0.001, 0.3); (0.01, 0.02); (0.1, 0.4); (1.0, Float.nan) ] }
+  in
+  let points = [ point 0.5; point 1.5; point 2.5 ] in
+  Alcotest.(check (float 1e-9)) "diverged lr never crowned" 1.0
+    (Hyperopt.best_lr_stability points)
+
 (* The paper's Figure 4 claim, measured for real: the winning learning-rate
    region is robust to the bound angle. *)
 let test_figure4_robustness_real () =
@@ -99,4 +114,6 @@ let () =
           Alcotest.test_case "stability perfect" `Quick test_stability_perfect;
           Alcotest.test_case "stability partial" `Quick test_stability_partial;
           Alcotest.test_case "stability empty" `Quick test_stability_empty;
+          Alcotest.test_case "stability diverged lr" `Quick
+            test_stability_diverged_lr;
           Alcotest.test_case "figure-4 robustness" `Slow test_figure4_robustness_real ] ) ]

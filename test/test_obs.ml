@@ -1,0 +1,274 @@
+module Obs = Pqc_obs.Obs
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Rng = Pqc_util.Rng
+module Engine = Pqc_core.Engine
+module Strategy = Pqc_core.Strategy
+module Compiler = Pqc_core.Compiler
+module Uccsd = Pqc_vqe.Uccsd
+module Molecule = Pqc_vqe.Molecule
+
+(* Obs state is global to the process: every test runs against a fresh,
+   explicitly enabled trace and restores the disabled default on the way
+   out, pass or fail. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Lifecycle --- *)
+
+let test_disabled_is_noop () =
+  Obs.reset ();
+  Alcotest.(check bool) "starts disabled" false (Obs.enabled ());
+  let r = Obs.Span.with_ ~name:"ignored" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span still runs the body" 42 r;
+  Obs.count "ignored.counter";
+  Obs.gauge "ignored.gauge" 1.0;
+  Obs.profile ~label:"ignored" [];
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.events ()));
+  Alcotest.(check (float 0.0)) "counter untouched" 0.0
+    (Obs.counter_value "ignored.counter")
+
+(* --- Spans --- *)
+
+let test_span_nesting_and_order () =
+  with_obs @@ fun () ->
+  let r =
+    Obs.Span.with_ ~name:"outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Obs.Span.with_ ~name:"inner" (fun () -> 7))
+  in
+  Alcotest.(check int) "value threads through" 7 r;
+  match Obs.events () with
+  | [ Obs.Span inner; Obs.Span outer ] ->
+    (* Spans are recorded when they close, so the child precedes its
+       parent in emission order. *)
+    Alcotest.(check string) "child closes first" "inner" inner.name;
+    Alcotest.(check string) "parent closes last" "outer" outer.name;
+    Alcotest.(check int) "child points at parent" outer.id inner.parent;
+    Alcotest.(check int) "parent is top-level" 0 outer.parent;
+    Alcotest.(check bool) "ids distinct" true (inner.id <> outer.id);
+    Alcotest.(check bool) "attrs preserved" true
+      (List.mem ("k", "v") outer.attrs)
+  | evs ->
+    Alcotest.failf "expected exactly two spans, got %d events"
+      (List.length evs)
+
+let test_span_sibling_parents () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ ~name:"root" (fun () ->
+      Obs.Span.with_ ~name:"a" (fun () -> ());
+      Obs.Span.with_ ~name:"b" (fun () -> ()));
+  match Obs.events () with
+  | [ Obs.Span a; Obs.Span b; Obs.Span root ] ->
+    Alcotest.(check string) "first sibling" "a" a.name;
+    Alcotest.(check string) "second sibling" "b" b.name;
+    Alcotest.(check int) "a under root" root.id a.parent;
+    Alcotest.(check int) "b under root (stack popped after a)" root.id
+      b.parent
+  | evs -> Alcotest.failf "expected three spans, got %d" (List.length evs)
+
+let test_span_exception_closes () =
+  with_obs @@ fun () ->
+  (try Obs.Span.with_ ~name:"boom" (fun () -> failwith "no") with
+  | Failure _ -> ());
+  (* The failed span must have been closed (with an error attribute) and
+     popped, so the next span is back at top level. *)
+  Obs.Span.with_ ~name:"after" (fun () -> ());
+  match Obs.events () with
+  | [ Obs.Span boom; Obs.Span after ] ->
+    Alcotest.(check bool) "error attribute present" true
+      (List.mem_assoc "error" boom.attrs);
+    Alcotest.(check int) "stack unwound" 0 after.parent
+  | evs -> Alcotest.failf "expected two spans, got %d" (List.length evs)
+
+(* --- Counters, gauges, profiles, rollup --- *)
+
+let test_counter_totals () =
+  with_obs @@ fun () ->
+  Obs.count "hits";
+  Obs.count ~by:2.5 "hits";
+  Obs.count "misses";
+  Alcotest.(check (float 1e-9)) "accumulates" 3.5 (Obs.counter_value "hits");
+  Alcotest.(check (float 1e-9)) "independent" 1.0
+    (Obs.counter_value "misses");
+  Alcotest.(check (float 0.0)) "unknown reads zero" 0.0
+    (Obs.counter_value "nope");
+  Alcotest.(check int) "one event per increment" 3
+    (List.length (Obs.events ()))
+
+let test_rollup_shape () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ ~name:"b.span" (fun () -> ());
+  Obs.Span.with_ ~name:"a.span" (fun () -> ());
+  Obs.Span.with_ ~name:"b.span" (fun () -> ());
+  Obs.count "not.a.span";
+  let r = Obs.rollup () in
+  Alcotest.(check (list string)) "sorted by name, counters excluded"
+    [ "a.span"; "b.span" ]
+    (List.map (fun (n, _, _) -> n) r);
+  Alcotest.(check (list int)) "per-name counts" [ 1; 2 ]
+    (List.map (fun (_, n, _) -> n) r);
+  List.iter
+    (fun (_, _, total) ->
+      Alcotest.(check bool) "total non-negative" true (total >= 0.0))
+    r
+
+(* --- Pipe codec (fork plumbing) --- *)
+
+let test_encode_absorb_roundtrip () =
+  with_obs @@ fun () ->
+  Fun.protect ~finally:(fun () -> Obs.set_worker 0) @@ fun () ->
+  Obs.Span.with_ ~name:"parent.span" (fun () -> ());
+  let m = Obs.mark () in
+  (* Simulate a forked worker: tagged tid, disjoint span ids, hostile
+     attribute bytes that must survive the line-framed pipe. *)
+  Obs.set_worker 2;
+  Obs.Span.with_ ~name:"child.span"
+    ~attrs:[ ("k", "tab\there\nand\x1e\x1frecord seps") ]
+    (fun () -> ());
+  Obs.count ~by:3.0 "shared.counter";
+  Obs.profile ~label:"child.profile"
+    [ { Obs.iteration = 4; infidelity = 0.25; learning_rate = 0.1;
+        grad_norm = 2.0 } ];
+  let payload = Obs.encode_since m in
+  Alcotest.(check bool) "payload non-empty" true (payload <> "");
+  Alcotest.(check bool) "single line (pool framing)" false
+    (String.contains payload '\n' || String.contains payload '\t');
+  Alcotest.(check string) "nothing fresh encodes to nothing" ""
+    (Obs.encode_since (Obs.mark ()));
+  (* Receiving side: a fresh parent that already has its own counter
+     increments; absorb must append events and merge totals additively. *)
+  Obs.reset ();
+  Obs.enable ();
+  Obs.set_worker 0;
+  Obs.count "shared.counter";
+  Obs.absorb payload;
+  Alcotest.(check (float 1e-9)) "counter totals merge" 4.0
+    (Obs.counter_value "shared.counter");
+  let spans =
+    List.filter_map
+      (function
+        | Obs.Span { name; attrs; tid; _ } -> Some (name, attrs, tid)
+        | _ -> None)
+      (Obs.events ())
+  in
+  (match spans with
+  | [ ("child.span", attrs, tid) ] ->
+    Alcotest.(check int) "worker tid preserved" 2 tid;
+    Alcotest.(check (option string)) "hostile attr bytes intact"
+      (Some "tab\there\nand\x1e\x1frecord seps")
+      (List.assoc_opt "k" attrs)
+  | _ -> Alcotest.fail "expected exactly the child span");
+  match
+    List.filter_map
+      (function Obs.Profile { label; points; _ } -> Some (label, points) | _ -> None)
+      (Obs.events ())
+  with
+  | [ ("child.profile", [ pt ]) ] ->
+    Alcotest.(check int) "iteration" 4 pt.Obs.iteration;
+    Alcotest.(check (float 1e-12)) "infidelity" 0.25 pt.Obs.infidelity;
+    Alcotest.(check (float 1e-12)) "grad norm" 2.0 pt.Obs.grad_norm
+  | _ -> Alcotest.fail "expected exactly the child profile"
+
+let test_absorb_garbage_dropped () =
+  with_obs @@ fun () ->
+  Obs.absorb "not\x1fa\x1evalid\x1erecord at all";
+  Obs.absorb "";
+  Alcotest.(check int) "undecodable records dropped silently" 0
+    (List.length (Obs.events ()))
+
+(* --- Chrome export --- *)
+
+let test_chrome_json_shape () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ ~name:"spa\"n" (fun () -> Obs.count ~by:2.0 "c");
+  Obs.count ~by:3.0 "c";
+  Obs.gauge "g" 1.5;
+  Obs.profile ~label:"p"
+    [ { Obs.iteration = 1; infidelity = 0.5; learning_rate = 0.3;
+        grad_norm = 1.0 } ];
+  let doc = Obs.to_chrome_json () in
+  Alcotest.(check bool) "traceEvents array" true (contains doc "\"traceEvents\"");
+  Alcotest.(check bool) "quotes escaped" true (contains doc "spa\\\"n");
+  Alcotest.(check bool) "complete spans use ph X" true
+    (contains doc "\"ph\": \"X\"");
+  Alcotest.(check bool) "counter carries accumulated total" true
+    (contains doc "{\"c\": 5}");
+  Alcotest.(check bool) "profile arrays present" true
+    (contains doc "\"infidelity\": [0.5]")
+
+let test_chrome_normalize_stable () =
+  (* Two runs of the same span structure differ only in wall-clock
+     timestamps; normalization must erase exactly that difference. *)
+  let run () =
+    with_obs @@ fun () ->
+    Obs.Span.with_ ~name:"a" (fun () ->
+        Obs.Span.with_ ~name:"b" (fun () -> ignore (Sys.opaque_identity 1)));
+    Obs.count "k";
+    Obs.to_chrome_json ~normalize:true ()
+  in
+  let d1 = run () and d2 = run () in
+  Alcotest.(check string) "normalized docs bit-identical" d1 d2;
+  Alcotest.(check bool) "raw docs differ only via timestamps" true
+    (String.length (run ()) > 0)
+
+(* --- Tracing never changes compilation output --- *)
+
+let test_tracing_off_on_same_pulse () =
+  let c = Compiler.prepare (Uccsd.ansatz Molecule.h2) in
+  let rng = Rng.create 11 in
+  let theta =
+    Array.init (Circuit.n_params c) (fun _ ->
+        Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi))
+  in
+  let compile () =
+    Compiler.strict_partial ~workers:1 ~max_width:2 ~engine:Engine.model c
+      ~theta
+  in
+  Obs.disable ();
+  let untraced = compile () in
+  let traced = with_obs (fun () -> compile ()) in
+  Alcotest.(check bool) "pulse schedules structurally identical" true
+    (untraced.Strategy.pulse = traced.Strategy.pulse);
+  Alcotest.(check int64) "duration bits equal"
+    (Int64.bits_of_float untraced.Strategy.duration_ns)
+    (Int64.bits_of_float traced.Strategy.duration_ns)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "lifecycle",
+        [ Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_is_noop ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting and order" `Quick
+            test_span_nesting_and_order;
+          Alcotest.test_case "sibling parents" `Quick
+            test_span_sibling_parents;
+          Alcotest.test_case "exception closes span" `Quick
+            test_span_exception_closes ] );
+      ( "metrics",
+        [ Alcotest.test_case "counter totals" `Quick test_counter_totals;
+          Alcotest.test_case "rollup shape" `Quick test_rollup_shape ] );
+      ( "pipe-codec",
+        [ Alcotest.test_case "encode/absorb round-trip" `Quick
+            test_encode_absorb_roundtrip;
+          Alcotest.test_case "garbage dropped" `Quick
+            test_absorb_garbage_dropped ] );
+      ( "export",
+        [ Alcotest.test_case "chrome json shape" `Quick
+            test_chrome_json_shape;
+          Alcotest.test_case "normalized output stable" `Quick
+            test_chrome_normalize_stable ] );
+      ( "determinism",
+        [ Alcotest.test_case "tracing off/on same pulse" `Quick
+            test_tracing_off_on_same_pulse ] ) ]

@@ -5,6 +5,7 @@ module Block = Pqc_transpile.Block
 module Grape = Pqc_grape.Grape
 module Rng = Pqc_util.Rng
 module Pool = Pqc_parallel.Pool
+module Obs = Pqc_obs.Obs
 module Pulse_cache = Pqc_core.Pulse_cache
 module Engine = Pqc_core.Engine
 module Strategy = Pqc_core.Strategy
@@ -25,6 +26,16 @@ let quick = { Grape.fast_settings with Grape.dt = 1.0; max_iters = 40;
 
 let int_codec =
   (string_of_int, fun s -> int_of_string_opt s)
+
+(* Scoped environment override (restored even on failure): several tests
+   below pin PQC_PAR_MIN_ITEMS to defeat or exercise the small-batch
+   sequential floor. *)
+let with_env key value f =
+  let old = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
+    f
 
 (* --- Pool primitives --- *)
 
@@ -99,6 +110,49 @@ let test_pool_corrupt_payload_recovered () =
       Alcotest.(check bool) (Printf.sprintf "flag %d" i) (i mod 2 = 1) r)
     out
 
+let test_pool_min_items_floor () =
+  (* Batches below the floor run in the parent: forking three processes
+     to square three integers costs more than the work.  Encoding the
+     computing pid in the result makes "did it fork" observable. *)
+  let enc, dec = int_codec in
+  let parent = Unix.getpid () in
+  let pid_of _ = Unix.getpid () in
+  with_env "PQC_PAR_MIN_ITEMS" "" (fun () ->
+      let out, stats =
+        Pool.map ~workers:4 ~encode:enc ~decode:dec pid_of [ 1; 2; 3 ]
+      in
+      Alcotest.(check int) "default floor of 4 keeps 3 items sequential" 1
+        stats.Pool.workers;
+      Alcotest.(check (list int)) "computed in the parent"
+        [ parent; parent; parent ]
+        (List.map fst out));
+  let out, stats =
+    Pool.map ~workers:4 ~min_items:10 ~encode:enc ~decode:dec pid_of
+      (List.init 9 (fun i -> i))
+  in
+  Alcotest.(check int) "explicit floor respected" 1 stats.Pool.workers;
+  Alcotest.(check bool) "all in parent" true
+    (List.for_all (fun (pid, _) -> pid = parent) out);
+  with_env "PQC_PAR_MIN_ITEMS" "1" (fun () ->
+      let out, stats =
+        Pool.map ~workers:2 ~encode:enc ~decode:dec pid_of [ 1; 2 ]
+      in
+      Alcotest.(check int) "floor of 1 forks a 2-item batch" 2
+        stats.Pool.workers;
+      Alcotest.(check bool) "computed in children" true
+        (List.for_all (fun (pid, _) -> pid <> parent) out))
+
+let test_min_items_from_env () =
+  with_env "PQC_PAR_MIN_ITEMS" "7" (fun () ->
+      Alcotest.(check int) "parses" 7 (Pool.min_items_from_env ()));
+  with_env "PQC_PAR_MIN_ITEMS" "0" (fun () ->
+      Alcotest.(check int) "rejects < 1" 4 (Pool.min_items_from_env ()));
+  with_env "PQC_PAR_MIN_ITEMS" "soon" (fun () ->
+      Alcotest.(check int) "rejects garbage" 4 (Pool.min_items_from_env ()));
+  with_env "PQC_PAR_MIN_ITEMS" "" (fun () ->
+      Alcotest.(check int) "custom default" 2
+        (Pool.min_items_from_env ~default:2 ()))
+
 let test_workers_from_env () =
   Unix.putenv "PQC_WORKERS" "6";
   Alcotest.(check int) "parses" 6 (Pool.workers_from_env ());
@@ -109,6 +163,28 @@ let test_workers_from_env () =
   Alcotest.(check int) "custom default" 4
     (Pool.workers_from_env ~default:4 ());
   Unix.putenv "PQC_WORKERS" ""
+
+let test_workers_from_env_invalid_counted () =
+  (* Regression: an invalid PQC_WORKERS used to be swallowed silently.
+     It now warns on stderr (once per distinct value) and bumps the
+     pool.env.invalid counter when tracing is on. *)
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Unix.putenv "PQC_WORKERS" "")
+    (fun () ->
+      with_env "PQC_WORKERS" "a-few" (fun () ->
+          Alcotest.(check int) "falls back to default" 3
+            (Pool.workers_from_env ~default:3 ());
+          Alcotest.(check (float 0.0)) "counter bumped" 1.0
+            (Obs.counter_value "pool.env.invalid"));
+      with_env "PQC_WORKERS" "" (fun () ->
+          ignore (Pool.workers_from_env ());
+          Alcotest.(check (float 0.0)) "unset/empty is not an error" 1.0
+            (Obs.counter_value "pool.env.invalid")))
 
 (* --- Engine batch equivalence --- *)
 
@@ -169,6 +245,28 @@ let test_search_many_worker_count_invariant () =
     par_stats.Engine.dispatched;
   Alcotest.(check int) "same cache accounting" seq_stats.Engine.cache_hits
     par_stats.Engine.cache_hits
+
+let test_cache_hot_batch_never_forks () =
+  (* Regression: a batch whose every block is already memoized used to
+     pay the full fork-and-pipe cost to compute nothing.  Hits are now
+     resolved in the parent and only misses dispatch; PQC_PAR_MIN_ITEMS
+     is pinned to 1 so the sequential outcome below is attributable to
+     the empty dispatch list, not the small-batch floor. *)
+  let blocks = h2_blocks () in
+  let engine = Engine.numeric ~settings:quick () in
+  let warm, _, _ = Engine.search_many ~workers:1 engine blocks in
+  with_env "PQC_PAR_MIN_ITEMS" "1" (fun () ->
+      let hot, stats, degs = Engine.search_many ~workers:4 engine blocks in
+      Alcotest.(check int) "nothing dispatched" 0 stats.Engine.dispatched;
+      Alcotest.(check int) "no fork on a fully-hot batch" 1
+        stats.Engine.workers;
+      Alcotest.(check int) "every block a cache hit"
+        (List.length blocks) stats.Engine.cache_hits;
+      Alcotest.(check int) "no degradations" 0 (List.length degs);
+      List.iteri
+        (fun i (a, b) ->
+          check_same_result (Printf.sprintf "hot block %d" i) a b)
+        (List.combine warm hot))
 
 let test_search_many_faulty_invariant () =
   (* Injection must be a function of the batch, not of worker scheduling:
@@ -328,15 +426,55 @@ let test_pool_stats_reported () =
   let c = Compiler.prepare (Uccsd.ansatz Molecule.h2) in
   let theta = theta_of c in
   let r =
-    Compiler.strict_partial ~workers:2 ~max_width:2
-      ~engine:(Engine.numeric ~settings:quick ())
-      c ~theta
+    (* Pinned floor: the assertion below is about stats plumbing, so the
+       pool must actually fork even if few blocks miss the memo table. *)
+    with_env "PQC_PAR_MIN_ITEMS" "1" (fun () ->
+        Compiler.strict_partial ~workers:2 ~max_width:2
+          ~engine:(Engine.numeric ~settings:quick ())
+          c ~theta)
   in
   Alcotest.(check int) "workers recorded" 2 r.Strategy.pool.Engine.workers;
   Alcotest.(check bool) "blocks dispatched" true
     (r.Strategy.pool.Engine.dispatched > 0);
   Alcotest.(check bool) "gate-based reports zero pool" true
     ((Compiler.gate_based c ~theta).Strategy.pool = Engine.zero_pool_stats)
+
+let test_tracing_preserves_determinism () =
+  (* The determinism contract must survive observation: a traced
+     4-worker compile produces the same pulse, bit for bit, as an
+     untraced sequential one.  The floor is pinned to 1 so the traced
+     run genuinely forks (asserted via the pool.worker span). *)
+  let c = Compiler.prepare (Uccsd.ansatz Molecule.h2) in
+  let theta = theta_of c in
+  let compile workers =
+    Compiler.strict_partial ~workers ~max_width:2
+      ~engine:(Engine.numeric ~settings:quick ())
+      c ~theta
+  in
+  let untraced = compile 1 in
+  Obs.reset ();
+  Obs.enable ();
+  let traced, rollup =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.reset ())
+      (fun () ->
+        with_env "PQC_PAR_MIN_ITEMS" "1" (fun () ->
+            let r = compile 4 in
+            (r, Obs.rollup ())))
+  in
+  let span_count name =
+    List.fold_left
+      (fun acc (n, count, _) -> if n = name then acc + count else acc)
+      0 rollup
+  in
+  Alcotest.(check bool) "traced run forked (pool.worker spans)" true
+    (span_count "pool.worker" > 0);
+  Alcotest.(check bool) "grape spans recorded" true
+    (span_count "grape.optimize" > 0);
+  check_same_compiled "traced parallel vs untraced sequential" untraced
+    traced
 
 (* --- Pulse cache: merge + concurrent persistence --- *)
 
@@ -420,6 +558,11 @@ let test_persist_merges_across_engines () =
         (Engine.cache_size e3))
 
 let () =
+  (* Most equivalence tests in this binary exist to exercise forked
+     workers on deliberately small batches; pin the small-batch floor so
+     they do not silently degrade to the sequential path (individual
+     floor tests above override this locally). *)
+  Unix.putenv "PQC_PAR_MIN_ITEMS" "1";
   QCheck.Test.check_exn prop_worker_count_invariant;
   Alcotest.run "parallel"
     [ ( "pool",
@@ -429,13 +572,21 @@ let () =
             test_pool_lost_worker_recovered;
           Alcotest.test_case "corrupt payload" `Quick
             test_pool_corrupt_payload_recovered;
+          Alcotest.test_case "min-items floor" `Quick
+            test_pool_min_items_floor;
+          Alcotest.test_case "PQC_PAR_MIN_ITEMS parsing" `Quick
+            test_min_items_from_env;
           Alcotest.test_case "PQC_WORKERS parsing" `Quick
-            test_workers_from_env ] );
+            test_workers_from_env;
+          Alcotest.test_case "PQC_WORKERS invalid warns" `Quick
+            test_workers_from_env_invalid_counted ] );
       ( "engine-batch",
         [ Alcotest.test_case "matches single search" `Quick
             test_search_many_matches_search;
           Alcotest.test_case "worker-count invariant" `Quick
             test_search_many_worker_count_invariant;
+          Alcotest.test_case "cache-hot batch stays in-process" `Quick
+            test_cache_hot_batch_never_forks;
           Alcotest.test_case "faulty invariant" `Quick
             test_search_many_faulty_invariant;
           Alcotest.test_case "injected never cached" `Quick
@@ -447,7 +598,9 @@ let () =
             test_strict_partial_worker_invariant;
           Alcotest.test_case "flexible invariant" `Quick
             test_flexible_partial_worker_invariant;
-          Alcotest.test_case "pool stats" `Quick test_pool_stats_reported ] );
+          Alcotest.test_case "pool stats" `Quick test_pool_stats_reported;
+          Alcotest.test_case "tracing preserves determinism" `Quick
+            test_tracing_preserves_determinism ] );
       ( "pulse-cache",
         [ Alcotest.test_case "merge newest wins" `Quick test_merge_newest_wins;
           Alcotest.test_case "concurrent merges" `Quick

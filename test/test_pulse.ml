@@ -48,12 +48,12 @@ let test_pulse_concat () =
   let s1 = Pulse.Lookup { gate_name = "h"; duration = 1.4 } in
   let s2 = Pulse.Optimized { label = "blk"; duration = 10.0; samples = None } in
   let p = Pulse.concat (Pulse.of_segments [ s1 ]) (Pulse.of_segments [ s2 ]) in
-  check_float "duration" 11.4 p.duration;
-  Alcotest.(check int) "segments" 2 (List.length p.segments)
+  check_float "duration" 11.4 (Pulse.duration p);
+  Alcotest.(check int) "segments" 2 (Pulse.length p)
 
 let test_pulse_append () =
   let p = Pulse.append Pulse.empty (Pulse.Lookup { gate_name = "cx"; duration = 3.8 }) in
-  check_float "append" 3.8 p.duration
+  check_float "append" 3.8 (Pulse.duration p)
 
 let test_lookup_gate_segment () =
   let i = { Circuit.gate = Gate.CX; qubits = [| 0; 1 |] } in
@@ -69,8 +69,52 @@ let test_segment_duration () =
     (Pulse.segment_duration (Pulse.Optimized { label = "x"; duration = 5.0; samples = None }))
 
 let test_empty_pulse () =
-  check_float "empty" 0.0 Pulse.empty.duration;
-  Alcotest.(check int) "no segments" 0 (List.length Pulse.empty.segments)
+  check_float "empty" 0.0 (Pulse.duration Pulse.empty);
+  Alcotest.(check int) "no segments" 0 (Pulse.length Pulse.empty)
+
+let test_append_matches_of_segments () =
+  (* Building a pulse one segment at a time is the hot path in strategy
+     assembly; it must agree exactly (structural equality included) with
+     building it wholesale. *)
+  let segs =
+    List.init 257 (fun i ->
+        if i mod 3 = 0 then
+          Pulse.Optimized
+            { label = Printf.sprintf "blk%d" i;
+              duration = float_of_int i *. 0.5;
+              samples = None }
+        else Pulse.Lookup { gate_name = "h"; duration = 1.4 })
+  in
+  let appended = List.fold_left Pulse.append Pulse.empty segs in
+  let wholesale = Pulse.of_segments segs in
+  Alcotest.(check bool) "structurally equal" true (appended = wholesale);
+  Alcotest.(check int) "segment order preserved" 257
+    (List.length (Pulse.segments appended));
+  Alcotest.(check bool) "same schedule" true
+    (Pulse.segments appended = segs);
+  check_float "same duration" (Pulse.duration wholesale)
+    (Pulse.duration appended)
+
+let test_append_linear_time () =
+  (* Regression: append used to rebuild the whole segment list on every
+     call ([segments @ [s]]), making an n-segment build O(n^2) — tens of
+     seconds at this size.  The O(1) append finishes in milliseconds;
+     the bound is deliberately loose so only the quadratic behavior can
+     trip it. *)
+  let n = 20_000 in
+  let seg = Pulse.Lookup { gate_name = "cx"; duration = 3.8 } in
+  let t0 = Unix.gettimeofday () in
+  let p = ref Pulse.empty in
+  for _ = 1 to n do
+    p := Pulse.append !p seg
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "all segments present" n (Pulse.length !p);
+  Alcotest.(check (float 1e-3)) "duration accumulated"
+    (float_of_int n *. 3.8) (Pulse.duration !p);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d appends under 1s (took %.3fs)" n elapsed)
+    true (elapsed < 1.0)
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -153,6 +197,9 @@ let () =
           Alcotest.test_case "lookup segment" `Quick test_lookup_gate_segment;
           Alcotest.test_case "segment duration" `Quick test_segment_duration;
           Alcotest.test_case "empty" `Quick test_empty_pulse;
+          Alcotest.test_case "append = of_segments" `Quick
+            test_append_matches_of_segments;
+          Alcotest.test_case "append is O(1)" `Quick test_append_linear_time;
           Alcotest.test_case "json export" `Quick test_json_export;
           Alcotest.test_case "json escaping" `Quick test_json_escaping ] );
       ( "decoherence",

@@ -94,6 +94,36 @@ let test_stats_median () =
 let test_stats_argmin () =
   Alcotest.(check int) "argmin" 1 (Stats.argmin [| 3.0; -2.0; 7.0 |])
 
+(* NaN regressions: a diverged GRAPE run produces NaN infidelities, and
+   NaN is unordered — a plain [<] fold silently poisons the result (or,
+   worse, polymorphic compare sorts NaN *first* and crowns the diverged
+   entry).  Order statistics skip NaNs and only raise when there is no
+   finite data at all. *)
+
+let nan = Float.nan
+
+let raises_invalid f =
+  try ignore (f ()); false with Invalid_argument _ -> true
+
+let test_stats_nan_skipped () =
+  check_float "min skips NaN" (-2.0) (Stats.minimum [| nan; 3.0; -2.0; nan |]);
+  check_float "max skips NaN" 7.0 (Stats.maximum [| 7.0; nan; 3.0 |]);
+  check_float "median skips NaN" 3.0 (Stats.median [| nan; 5.0; 1.0; nan; 3.0 |]);
+  check_float "leading NaN" 4.0 (Stats.minimum [| nan; 4.0 |]);
+  Alcotest.(check int) "argmin skips NaN" 2 (Stats.argmin [| nan; 3.0; -2.0 |]);
+  Alcotest.(check int) "argmin first finite wins ties" 1
+    (Stats.argmin [| nan; 5.0; 5.0 |])
+
+let test_stats_all_nan_raises () =
+  Alcotest.(check bool) "minimum" true
+    (raises_invalid (fun () -> Stats.minimum [| nan; nan |]));
+  Alcotest.(check bool) "maximum" true
+    (raises_invalid (fun () -> Stats.maximum [| nan |]));
+  Alcotest.(check bool) "median" true
+    (raises_invalid (fun () -> Stats.median [| nan; nan; nan |]));
+  Alcotest.(check bool) "argmin" true
+    (raises_invalid (fun () -> Stats.argmin [| nan; nan |]))
+
 let test_stats_linspace () =
   let l = Stats.linspace 0.0 1.0 5 in
   Alcotest.(check int) "count" 5 (Array.length l);
@@ -256,6 +286,8 @@ let () =
           Alcotest.test_case "extrema" `Quick test_stats_extrema;
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "argmin" `Quick test_stats_argmin;
+          Alcotest.test_case "NaN skipped" `Quick test_stats_nan_skipped;
+          Alcotest.test_case "all-NaN raises" `Quick test_stats_all_nan_raises;
           Alcotest.test_case "linspace" `Quick test_stats_linspace;
           Alcotest.test_case "logspace" `Quick test_stats_logspace;
           QCheck_alcotest.to_alcotest prop_mean_bounded;
