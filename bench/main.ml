@@ -775,6 +775,19 @@ let bench_json () =
         (fun (span, count, total_s) -> { Bench_report.span; count; total_s })
         (Obs.rollup ())
     in
+    let metrics =
+      List.map
+        (fun name ->
+          let s = Option.get (Obs.Metrics.stats name) in
+          let p50, p90, p99 = Obs.Metrics.percentiles name in
+          let mean =
+            if s.Obs.Metrics.count = 0 then Float.nan
+            else s.Obs.Metrics.sum /. float_of_int s.Obs.Metrics.count
+          in
+          { Bench_report.metric = name; count = s.Obs.Metrics.count;
+            mean; p50; p90; p99; max = s.Obs.Metrics.max })
+        (Obs.Metrics.names ())
+    in
     if not was_enabled then Obs.disable ();
     let speedup = sequential_s /. parallel_s in
     let equal_pulse =
@@ -795,7 +808,8 @@ let bench_json () =
       blocks_compiled = par.Strategy.pool.Engine.dispatched;
       workers = par.Strategy.pool.Engine.workers;
       equal_pulse;
-      trace }
+      trace;
+      metrics }
   in
   let experiments =
     List.map run_one

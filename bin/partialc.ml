@@ -70,7 +70,9 @@ let load_qasm path =
   with Sys_error e -> Error e
 
 (* Scope tracing to the wrapped action: enable, run, write the Chrome
-   trace atomically, and print the span/counter summary table. *)
+   trace atomically, and print the span/counter and histogram summary
+   tables.  An unwritable trace path is a usage problem, not a crash:
+   one line on stderr, exit 2. *)
 let with_trace trace f =
   match trace with
   | None -> f ()
@@ -79,12 +81,20 @@ let with_trace trace f =
     Obs.reset ();
     Obs.enable ();
     let code = f () in
-    Obs.write ~path ();
-    Printf.printf "wrote trace %s (%d events)\n" path
-      (List.length (Obs.events ()));
-    print_string (Obs.summary ());
-    print_newline ();
-    code
+    (match Obs.write ~path () with
+    | () ->
+      Printf.printf "wrote trace %s (%d events)\n" path
+        (List.length (Obs.events ()));
+      print_string (Obs.summary ());
+      print_newline ();
+      if Obs.Metrics.names () <> [] then begin
+        print_string (Obs.Metrics.summary ());
+        print_newline ()
+      end;
+      code
+    | exception Sys_error e ->
+      Printf.eprintf "partialc: cannot write trace: %s\n" e;
+      2)
 
 let run_compile file benchmark strategy numeric seed trace =
   let circuit =
@@ -160,9 +170,48 @@ let run_tables () =
   Table.print t2;
   0
 
+(* --- run recording (vqe / qaoa) --- *)
+
+(* A run log's per-iteration records carry compile-side context (compile
+   latency, pulse vs gate-based duration) alongside the optimizer-side
+   energy, so one JSONL file reproduces the paper's latency-vs-duration
+   tradeoff.  The model engine keeps recording cheap. *)
+let compile_info_for strategy circuit =
+  let prepared = Compiler.prepare circuit in
+  let theta = theta_for 42 prepared in
+  let r = Compiler.compile ~engine:Engine.model strategy prepared ~theta in
+  let baseline = Compiler.gate_based prepared ~theta in
+  { Pqc_obs.Run_log.strategy = r.Strategy.strategy;
+    precompute_s = r.Strategy.precompute.Engine.seconds;
+    compile_latency_s = r.Strategy.per_iteration.Engine.seconds;
+    pulse_duration_ns = r.Strategy.duration_ns;
+    gate_duration_ns = baseline.Strategy.duration_ns;
+    cache_hits = r.Strategy.pool.Engine.cache_hits;
+    degradations = List.length r.Strategy.degradations }
+
+(* [f] receives the recorder (or None when no path was given).  An
+   unwritable path is a usage problem: one line on stderr, exit 2. *)
+let with_run_log run_log ~strategy ~algo ~label ~circuit f =
+  match run_log with
+  | None -> f None
+  | Some path -> (
+    let info = compile_info_for strategy circuit in
+    match Pqc_obs.Run_log.create ~info ~algo ~label ~path () with
+    | exception Sys_error e ->
+      Printf.eprintf "partialc: cannot write run log: %s\n" e;
+      2
+    | r ->
+      Fun.protect
+        ~finally:(fun () -> Pqc_obs.Run_log.close r)
+        (fun () ->
+          let code = f (Some r) in
+          Printf.printf "wrote run log %s (%d records)\n" path
+            (Pqc_obs.Run_log.written r);
+          code))
+
 (* --- vqe --- *)
 
-let run_vqe molecule =
+let run_vqe molecule strategy run_log =
   match Pqc_vqe.Molecule.find molecule with
   | None ->
     Printf.eprintf "unknown molecule %S\n" molecule;
@@ -172,24 +221,34 @@ let run_vqe molecule =
        molecules run against a seeded synthetic operator. *)
     let h = Pqc_vqe.Chemistry.synthetic ~seed:7 ~n_qubits:m.Pqc_vqe.Molecule.n_qubits in
     let ansatz = Pqc_vqe.Uccsd.ansatz m in
-    let r = Pqc_vqe.Vqe.run ~max_evals:400 ~hamiltonian:h ~ansatz () in
+    with_run_log run_log ~strategy ~algo:"vqe" ~label:m.Pqc_vqe.Molecule.name
+      ~circuit:ansatz
+    @@ fun recorder ->
+    let r = Pqc_vqe.Vqe.run ~max_evals:400 ?recorder ~hamiltonian:h ~ansatz () in
     Printf.printf "%s (synthetic Hamiltonian): E = %.6f in %d iterations\n"
       m.Pqc_vqe.Molecule.name r.energy r.evaluations;
     0
   | Some m ->
     let prep = Circuit.of_gates 2 [ (Gate.X, [ 0 ]) ] in
     let ansatz = Circuit.concat prep (Pqc_vqe.Uccsd.ansatz m) in
-    let r = Pqc_vqe.Vqe.run ~hamiltonian:Pqc_vqe.Chemistry.h2 ~ansatz () in
+    with_run_log run_log ~strategy ~algo:"vqe" ~label:m.Pqc_vqe.Molecule.name
+      ~circuit:ansatz
+    @@ fun recorder ->
+    let r = Pqc_vqe.Vqe.run ?recorder ~hamiltonian:Pqc_vqe.Chemistry.h2 ~ansatz () in
     Printf.printf "H2: E = %.6f Ha (exact %.6f) in %d iterations\n" r.energy
       Pqc_vqe.Chemistry.h2_exact_energy r.evaluations;
     0
 
 (* --- qaoa --- *)
 
-let run_qaoa nodes p seed =
+let run_qaoa nodes p seed run_log =
   let rng = Rng.create seed in
   let graph = Pqc_qaoa.Graph.random_regular rng ~degree:3 nodes in
-  let o = Pqc_qaoa.Qaoa.optimize ~seed graph ~p in
+  let label = Printf.sprintf "3reg%dp%d" nodes p in
+  with_run_log run_log ~strategy:Compiler.Strict_partial ~algo:"qaoa" ~label
+    ~circuit:(Pqc_qaoa.Qaoa.circuit graph ~p)
+  @@ fun recorder ->
+  let o = Pqc_qaoa.Qaoa.optimize ~seed ?recorder graph ~p in
   Printf.printf "3-regular %d-node MAXCUT, p = %d: cut %.2f / %d (ratio %.3f) in %d iterations\n"
     nodes p o.expected_cut o.optimum o.approximation_ratio o.evaluations;
   0
@@ -392,6 +451,26 @@ let run_lint file benchmark cache max_width json list_rules =
         A.Runner.exit_code report)
   end
 
+(* --- bench diff --- *)
+
+let run_bench_diff old_path new_path threshold time_threshold =
+  match Bench_report.read ~path:old_path with
+  | Error e ->
+    Printf.eprintf "partialc: %s\n" e;
+    2
+  | Ok old_report -> (
+    match Bench_report.read ~path:new_path with
+    | Error e ->
+      Printf.eprintf "partialc: %s\n" e;
+      2
+    | Ok new_report ->
+      let d =
+        Bench_diff.diff ~threshold_pct:threshold
+          ?time_threshold_pct:time_threshold ~old_report ~new_report ()
+      in
+      print_string (Bench_diff.render d);
+      if d.Bench_diff.regressions = [] then 0 else 1)
+
 (* --- cmdliner plumbing --- *)
 
 open Cmdliner
@@ -411,6 +490,29 @@ let strategy_conv =
     | Some s -> Format.pp_print_string fmt (Compiler.strategy_name s)
   in
   Arg.conv (parse, print)
+
+let strategy_one_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "gate" | "gate-based" -> Ok Compiler.Gate_based
+    | "strict" | "strict-partial" -> Ok Compiler.Strict_partial
+    | "flexible" | "flexible-partial" -> Ok Compiler.Flexible_partial
+    | "grape" | "full-grape" -> Ok Compiler.Full_grape
+    | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Compiler.strategy_name s) in
+  Arg.conv (parse, print)
+
+let run_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run-log" ] ~docv:"RUN.jsonl"
+        ~env:(Cmd.Env.info "PQC_RUN_LOG")
+        ~doc:
+          "Stream one JSON line per variational iteration (iteration \
+           index, energy, wall-clock, compile latency, pulse vs \
+           gate-based duration) to $(docv).")
 
 let compile_cmd =
   let benchmark =
@@ -451,14 +553,20 @@ let vqe_cmd =
   let molecule =
     Arg.(value & opt string "h2" & info [ "molecule"; "m" ] ~doc:"Molecule name.")
   in
-  Cmd.v (Cmd.info "vqe" ~doc:"Run end-to-end VQE") Term.(const run_vqe $ molecule)
+  let strategy =
+    Arg.(value & opt strategy_one_conv Compiler.Strict_partial
+        & info [ "strategy"; "s" ]
+            ~doc:"Strategy used for the run log's compile context.")
+  in
+  Cmd.v (Cmd.info "vqe" ~doc:"Run end-to-end VQE")
+    Term.(const run_vqe $ molecule $ strategy $ run_log_arg)
 
 let qaoa_cmd =
   let nodes = Arg.(value & opt int 6 & info [ "nodes"; "n" ] ~doc:"Graph nodes.") in
   let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"QAOA rounds.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Graph/start seed.") in
   Cmd.v (Cmd.info "qaoa" ~doc:"Run end-to-end QAOA MAXCUT")
-    Term.(const run_qaoa $ nodes $ p $ seed)
+    Term.(const run_qaoa $ nodes $ p $ seed $ run_log_arg)
 
 let grape_cmd =
   let gate = Arg.(value & opt string "h" & info [ "gate"; "g" ] ~doc:"Gate name.") in
@@ -469,20 +577,8 @@ let export_cmd =
   let benchmark =
     Arg.(value & opt string "h2" & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit.")
   in
-  let strategy_one =
-    let parse s =
-      match String.lowercase_ascii s with
-      | "gate" | "gate-based" -> Ok Compiler.Gate_based
-      | "strict" | "strict-partial" -> Ok Compiler.Strict_partial
-      | "flexible" | "flexible-partial" -> Ok Compiler.Flexible_partial
-      | "grape" | "full-grape" -> Ok Compiler.Full_grape
-      | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
-    in
-    let print fmt s = Format.pp_print_string fmt (Compiler.strategy_name s) in
-    Arg.conv (parse, print)
-  in
   let strategy =
-    Arg.(value & opt strategy_one Compiler.Strict_partial
+    Arg.(value & opt strategy_one_conv Compiler.Strict_partial
         & info [ "strategy"; "s" ] ~doc:"Strategy to export.")
   in
   let out =
@@ -528,6 +624,41 @@ let lint_cmd =
           errors, 2 usage)")
     Term.(const run_lint $ file $ benchmark $ cache $ max_width $ json $ rules)
 
+let bench_cmd =
+  let diff_cmd =
+    let old_path =
+      Arg.(required & pos 0 (some string) None
+          & info [] ~docv:"OLD.json" ~doc:"Baseline bench report.")
+    in
+    let new_path =
+      Arg.(required & pos 1 (some string) None
+          & info [] ~docv:"NEW.json" ~doc:"Candidate bench report.")
+    in
+    let threshold =
+      Arg.(value & opt float 20.
+          & info [ "threshold" ] ~docv:"PCT"
+              ~env:(Cmd.Env.info "PQC_BENCH_THRESHOLD")
+              ~doc:
+                "Fail when pulse duration grows by more than $(docv) \
+                 percent.")
+    in
+    let time_threshold =
+      Arg.(value & opt (some float) None
+          & info [ "time-threshold" ] ~docv:"PCT"
+              ~doc:
+                "Also fail when parallel wall-clock grows by more than \
+                 $(docv) percent (off by default: wall-clock is noisy).")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two bench reports (exit 0 clean, 1 regression, 2 \
+            unreadable input)")
+      Term.(const run_bench_diff $ old_path $ new_path $ threshold
+            $ time_threshold)
+  in
+  Cmd.group (Cmd.info "bench" ~doc:"Benchmark report tooling") [ diff_cmd ]
+
 let slices_cmd =
   let benchmark =
     Arg.(value & opt string "h2" & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit.")
@@ -541,4 +672,4 @@ let () =
     Cmd.info "partialc" ~version:"1.0.0"
       ~doc:"Partial compilation of variational quantum algorithms"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd; lint_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd; lint_cmd; bench_cmd ]))

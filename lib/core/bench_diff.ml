@@ -1,0 +1,124 @@
+module Table = Pqc_util.Table
+
+type row = {
+  key : string;
+  metric : string;
+  old_value : float;
+  new_value : float;
+  delta_pct : float;
+  regression : bool;
+  note : string;
+}
+
+type t = {
+  rows : row list;
+  missing : string list;
+  added : string list;
+  broken : string list;
+  regressions : string list;
+}
+
+let key_of (e : Bench_report.experiment) =
+  String.concat "/" [ e.name; e.strategy; e.engine ]
+
+let pct ~old_value ~new_value =
+  if old_value = 0. then Float.nan
+  else (new_value -. old_value) /. old_value *. 100.
+
+(* A metric row gates only when a threshold is set for it and the
+   relative growth exceeds that threshold.  Shrinkage never gates. *)
+let make_row ~key ~metric ~threshold ~old_value ~new_value =
+  let delta_pct = pct ~old_value ~new_value in
+  let regression, note =
+    match threshold with
+    | Some limit when Float.is_finite delta_pct && delta_pct > limit ->
+      (true, Printf.sprintf "+%.1f%% > %.1f%%" delta_pct limit)
+    | Some _ | None -> (false, "")
+  in
+  { key; metric; old_value; new_value; delta_pct; regression; note }
+
+let diff ?(threshold_pct = 20.) ?time_threshold_pct ~old_report ~new_report ()
+    =
+  let olds = (old_report : Bench_report.t).experiments in
+  let news = (new_report : Bench_report.t).experiments in
+  let find es k = List.find_opt (fun e -> key_of e = k) es in
+  let rows = ref [] and missing = ref [] and broken = ref [] in
+  List.iter
+    (fun (o : Bench_report.experiment) ->
+      let k = key_of o in
+      match find news k with
+      | None -> missing := k :: !missing
+      | Some n ->
+        if not n.equal_pulse then broken := k :: !broken;
+        rows :=
+          make_row ~key:k ~metric:"parallel_s" ~threshold:time_threshold_pct
+            ~old_value:o.parallel_s ~new_value:n.parallel_s
+          :: make_row ~key:k ~metric:"pulse_duration_ns"
+               ~threshold:(Some threshold_pct)
+               ~old_value:o.pulse_duration_ns ~new_value:n.pulse_duration_ns
+          :: !rows)
+    olds;
+  let added =
+    List.filter_map
+      (fun n ->
+        let k = key_of n in
+        if find olds k = None then Some k else None)
+      news
+  in
+  let rows = List.rev !rows in
+  let missing = List.rev !missing in
+  let broken = List.rev !broken in
+  let regressions =
+    List.map (fun k -> Printf.sprintf "%s: missing from new report" k) missing
+    @ List.map
+        (fun k -> Printf.sprintf "%s: equal_pulse is false in new report" k)
+        broken
+    @ List.filter_map
+        (fun r ->
+          if r.regression then
+            Some (Printf.sprintf "%s: %s %s" r.key r.metric r.note)
+          else None)
+        rows
+  in
+  { rows; missing; added; broken; regressions }
+
+let render t =
+  let tbl =
+    Table.create [ "experiment"; "metric"; "old"; "new"; "delta"; "gate" ]
+  in
+  List.iter
+    (fun r ->
+      let delta =
+        if Float.is_finite r.delta_pct then
+          Printf.sprintf "%+.1f%%" r.delta_pct
+        else "n/a"
+      in
+      Table.add_row tbl
+        [ r.key; r.metric;
+          Table.cell_f ~decimals:3 r.old_value;
+          Table.cell_f ~decimals:3 r.new_value;
+          delta;
+          (if r.regression then "FAIL" else "ok") ])
+    t.rows;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Table.render tbl);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun k -> Buffer.add_string buf (Printf.sprintf "missing: %s\n" k))
+    t.missing;
+  List.iter
+    (fun k -> Buffer.add_string buf (Printf.sprintf "added:   %s\n" k))
+    t.added;
+  List.iter
+    (fun k ->
+      Buffer.add_string buf
+        (Printf.sprintf "broken determinism contract: %s\n" k))
+    t.broken;
+  (match t.regressions with
+  | [] -> Buffer.add_string buf "bench diff: PASS\n"
+  | rs ->
+    Buffer.add_string buf
+      (Printf.sprintf "bench diff: FAIL (%d regression%s)\n" (List.length rs)
+         (if List.length rs = 1 then "" else "s"));
+    List.iter (fun r -> Buffer.add_string buf ("  - " ^ r ^ "\n")) rs);
+  Buffer.contents buf

@@ -1,8 +1,21 @@
 (* v2: experiments gained a "trace" array of per-span rollups from the
-   telemetry layer (empty when tracing was off for the run). *)
-let schema_version = 2
+   telemetry layer (empty when tracing was off for the run).
+   v3: experiments gained a "metrics" array of histogram rollups
+   (count/mean/percentiles per Obs.Metrics histogram, empty when
+   metrics were off for the run). *)
+let schema_version = 3
 
 type span_rollup = { span : string; count : int; total_s : float }
+
+type metric_rollup = {
+  metric : string;
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
 
 type experiment = {
   name : string;
@@ -17,6 +30,7 @@ type experiment = {
   workers : int;
   equal_pulse : bool;
   trace : span_rollup list;
+  metrics : metric_rollup list;
 }
 
 type t = { mode : string; workers : int; experiments : experiment list }
@@ -57,6 +71,22 @@ let trace_json = function
     String.concat ""
       [ "[\n"; String.concat ",\n" (List.map rollup_json rs); "\n      ]" ]
 
+let metric_json m =
+  String.concat ""
+    [ "        { \"metric\": "; json_string m.metric;
+      ", \"count\": "; string_of_int m.count;
+      ", \"mean\": "; json_float m.mean;
+      ", \"p50\": "; json_float m.p50;
+      ", \"p90\": "; json_float m.p90;
+      ", \"p99\": "; json_float m.p99;
+      ", \"max\": "; json_float m.max; " }" ]
+
+let metrics_json = function
+  | [] -> "[]"
+  | ms ->
+    String.concat ""
+      [ "[\n"; String.concat ",\n" (List.map metric_json ms); "\n      ]" ]
+
 let experiment_json e =
   String.concat ""
     [ "    {\n";
@@ -71,7 +101,8 @@ let experiment_json e =
       "      \"blocks_compiled\": "; string_of_int e.blocks_compiled; ",\n";
       "      \"workers\": "; string_of_int e.workers; ",\n";
       "      \"equal_pulse\": "; string_of_bool e.equal_pulse; ",\n";
-      "      \"trace\": "; trace_json e.trace; "\n";
+      "      \"trace\": "; trace_json e.trace; ",\n";
+      "      \"metrics\": "; metrics_json e.metrics; "\n";
       "    }" ]
 
 let to_json t =
@@ -92,3 +123,100 @@ let write ~path t =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_json t));
   Sys.rename tmp path
+
+(* ---- reader ----------------------------------------------------------
+
+   Tolerant across schema versions: v1 documents have no "trace", v2
+   none of "metrics" — both read back as [].  Anything missing from the
+   v1 core is a hard error; the regression gate must not silently
+   compare against a half-parsed report. *)
+
+module J = Pqc_util.Jsonx
+
+exception Malformed of string
+
+let req what = function
+  | Some v -> v
+  | None -> raise (Malformed ("missing or mistyped " ^ what))
+
+let get_float ctx key j =
+  req (ctx ^ "." ^ key) (Option.bind (J.member key j) J.to_float)
+
+let get_int ctx key j =
+  req (ctx ^ "." ^ key) (Option.bind (J.member key j) J.to_int)
+
+let get_string ctx key j =
+  req (ctx ^ "." ^ key) (Option.bind (J.member key j) J.to_string)
+
+let get_bool ctx key j =
+  req (ctx ^ "." ^ key) (Option.bind (J.member key j) J.to_bool)
+
+let rollup_of_json ctx j =
+  { span = get_string ctx "span" j;
+    count = get_int ctx "count" j;
+    total_s = get_float ctx "total_s" j }
+
+let metric_of_json ctx j =
+  { metric = get_string ctx "metric" j;
+    count = get_int ctx "count" j;
+    mean = get_float ctx "mean" j;
+    p50 = get_float ctx "p50" j;
+    p90 = get_float ctx "p90" j;
+    p99 = get_float ctx "p99" j;
+    max = get_float ctx "max" j }
+
+let optional_list key of_item j =
+  match J.member key j with
+  | None -> []
+  | Some arr -> List.map of_item (req (key ^ " array") (J.to_list arr))
+
+let experiment_of_json j =
+  let ctx =
+    match Option.bind (J.member "name" j) J.to_string with
+    | Some n -> "experiment " ^ n
+    | None -> "experiment"
+  in
+  { name = get_string ctx "name" j;
+    strategy = get_string ctx "strategy" j;
+    engine = get_string ctx "engine" j;
+    pulse_duration_ns = get_float ctx "pulse_duration_ns" j;
+    sequential_s = get_float ctx "sequential_s" j;
+    parallel_s = get_float ctx "parallel_s" j;
+    speedup = get_float ctx "speedup" j;
+    cache_hits = get_int ctx "cache_hits" j;
+    blocks_compiled = get_int ctx "blocks_compiled" j;
+    workers = get_int ctx "workers" j;
+    equal_pulse = get_bool ctx "equal_pulse" j;
+    trace = optional_list "trace" (rollup_of_json (ctx ^ ".trace")) j;
+    metrics = optional_list "metrics" (metric_of_json (ctx ^ ".metrics")) j }
+
+let of_json s =
+  match J.parse s with
+  | Error e -> Error e
+  | Ok doc -> (
+    try
+      let version = get_int "report" "schema_version" doc in
+      if version < 1 || version > schema_version then
+        Error (Printf.sprintf "unsupported schema_version %d" version)
+      else
+        Ok
+          { mode = get_string "report" "mode" doc;
+            workers = get_int "report" "workers" doc;
+            experiments =
+              List.map experiment_of_json
+                (req "experiments array"
+                   (Option.bind (J.member "experiments" doc) J.to_list)) }
+    with Malformed what -> Error what)
+
+let read ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> (
+    match of_json s with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error e -> Error e

@@ -4,10 +4,15 @@
     downstream tooling need something parseable instead.  This module
     renders a small, stable JSON document — schema changes must bump
     {!schema_version}, and the rendered form is pinned by a golden test
-    so accidental drift fails [dune runtest]. *)
+    so accidental drift fails [dune runtest].
+
+    Reports can also be read back ({!of_json} / {!read}) so two runs can
+    be compared by {!Bench_diff}; the reader accepts every schema version
+    up to the current one. *)
 
 val schema_version : int
-(** Bumped on any change to the document structure below. *)
+(** Bumped on any change to the document structure below.  Currently 3:
+    v2 added [trace], v3 added [metrics]. *)
 
 type span_rollup = {
   span : string;  (** Span name, e.g. ["engine.search"]. *)
@@ -15,6 +20,18 @@ type span_rollup = {
   total_s : float;  (** Summed span duration, seconds. *)
 }
 (** One row of {!Pqc_obs.Obs.rollup}, embedded per experiment. *)
+
+type metric_rollup = {
+  metric : string;  (** Histogram name, e.g. ["grape.block_s"]. *)
+  count : int;  (** Observations recorded. *)
+  mean : float;
+  p50 : float;  (** Median (log-bucket approximation). *)
+  p90 : float;
+  p99 : float;
+  max : float;  (** Exact largest observation. *)
+}
+(** One {!Pqc_obs.Obs.Metrics} histogram summary, embedded per
+    experiment (schema v3). *)
 
 type experiment = {
   name : string;  (** Benchmark circuit, e.g. ["uccsd-lih"]. *)
@@ -34,6 +51,9 @@ type experiment = {
   trace : span_rollup list;
       (** Per-span rollups from the traced parallel compile ([[]] when
           tracing was off). *)
+  metrics : metric_rollup list;
+      (** Histogram rollups from the traced parallel compile ([[]] when
+          tracing was off). *)
 }
 
 type t = {
@@ -48,3 +68,13 @@ val to_json : t -> string
 
 val write : path:string -> t -> unit
 (** Atomic write of {!to_json} (temp file + rename). *)
+
+val of_json : string -> (t, string) result
+(** Parse a report produced by any schema version up to the current one.
+    Fields a document's vintage predates ([trace] before v2, [metrics]
+    before v3) read back as [[]]; anything missing from the v1 core is
+    an error, as is a [schema_version] newer than this build supports. *)
+
+val read : path:string -> (t, string) result
+(** {!of_json} on a file's contents; I/O failures are returned as
+    [Error], never raised. *)

@@ -34,6 +34,57 @@ let next_id = ref 0
 let tid = ref 0
 let counters : (string, float) Hashtbl.t = Hashtbl.create 16
 
+(* ---- histogram registry (Metrics) -------------------------------------
+   Log-bucketed histograms with bucket boundaries at 2^(k/8) — ~9%
+   relative width, so any quantile read off a bucket is within one
+   bucket (a factor of 2^(1/8)) of the exact order statistic.  Unlike
+   events, observations fold into fixed-size bucket tables, so a
+   thousand-iteration variational run costs O(#buckets) memory, not
+   O(#observations). *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_nonpos : int;  (* observations <= 0, kept out of the log grid *)
+  h_buckets : (int, int) Hashtbl.t;
+}
+
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+let log_gamma = Float.log 2.0 /. 8.0
+let bucket_of v = int_of_float (Float.floor (Float.log v /. log_gamma))
+let bucket_mid k = Float.exp (log_gamma *. (float_of_int k +. 0.5))
+
+let hist_for name =
+  match Hashtbl.find_opt hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+        h_nonpos = 0; h_buckets = Hashtbl.create 16 }
+    in
+    Hashtbl.replace hists name h;
+    h
+
+(* Non-finite observations are dropped: a NaN would poison sum/min/max
+   and has no bucket. *)
+let metrics_observe name v =
+  if !enabled_flag && Float.is_finite v then begin
+    let h = hist_for name in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    if v <= 0.0 then h.h_nonpos <- h.h_nonpos + 1
+    else begin
+      let k = bucket_of v in
+      Hashtbl.replace h.h_buckets k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets k))
+    end
+  end
+
 (* Backstop against a runaway instrumentation loop eating the heap; a
    real compile records a few thousand events. *)
 let max_events = 500_000
@@ -54,6 +105,7 @@ let reset () =
   stack := [];
   next_id := 0;
   Hashtbl.reset counters;
+  Hashtbl.reset hists;
   t0 := Unix.gettimeofday ()
 
 let now () = Unix.gettimeofday () -. !t0
@@ -85,7 +137,10 @@ module Span = struct
         | s :: rest when s = id -> stack := rest
         | _ -> stack := List.filter (fun s -> s <> id) !stack);
         let dur = now () -. ts in
-        push (Span { id; parent; name; attrs; ts; dur; tid = !tid })
+        push (Span { id; parent; name; attrs; ts; dur; tid = !tid });
+        (* Every span close also feeds the latency histogram of its
+           name, so percentiles of e.g. engine.search come for free. *)
+        metrics_observe name dur
       in
       match f () with
       | v ->
@@ -127,7 +182,14 @@ let rollup () =
       | _ -> ())
     (events ());
   Hashtbl.fold (fun name (n, t) acc -> (name, n, t) :: acc) tbl []
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.sort (fun (a, na, ta) (b, nb, tb) ->
+         (* Heaviest spans first; count then name break ties, so the
+            ordering is fully deterministic even under equal totals. *)
+         match Float.compare tb ta with
+         | 0 -> ( match Int.compare nb na with
+                | 0 -> String.compare a b
+                | c -> c)
+         | c -> c)
 
 (* ---- pipe codec -------------------------------------------------------
    Events serialized for the pool pipe: records joined by '\x1e', fields
@@ -304,8 +366,6 @@ let absorb line =
              | _ -> ());
              push e)
 
-(* ---- Chrome trace-event export --------------------------------------- *)
-
 let json_string s =
   let buf = Buffer.create (String.length s + 2) in
   Buffer.add_char buf '"';
@@ -325,6 +385,176 @@ let json_string s =
   Buffer.contents buf
 
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+(* ---- run-level metrics ----------------------------------------------- *)
+
+module Metrics = struct
+  type stat = { count : int; sum : float; min : float; max : float }
+
+  let observe = metrics_observe
+
+  let reset () = Hashtbl.reset hists
+
+  let names () =
+    Hashtbl.fold (fun name _ acc -> name :: acc) hists []
+    |> List.sort String.compare
+
+  let stats name =
+    Hashtbl.find_opt hists name
+    |> Option.map (fun h ->
+           { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max })
+
+  let quantile name q =
+    match Hashtbl.find_opt hists name with
+    | None -> Float.nan
+    | Some h when h.h_count = 0 -> Float.nan
+    | Some h ->
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let rank =
+        max 1
+          (min h.h_count (int_of_float (Float.ceil (q *. float_of_int h.h_count))))
+      in
+      if rank <= h.h_nonpos then h.h_min
+      else begin
+        let buckets =
+          Hashtbl.fold (fun k n acc -> (k, n) :: acc) h.h_buckets []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        let rec walk seen = function
+          | [] -> h.h_max
+          | (k, n) :: rest ->
+            let seen = seen + n in
+            if seen >= rank then
+              Float.max h.h_min (Float.min h.h_max (bucket_mid k))
+            else walk seen rest
+        in
+        walk h.h_nonpos buckets
+      end
+
+  let percentiles name = (quantile name 0.5, quantile name 0.9, quantile name 0.99)
+
+  (* Pipe codec for the fork pool, same escaping discipline as the event
+     codec: records '\x1e', fields '\x1f', bucket list '\x1d', bucket
+     pair '\x1c'.  A forked child resets its (copy-on-write) registry
+     right after the fork, so encode_all ships exactly the child's own
+     observations and absorb can merge them additively. *)
+  let encode_all () =
+    if Hashtbl.length hists = 0 then ""
+    else
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.filter (fun (_, h) -> h.h_count > 0)
+      |> List.map (fun (name, h) ->
+             let buckets =
+               Hashtbl.fold (fun k n acc -> (k, n) :: acc) h.h_buckets []
+               |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+               |> List.map (fun (k, n) ->
+                      string_of_int k ^ "\x1c" ^ string_of_int n)
+               |> String.concat "\x1d"
+             in
+             String.concat "\x1f"
+               [ esc name; string_of_int h.h_count;
+                 Printf.sprintf "%h" h.h_sum; Printf.sprintf "%h" h.h_min;
+                 Printf.sprintf "%h" h.h_max; string_of_int h.h_nonpos;
+                 buckets ])
+      |> String.concat "\x1e"
+
+  let decode_hist s =
+    match String.split_on_char '\x1f' s with
+    | [ name; count; sum; vmin; vmax; nonpos; buckets ] ->
+      let buckets =
+        if buckets = "" then []
+        else
+          String.split_on_char '\x1d' buckets
+          |> List.filter_map (fun pair ->
+                 match String.index_opt pair '\x1c' with
+                 | Some i ->
+                   Some
+                     ( int_of_string (String.sub pair 0 i),
+                       int_of_string
+                         (String.sub pair (i + 1) (String.length pair - i - 1))
+                     )
+                 | None -> None)
+      in
+      Some
+        ( unesc name,
+          int_of_string count,
+          float_of_string sum,
+          float_of_string vmin,
+          float_of_string vmax,
+          int_of_string nonpos,
+          buckets )
+    | _ -> None
+
+  let absorb line =
+    if line <> "" then
+      String.split_on_char '\x1e' line
+      |> List.iter (fun s ->
+             match (try decode_hist s with _ -> None) with
+             | None -> ()  (* best-effort, like the event codec *)
+             | Some (name, count, sum, vmin, vmax, nonpos, buckets) ->
+               let h = hist_for name in
+               h.h_count <- h.h_count + count;
+               h.h_sum <- h.h_sum +. sum;
+               h.h_min <- Float.min h.h_min vmin;
+               h.h_max <- Float.max h.h_max vmax;
+               h.h_nonpos <- h.h_nonpos + nonpos;
+               List.iter
+                 (fun (k, n) ->
+                   Hashtbl.replace h.h_buckets k
+                     (n
+                     + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets k)))
+                 buckets)
+
+  let mean name =
+    match stats name with
+    | Some s when s.count > 0 -> s.sum /. float_of_int s.count
+    | Some _ | None -> Float.nan
+
+  let summary () =
+    let t =
+      Pqc_util.Table.create
+        [ "metric"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+    in
+    List.iter
+      (fun name ->
+        match stats name with
+        | None -> ()
+        | Some s ->
+          let p50, p90, p99 = percentiles name in
+          let cell v = Pqc_util.Table.cell_f ~decimals:6 v in
+          Pqc_util.Table.add_row t
+            [ name; string_of_int s.count; cell (mean name); cell p50;
+              cell p90; cell p99; cell s.max ])
+      (names ());
+    Pqc_util.Table.render t
+
+  let to_json () =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n  \"metrics\": [";
+    let first = ref true in
+    List.iter
+      (fun name ->
+        match stats name with
+        | None -> ()
+        | Some s ->
+          let p50, p90, p99 = percentiles name in
+          if !first then first := false else Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n    {\"name\": %s, \"count\": %d, \"mean\": %s, \"min\": \
+                %s, \"max\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}"
+               (json_string name) s.count
+               (json_float (mean name))
+               (json_float s.min) (json_float s.max) (json_float p50)
+               (json_float p90) (json_float p99)))
+      (names ());
+    Buffer.add_string buf "\n  ]\n}\n";
+    Buffer.contents buf
+end
+
+(* ---- Chrome trace-event export --------------------------------------- *)
+
 let micros s = Printf.sprintf "%.3f" (s *. 1e6)
 
 let to_chrome_json ?(normalize = false) () =

@@ -55,7 +55,8 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val reset : unit -> unit
-(** Drop all recorded events and counters and restart the trace epoch. *)
+(** Drop all recorded events, counters and histograms and restart the
+    trace epoch. *)
 
 (** {2 Recording} *)
 
@@ -81,11 +82,83 @@ val events : unit -> event list
     children precede their parents). *)
 
 val counter_value : string -> float
-(** Current total of a counter (0 if never incremented). *)
+(** Current total of a counter.  Unknown counters — never incremented,
+    or never incremented while tracing was enabled — read as [0.]
+    rather than raising; reading is always safe. *)
 
 val rollup : unit -> (string * int * float) list
-(** Per-span-name [(name, count, total seconds)], sorted by name — the
-    shape embedded in the bench JSON under ["trace"]. *)
+(** Per-span-name [(name, count, total seconds)] — the shape embedded
+    in the bench JSON under ["trace"].  Ordered by total seconds
+    descending, with count (descending) and then name (ascending) as
+    tie-breakers, so the ordering is fully deterministic even when
+    several spans accumulate equal totals. *)
+
+(** {2 Run-level metrics}
+
+    Log-bucketed histograms for per-iteration quantities (compile
+    latency, pulse duration, energy) and span latencies.  Bucket
+    boundaries sit at [2^(k/8)] (~9% relative width), so percentile
+    reads are within one bucket of the exact order statistic while an
+    arbitrarily long run costs only O(buckets) memory — unlike
+    {!events}, observations are folded into the registry and never
+    accumulate per-observation state.
+
+    Every closing {!Span.with_} also observes its duration under the
+    span's name, so latency percentiles of instrumented code come for
+    free.  Like the rest of the layer, {!Metrics.observe} is a no-op
+    until {!enable}; the registry is cleared by {!reset}. *)
+
+module Metrics : sig
+  type stat = {
+    count : int;  (** Finite observations recorded. *)
+    sum : float;
+    min : float;
+    max : float;
+  }
+
+  val observe : string -> float -> unit
+  (** Record one observation (no-op when tracing is disabled; NaN and
+      infinite values are dropped). *)
+
+  val names : unit -> string list
+  (** Histogram names, sorted. *)
+
+  val stats : string -> stat option
+  (** Exact count/sum/min/max ([None] for unknown histograms). *)
+
+  val quantile : string -> float -> float
+  (** [quantile name q] estimates the [q]-quantile ([0 <= q <= 1],
+      clamped) from the log buckets: the geometric midpoint of the
+      bucket holding the order statistic, clamped to the observed
+      [min, max].  NaN for unknown or empty histograms. *)
+
+  val percentiles : string -> float * float * float
+  (** [(p50, p90, p99)]. *)
+
+  val reset : unit -> unit
+  (** Clear the registry only (events and counters are untouched);
+      {!Obs.reset} also clears it.  Forked pool workers call this right
+      after the fork so {!encode_all} ships exactly their own
+      observations. *)
+
+  val encode_all : unit -> string
+  (** Single-line (newline-free) serialization of the whole registry
+      for the pool pipe; [""] when the registry is empty. *)
+
+  val absorb : string -> unit
+  (** Merge a registry serialized by {!encode_all} in another process
+      additively into this one (bucket counts, counts and sums add;
+      min/max combine).  Undecodable records are dropped. *)
+
+  val summary : unit -> string
+  (** Rendered {!Pqc_util.Table}: per histogram, count, mean and
+      p50/p90/p99/max. *)
+
+  val to_json : unit -> string
+  (** Deterministic JSON exposition: histograms sorted by name, each
+      with count, mean, min, max, p50, p90, p99.  Non-finite values
+      render as [null]. *)
+end
 
 (** {2 Export} *)
 

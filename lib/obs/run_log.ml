@@ -1,0 +1,112 @@
+type compile_info = {
+  strategy : string;
+  precompute_s : float;
+  compile_latency_s : float;
+  pulse_duration_ns : float;
+  gate_duration_ns : float;
+  cache_hits : int;
+  degradations : int;
+}
+
+type t = {
+  oc : out_channel;
+  algo : string;
+  label : string;
+  info : compile_info option;
+  flush_every : int;
+  t_start : float;
+  mutable t_last : float;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* JSON has no inf/nan tokens; render them as null so every line parses. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let create ?info ?(flush_every = 1) ~algo ~label ~path () =
+  let oc = open_out path in
+  let now = Unix.gettimeofday () in
+  { oc; algo; label; info; flush_every = max 1 flush_every; t_start = now;
+    t_last = now; written = 0; closed = false }
+
+let record t ~iteration ~energy =
+  if not t.closed then begin
+    let now = Unix.gettimeofday () in
+    let iter_s = now -. t.t_last in
+    t.t_last <- now;
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"algo\": %s, \"label\": %s, \"iteration\": %d, \"energy\": %s, \
+          \"iteration_s\": %s, \"elapsed_s\": %s"
+         (json_string t.algo) (json_string t.label) iteration
+         (json_float energy) (json_float iter_s)
+         (json_float (now -. t.t_start)));
+    (match t.info with
+    | None -> ()
+    | Some i ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ", \"strategy\": %s, \"precompute_s\": %s, \"compile_latency_s\": \
+            %s, \"pulse_duration_ns\": %s, \"gate_duration_ns\": %s, \
+            \"pulse_speedup\": %s, \"cache_hits\": %d, \"degradations\": %d"
+           (json_string i.strategy)
+           (json_float i.precompute_s)
+           (json_float i.compile_latency_s)
+           (json_float i.pulse_duration_ns)
+           (json_float i.gate_duration_ns)
+           (json_float (i.gate_duration_ns /. i.pulse_duration_ns))
+           i.cache_hits i.degradations));
+    Buffer.add_string buf "}\n";
+    output_string t.oc (Buffer.contents buf);
+    t.written <- t.written + 1;
+    if t.written mod t.flush_every = 0 then flush t.oc;
+    (* Histograms are bounded (bucket tables, not event lists), so a
+       thousand-iteration run adds nothing to the Obs event buffer. *)
+    Obs.Metrics.observe "run.iteration_s" iter_s;
+    Obs.Metrics.observe "run.energy" energy;
+    match t.info with
+    | Some i -> Obs.Metrics.observe "run.compile_latency_s" i.compile_latency_s
+    | None -> ()
+  end
+
+let written t = t.written
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with Sys_error _ -> ());
+    close_out_noerr t.oc
+  end
+
+let path_from_env () =
+  match Sys.getenv_opt "PQC_RUN_LOG" with
+  | None -> None
+  | Some s ->
+    let s = String.trim s in
+    if s = "" then None else Some s
+
+let with_log ?info ~algo ~label ~path f =
+  match path with
+  | None -> f None
+  | Some path ->
+    let t = create ?info ~algo ~label ~path () in
+    Fun.protect ~finally:(fun () -> close t) (fun () -> f (Some t))

@@ -1,0 +1,81 @@
+(** Per-iteration run records for variational loops (VQE / QAOA).
+
+    The paper's central trade-off — compilation latency per variational
+    iteration versus pulse duration — lives in the thousands-of-
+    iterations regime, so this module records the iteration-level view:
+    one JSONL line per objective evaluation, streamed straight to disk.
+    The recorder holds no per-iteration state in memory (bounded memory
+    on arbitrarily long runs) and never touches optimization results —
+    recording on or off, the optimizer sees identical values.
+
+    Each record carries the iteration index, the objective value, the
+    wall-clock of that iteration, and — when the caller supplies a
+    {!compile_info} — the compilation-strategy context the paper's
+    latency table needs: strategy name, per-iteration compile latency,
+    compiled pulse duration against the gate-based baseline, cache hits
+    and degradations.  When {!Obs} tracing is enabled, every record
+    also feeds the [run.iteration_s] and [run.energy] histograms (and
+    [run.compile_latency_s] when compile context is present), so
+    p50/p90/p99 of the per-iteration cost are available from
+    {!Obs.Metrics} without re-reading the file.
+
+    The [PQC_RUN_LOG] environment variable names the default output
+    path used by the CLI entry points ({!path_from_env}). *)
+
+type compile_info = {
+  strategy : string;  (** Compilation strategy name, e.g. ["strict-partial"]. *)
+  precompute_s : float;  (** One-off offline compilation work, seconds. *)
+  compile_latency_s : float;
+      (** Compilation work repeated every variational iteration, seconds
+          — the quantity partial compilation attacks. *)
+  pulse_duration_ns : float;  (** Compiled pulse duration. *)
+  gate_duration_ns : float;  (** Gate-based baseline pulse duration. *)
+  cache_hits : int;  (** Pulse-cache hits during the compile. *)
+  degradations : int;  (** Fallbacks taken while compiling. *)
+}
+(** Compilation context attached verbatim to every record.  Plain
+    strings and numbers so this library stays dependency-free; build it
+    from a {!Pqc_core.Strategy.compiled} at the call site. *)
+
+type t
+
+val create :
+  ?info:compile_info ->
+  ?flush_every:int ->
+  algo:string ->
+  label:string ->
+  path:string ->
+  unit ->
+  t
+(** Open [path] for writing (truncating) and return a recorder.
+    [algo] and [label] (e.g. ["vqe"]/["lih"]) are stamped on every
+    record.  [flush_every] (default 1 — every record) bounds how many
+    records may sit in the channel buffer; the stream is valid JSONL
+    after every flush.  Raises [Sys_error] when the path cannot be
+    opened — callers own the user-facing error. *)
+
+val record : t -> iteration:int -> energy:float -> unit
+(** Append one record.  [iteration] is the 1-based variational
+    iteration (objective evaluation) index; [energy] is the objective
+    value at that iteration (for QAOA, the expected cut).  No-op after
+    {!close}. *)
+
+val written : t -> int
+(** Records appended so far. *)
+
+val close : t -> unit
+(** Flush and close the stream (idempotent). *)
+
+val path_from_env : unit -> string option
+(** The [PQC_RUN_LOG] path, if set and non-empty. *)
+
+val with_log :
+  ?info:compile_info ->
+  algo:string ->
+  label:string ->
+  path:string option ->
+  (t option -> 'a) ->
+  'a
+(** [with_log ~algo ~label ~path f] runs [f (Some recorder)] with the
+    recorder closed afterwards (even on exceptions), or [f None] when
+    [path] is [None]. *)

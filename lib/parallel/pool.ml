@@ -48,9 +48,13 @@ let child_loop ~encode ~f ~items ~wr j w =
   let n = Array.length items in
   let i = ref j in
   (* Events recorded before the fork belong to the parent; only ship
-     what this child adds past this point. *)
+     what this child adds past this point.  The histogram registry is
+     copy-on-write too: reset this child's copy so encode_all below
+     ships exactly the observations made inside this worker (the parent
+     still owns everything recorded before the fork). *)
   let m = Obs.mark () in
   Obs.set_worker (j + 1);
+  Obs.Metrics.reset ();
   (try
      Obs.Span.with_ ~name:"pool.worker"
        ~attrs:[ ("worker", string_of_int (j + 1)) ]
@@ -66,12 +70,18 @@ let child_loop ~encode ~f ~items ~wr j w =
            i := !i + w
          done);
      (* Trace frames ride the same pipe under a "T" pseudo-index that
-        parse_line already ignores, so untraced parents stay compatible. *)
+        parse_line already ignores, so untraced parents stay compatible;
+        histogram registries travel likewise under "M". *)
      (match Obs.encode_since m with
       | "" -> ()
       | payload ->
         if not (String.contains payload '\n') then
           Printf.fprintf oc "T\t%s\n" payload);
+     (match Obs.Metrics.encode_all () with
+      | "" -> ()
+      | payload ->
+        if not (String.contains payload '\n') then
+          Printf.fprintf oc "M\t%s\n" payload);
      flush oc
    with _ -> ());
   (try flush oc with _ -> ())
@@ -88,6 +98,9 @@ let parse_line ~decode ~n line =
 
 let is_trace_line line =
   String.length line >= 2 && line.[0] = 'T' && line.[1] = '\t'
+
+let is_metrics_line line =
+  String.length line >= 2 && line.[0] = 'M' && line.[1] = '\t'
 
 let map ?workers ?min_items ~encode ~decode f items =
   let requested =
@@ -133,6 +146,9 @@ let map ?workers ?min_items ~encode ~decode f items =
                  let line = input_line ic in
                  if is_trace_line line then
                    Obs.absorb
+                     (String.sub line 2 (String.length line - 2))
+                 else if is_metrics_line line then
+                   Obs.Metrics.absorb
                      (String.sub line 2 (String.length line - 2))
                  else
                    match parse_line ~decode ~n line with

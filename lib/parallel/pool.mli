@@ -23,8 +23,13 @@
     children — a [pool.worker] span per worker.  Child events travel
     back over the same pipe on a dedicated ["T"]-indexed frame and are
     reassembled in the parent with their original parent-span ids, so a
-    trace shows which worker ran which block.  Trace frames never touch
-    result payloads and tracing never changes results. *)
+    trace shows which worker ran which block.  Histogram registries
+    ({!Pqc_obs.Obs.Metrics}) travel the same way on an ["M"] frame:
+    each child resets its copy-on-write registry at fork and ships its
+    own observations back, which the parent merges additively — so
+    metrics recorded across any worker count are equivalent to the
+    sequential run.  Trace and metrics frames never touch result
+    payloads and tracing never changes results. *)
 
 type stats = {
   workers : int;  (** Workers actually forked (1 = ran sequentially). *)

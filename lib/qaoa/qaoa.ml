@@ -41,7 +41,7 @@ type outcome = {
   evaluations : int;
 }
 
-let optimize ?(max_evals = 600) ?(seed = 1) g ~p =
+let optimize ?(max_evals = 600) ?(seed = 1) ?recorder g ~p =
   let c = circuit g ~p in
   let rng = Rng.create seed in
   let x0 =
@@ -50,6 +50,19 @@ let optimize ?(max_evals = 600) ?(seed = 1) g ~p =
   let negative_cut theta =
     let psi = Statevec.run ~theta c in
     -.Maxcut.expected_cut g psi
+  in
+  (* One objective evaluation = one variational iteration; log the cut
+     (the positive objective), not the minimizer's negated view. *)
+  let negative_cut =
+    match recorder with
+    | None -> negative_cut
+    | Some r ->
+      let evals = ref 0 in
+      fun theta ->
+        let v = negative_cut theta in
+        incr evals;
+        Pqc_obs.Run_log.record r ~iteration:!evals ~energy:(-.v);
+        v
   in
   let options =
     { Nelder_mead.default_options with max_evals; initial_step = 0.4 }

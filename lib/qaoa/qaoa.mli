@@ -29,6 +29,11 @@ type outcome = {
 }
 
 val optimize :
-  ?max_evals:int -> ?seed:int -> Graph.t -> p:int -> outcome
+  ?max_evals:int -> ?seed:int -> ?recorder:Pqc_obs.Run_log.t ->
+  Graph.t -> p:int -> outcome
 (** Full hybrid loop on the state-vector simulator: Nelder-Mead maximizes
-    the expected cut over the 2p angles from a seeded random start. *)
+    the expected cut over the 2p angles from a seeded random start.
+
+    [recorder]: stream one {!Pqc_obs.Run_log} record per objective
+    evaluation (the logged "energy" is the expected cut).  Recording
+    never changes the optimization. *)

@@ -1,0 +1,42 @@
+(** Minimal JSON reader.
+
+    The repository deliberately has no third-party JSON dependency; the
+    writers ({!Pqc_core.Bench_report}, the Chrome trace export) emit
+    documents by hand.  The regression-diff tooling needs to read them
+    back, so this module provides a small, strict RFC 8259 parser for
+    machine-generated documents: objects, arrays, strings (with the
+    escape set our writers emit, including [\uXXXX]), numbers, booleans
+    and [null].  It is not a streaming parser and holds the whole
+    document in memory — bench reports and run logs are kilobytes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** Members in document order. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document.  [Error msg] carries a one-line
+    description with the byte offset of the failure.  Trailing
+    whitespace is allowed; trailing garbage is an error. *)
+
+(** {2 Accessors}
+
+    Total accessors for walking parsed documents; all return [None] on
+    a type or key mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** Object member lookup ([None] on non-objects and missing keys). *)
+
+val to_float : t -> float option
+(** [Num] as float; [Null] maps to [nan] (the writers render non-finite
+    floats as [null]). *)
+
+val to_int : t -> int option
+(** [Num] with an integral value. *)
+
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -3,6 +3,7 @@ module Nelder_mead = Pqc_util.Nelder_mead
 module Pauli = Pqc_quantum.Pauli
 module Circuit = Pqc_quantum.Circuit
 module Statevec = Pqc_quantum.Statevec
+module Run_log = Pqc_obs.Run_log
 
 type result = {
   energy : float;
@@ -11,7 +12,7 @@ type result = {
   history : float list;
 }
 
-let run ?(max_evals = 1500) ?(seed = 11) ?(optimizer = `Nelder_mead)
+let run ?(max_evals = 1500) ?(seed = 11) ?(optimizer = `Nelder_mead) ?recorder
     ~hamiltonian ~ansatz () =
   if Pauli.(hamiltonian.n_qubits) <> Circuit.n_qubits ansatz then
     invalid_arg "Vqe.run: Hamiltonian/ansatz width mismatch";
@@ -22,6 +23,21 @@ let run ?(max_evals = 1500) ?(seed = 11) ?(optimizer = `Nelder_mead)
   in
   let energy theta =
     Pauli.expectation hamiltonian (Statevec.run ~theta ansatz)
+  in
+  (* Each objective evaluation is one variational iteration — exactly
+     the event that would trigger a recompilation on real hardware, so
+     exactly the event the run recorder logs.  The wrapper only observes
+     the value on its way through; the optimizer sees it unchanged. *)
+  let energy =
+    match recorder with
+    | None -> energy
+    | Some r ->
+      let evals = ref 0 in
+      fun theta ->
+        let e = energy theta in
+        incr evals;
+        Run_log.record r ~iteration:!evals ~energy:e;
+        e
   in
   if n_params = 0 then
     { energy = energy [||]; theta = [||]; evaluations = 1; history = [] }

@@ -26,7 +26,15 @@ let () =
                      total_s = 4.75 };
                    { Pqc_core.Bench_report.span = "engine.search";
                      count = 21;
-                     total_s = 4.5 } ] };
+                     total_s = 4.5 } ];
+               metrics =
+                 [ { Pqc_core.Bench_report.metric = "grape.block_s";
+                     count = 21;
+                     mean = 0.226;
+                     p50 = 0.21;
+                     p90 = 0.38;
+                     p99 = 0.44;
+                     max = 0.45 } ] };
              { Pqc_core.Bench_report.name = "qaoa-er8\"p1";
                strategy = "flexible-partial";
                engine = "model";
@@ -38,4 +46,5 @@ let () =
                blocks_compiled = 0;
                workers = 1;
                equal_pulse = false;
-               trace = [] } ] })
+               trace = [];
+               metrics = [] } ] })

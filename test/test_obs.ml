@@ -113,15 +113,110 @@ let test_rollup_shape () =
   Obs.Span.with_ ~name:"b.span" (fun () -> ());
   Obs.count "not.a.span";
   let r = Obs.rollup () in
-  Alcotest.(check (list string)) "sorted by name, counters excluded"
+  Alcotest.(check (list string)) "counters excluded, names complete"
     [ "a.span"; "b.span" ]
+    (List.sort compare (List.map (fun (n, _, _) -> n) r));
+  Alcotest.(check int) "a.span count" 1
+    (List.assoc "a.span" (List.map (fun (n, c, _) -> (n, c)) r));
+  Alcotest.(check int) "b.span count" 2
+    (List.assoc "b.span" (List.map (fun (n, c, _) -> (n, c)) r));
+  (* Ordering contract: total_s descending, then count descending, then
+     name ascending — deterministic even under equal totals. *)
+  let ordered =
+    List.map (fun (n, c, t) -> (-.t, -c, n)) r |> List.sort compare
+    |> List.map (fun (_, _, n) -> n)
+  in
+  Alcotest.(check (list string)) "sorted by total desc with tie-breaks"
+    ordered
     (List.map (fun (n, _, _) -> n) r);
-  Alcotest.(check (list int)) "per-name counts" [ 1; 2 ]
-    (List.map (fun (_, n, _) -> n) r);
   List.iter
     (fun (_, _, total) ->
       Alcotest.(check bool) "total non-negative" true (total >= 0.0))
     r
+
+(* --- Histograms (Obs.Metrics) --- *)
+
+let gamma = Float.pow 2.0 (1.0 /. 8.0)
+
+let test_hist_stats () =
+  with_obs @@ fun () ->
+  List.iter (Obs.Metrics.observe "m") [ 1.0; 2.0; 4.0; 8.0 ];
+  Obs.Metrics.observe "m" Float.nan;
+  Obs.Metrics.observe "m" Float.infinity;
+  Obs.Metrics.observe "m" 0.0;
+  let s = Option.get (Obs.Metrics.stats "m") in
+  Alcotest.(check int) "finite observations counted" 5 s.Obs.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 15.0 s.Obs.Metrics.sum;
+  Alcotest.(check (float 0.0)) "min sees the zero" 0.0 s.Obs.Metrics.min;
+  Alcotest.(check (float 0.0)) "max" 8.0 s.Obs.Metrics.max;
+  Alcotest.(check bool) "unknown name" true (Obs.Metrics.stats "nope" = None);
+  Alcotest.(check bool) "unknown quantile is nan" true
+    (Float.is_nan (Obs.Metrics.quantile "nope" 0.5));
+  Alcotest.(check (list string)) "names sorted" [ "m" ]
+    (Obs.Metrics.names ())
+
+let test_hist_disabled_noop () =
+  Obs.reset ();
+  Obs.Metrics.observe "off" 1.0;
+  Alcotest.(check bool) "disabled records nothing" true
+    (Obs.Metrics.stats "off" = None)
+
+let test_hist_codec_roundtrip () =
+  with_obs @@ fun () ->
+  List.iter (Obs.Metrics.observe "a\x1e\x1fweird") [ 0.25; 3.5; -1.0 ];
+  List.iter (Obs.Metrics.observe "b") [ 1e-9; 1e9 ];
+  let payload = Obs.Metrics.encode_all () in
+  Alcotest.(check bool) "single line" false (String.contains payload '\n');
+  let before =
+    List.map
+      (fun n -> (n, Option.get (Obs.Metrics.stats n), Obs.Metrics.percentiles n))
+      (Obs.Metrics.names ())
+  in
+  Obs.Metrics.reset ();
+  Alcotest.(check (list string)) "reset clears" [] (Obs.Metrics.names ());
+  Obs.Metrics.absorb payload;
+  let after =
+    List.map
+      (fun n -> (n, Option.get (Obs.Metrics.stats n), Obs.Metrics.percentiles n))
+      (Obs.Metrics.names ())
+  in
+  Alcotest.(check bool) "stats and percentiles survive the pipe" true
+    (before = after);
+  (* Absorbing the same payload again doubles counts (additive merge). *)
+  Obs.Metrics.absorb payload;
+  let s = Option.get (Obs.Metrics.stats "b") in
+  Alcotest.(check int) "absorb merges additively" 4 s.Obs.Metrics.count;
+  Obs.Metrics.absorb "complete\x1fgarbage";
+  Alcotest.(check int) "garbage dropped" 4
+    (Option.get (Obs.Metrics.stats "b")).Obs.Metrics.count
+
+(* Any quantile read off a log bucket is within one bucket — a factor of
+   gamma = 2^(1/8) — of the exact order statistic at the same rank. *)
+let prop_hist_quantile_within_bucket =
+  QCheck.Test.make ~name:"p50/p90/p99 within one bucket of exact" ~count:100
+    QCheck.(pair (int_range 0 100_000) (int_range 1 300))
+    (fun (seed, n) ->
+      with_obs @@ fun () ->
+      let rng = Rng.create seed in
+      let xs =
+        List.init n (fun _ ->
+            let mantissa = Rng.uniform rng ~lo:0.1 ~hi:10.0 in
+            let expo = Rng.uniform rng ~lo:(-4.0) ~hi:4.0 in
+            mantissa *. Float.pow 10.0 (Float.round expo))
+      in
+      List.iter (Obs.Metrics.observe "prop") xs;
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      List.for_all
+        (fun q ->
+          let rank =
+            max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n))))
+          in
+          let exact = sorted.(rank - 1) in
+          let est = Obs.Metrics.quantile "prop" q in
+          est >= exact /. gamma *. (1.0 -. 1e-9)
+          && est <= exact *. gamma *. (1.0 +. 1e-9))
+        [ 0.5; 0.9; 0.99 ])
 
 (* --- Pipe codec (fork plumbing) --- *)
 
@@ -259,6 +354,13 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "counter totals" `Quick test_counter_totals;
           Alcotest.test_case "rollup shape" `Quick test_rollup_shape ] );
+      ( "histograms",
+        [ Alcotest.test_case "stats and edge values" `Quick test_hist_stats;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_hist_disabled_noop;
+          Alcotest.test_case "codec round-trip and merge" `Quick
+            test_hist_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_within_bucket ] );
       ( "pipe-codec",
         [ Alcotest.test_case "encode/absorb round-trip" `Quick
             test_encode_absorb_roundtrip;

@@ -476,6 +476,51 @@ let test_tracing_preserves_determinism () =
   check_same_compiled "traced parallel vs untraced sequential" untraced
     traced
 
+let test_metrics_merge_matches_sequential () =
+  (* Histograms observed inside forked workers ship back on "M" frames
+     and merge additively in the parent; the merged registry must match
+     a sequential run observation-for-observation.  Values are dyadic
+     (x * 0.125), so even the float sum is exact regardless of the
+     order the workers' frames arrive in. *)
+  let enc, dec = int_codec in
+  let items = List.init 41 (fun i -> i + 1) in
+  let observe x =
+    Obs.Metrics.observe "pool.metric" (float_of_int x *. 0.125);
+    x
+  in
+  let capture () =
+    ( Option.get (Obs.Metrics.stats "pool.metric"),
+      Obs.Metrics.percentiles "pool.metric" )
+  in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      List.iter (fun x -> ignore (observe x)) items;
+      let expected = capture () in
+      Obs.Metrics.reset ();
+      let out, stats =
+        with_env "PQC_PAR_MIN_ITEMS" "1" (fun () ->
+            Pool.map ~workers:4 ~encode:enc ~decode:dec observe items)
+      in
+      Alcotest.(check (list int)) "results intact" items (List.map fst out);
+      Alcotest.(check int) "genuinely forked" 4 stats.Pool.workers;
+      let got_stats, got_pcts = capture () in
+      let exp_stats, exp_pcts = expected in
+      Alcotest.(check int) "count matches sequential"
+        exp_stats.Obs.Metrics.count got_stats.Obs.Metrics.count;
+      Alcotest.(check (float 0.0)) "sum matches sequential"
+        exp_stats.Obs.Metrics.sum got_stats.Obs.Metrics.sum;
+      Alcotest.(check (float 0.0)) "min" exp_stats.Obs.Metrics.min
+        got_stats.Obs.Metrics.min;
+      Alcotest.(check (float 0.0)) "max" exp_stats.Obs.Metrics.max
+        got_stats.Obs.Metrics.max;
+      Alcotest.(check bool) "p50/p90/p99 match sequential" true
+        (exp_pcts = got_pcts))
+
 (* --- Pulse cache: merge + concurrent persistence --- *)
 
 let mk_entry ?(duration = 1.0) key =
@@ -599,6 +644,8 @@ let () =
           Alcotest.test_case "flexible invariant" `Quick
             test_flexible_partial_worker_invariant;
           Alcotest.test_case "pool stats" `Quick test_pool_stats_reported;
+          Alcotest.test_case "worker metrics merge equals sequential" `Quick
+            test_metrics_merge_matches_sequential;
           Alcotest.test_case "tracing preserves determinism" `Quick
             test_tracing_preserves_determinism ] );
       ( "pulse-cache",

@@ -1,0 +1,368 @@
+(* Run-level observability: per-iteration JSONL run logs, the Jsonx
+   reader underneath the bench tooling, Bench_report round-trips across
+   schema versions, and the bench diff regression gate. *)
+
+module Jsonx = Pqc_util.Jsonx
+module Obs = Pqc_obs.Obs
+module Run_log = Pqc_obs.Run_log
+module Circuit = Pqc_quantum.Circuit
+module Gate = Pqc_quantum.Gate
+module Bench_report = Pqc_core.Bench_report
+module Bench_diff = Pqc_core.Bench_diff
+
+let with_temp_file f =
+  let path = Filename.temp_file "pqc_run" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let with_env key value f =
+  let old = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv key (Option.value old ~default:""))
+    f
+
+let demo_info =
+  { Run_log.strategy = "strict-partial"; precompute_s = 1.5;
+    compile_latency_s = 0.004; pulse_duration_ns = 120.0;
+    gate_duration_ns = 240.0; cache_hits = 3; degradations = 0 }
+
+(* --- Jsonx --- *)
+
+let test_jsonx_basics () =
+  let doc =
+    {|{"s": "aé\"b", "n": -1.5e2, "b": true, "nul": null,
+       "arr": [1, 2, 3], "obj": {"k": 0}}|}
+  in
+  match Jsonx.parse doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+    Alcotest.(check (option string)) "string with escapes"
+      (Some "a\xc3\xa9\"b")
+      (Option.bind (Jsonx.member "s" j) Jsonx.to_string);
+    Alcotest.(check (option (float 0.0))) "number" (Some (-150.0))
+      (Option.bind (Jsonx.member "n" j) Jsonx.to_float);
+    Alcotest.(check (option bool)) "bool" (Some true)
+      (Option.bind (Jsonx.member "b" j) Jsonx.to_bool);
+    Alcotest.(check bool) "null reads as nan" true
+      (match Option.bind (Jsonx.member "nul" j) Jsonx.to_float with
+      | Some v -> Float.is_nan v
+      | None -> false);
+    Alcotest.(check (option int)) "array length" (Some 3)
+      (Option.map List.length
+         (Option.bind (Jsonx.member "arr" j) Jsonx.to_list));
+    Alcotest.(check bool) "trailing garbage rejected" true
+      (match Jsonx.parse "{} extra" with Error _ -> true | Ok _ -> false);
+    Alcotest.(check bool) "unterminated rejected" true
+      (match Jsonx.parse "[1, 2" with Error _ -> true | Ok _ -> false)
+
+(* --- Run_log --- *)
+
+(* A 200-iteration recorded VQE run: one valid JSONL record per
+   objective evaluation, compile context on every line, and — the
+   bounded-memory contract — zero growth of the Obs event list no
+   matter how many iterations stream through. *)
+let test_vqe_run_jsonl () =
+  with_temp_file @@ fun path ->
+  let m = Option.get (Pqc_vqe.Molecule.find "h2") in
+  let prep = Circuit.of_gates 2 [ (Gate.X, [ 0 ]) ] in
+  let ansatz = Circuit.concat prep (Pqc_vqe.Uccsd.ansatz m) in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let events_before = List.length (Obs.events ()) in
+      let r =
+        Run_log.with_log ~info:demo_info ~algo:"vqe" ~label:"H2"
+          ~path:(Some path) (fun recorder ->
+            Pqc_vqe.Vqe.run ~max_evals:200 ?recorder
+              ~hamiltonian:Pqc_vqe.Chemistry.h2 ~ansatz ())
+      in
+      Alcotest.(check int) "recording pushes no events" events_before
+        (List.length (Obs.events ()));
+      let iter_stats = Option.get (Obs.Metrics.stats "run.iteration_s") in
+      Alcotest.(check int) "one histogram observation per iteration"
+        r.Pqc_vqe.Vqe.evaluations iter_stats.Obs.Metrics.count;
+      let lines = read_lines path in
+      Alcotest.(check int) "one line per evaluation" r.Pqc_vqe.Vqe.evaluations
+        (List.length lines);
+      List.iteri
+        (fun i line ->
+          match Jsonx.parse line with
+          | Error e -> Alcotest.failf "line %d is not JSON: %s" (i + 1) e
+          | Ok j ->
+            Alcotest.(check (option int)) "iteration index" (Some (i + 1))
+              (Option.bind (Jsonx.member "iteration" j) Jsonx.to_int);
+            Alcotest.(check (option string)) "algo" (Some "vqe")
+              (Option.bind (Jsonx.member "algo" j) Jsonx.to_string);
+            Alcotest.(check (option string)) "strategy context"
+              (Some "strict-partial")
+              (Option.bind (Jsonx.member "strategy" j) Jsonx.to_string);
+            Alcotest.(check (option (float 1e-9))) "pulse speedup" (Some 2.0)
+              (Option.bind (Jsonx.member "pulse_speedup" j) Jsonx.to_float);
+            Alcotest.(check bool) "energy is finite" true
+              (match Option.bind (Jsonx.member "energy" j) Jsonx.to_float with
+              | Some e -> Float.is_finite e
+              | None -> false))
+        lines)
+
+let test_recorder_never_changes_results () =
+  with_temp_file @@ fun path ->
+  let m = Option.get (Pqc_vqe.Molecule.find "h2") in
+  let prep = Circuit.of_gates 2 [ (Gate.X, [ 0 ]) ] in
+  let ansatz = Circuit.concat prep (Pqc_vqe.Uccsd.ansatz m) in
+  let run recorder =
+    Pqc_vqe.Vqe.run ~max_evals:150 ?recorder
+      ~hamiltonian:Pqc_vqe.Chemistry.h2 ~ansatz ()
+  in
+  let plain = run None in
+  let recorded =
+    Run_log.with_log ~algo:"vqe" ~label:"H2" ~path:(Some path) run
+  in
+  Alcotest.(check (float 0.0)) "identical energy" plain.Pqc_vqe.Vqe.energy
+    recorded.Pqc_vqe.Vqe.energy;
+  Alcotest.(check int) "identical evaluations" plain.Pqc_vqe.Vqe.evaluations
+    recorded.Pqc_vqe.Vqe.evaluations;
+  Alcotest.(check bool) "identical theta" true
+    (plain.Pqc_vqe.Vqe.theta = recorded.Pqc_vqe.Vqe.theta)
+
+let test_qaoa_run_jsonl () =
+  with_temp_file @@ fun path ->
+  let rng = Pqc_util.Rng.create 1 in
+  let g = Pqc_qaoa.Graph.random_regular rng ~degree:3 6 in
+  let o =
+    Run_log.with_log ~algo:"qaoa" ~label:"3reg6p1" ~path:(Some path)
+      (fun recorder -> Pqc_qaoa.Qaoa.optimize ~max_evals:120 ?recorder g ~p:1)
+  in
+  let lines = read_lines path in
+  Alcotest.(check int) "one line per evaluation"
+    o.Pqc_qaoa.Qaoa.evaluations (List.length lines);
+  let last = List.nth lines (List.length lines - 1) in
+  match Jsonx.parse last with
+  | Error e -> Alcotest.failf "last line is not JSON: %s" e
+  | Ok j ->
+    Alcotest.(check (option string)) "algo" (Some "qaoa")
+      (Option.bind (Jsonx.member "algo" j) Jsonx.to_string);
+    Alcotest.(check bool) "logged energy is the positive cut" true
+      (match Option.bind (Jsonx.member "energy" j) Jsonx.to_float with
+      | Some e -> e >= 0.0
+      | None -> false)
+
+let test_streaming_flush () =
+  with_temp_file @@ fun path ->
+  let t = Run_log.create ~algo:"vqe" ~label:"x" ~path () in
+  Fun.protect
+    ~finally:(fun () -> Run_log.close t)
+    (fun () ->
+      for i = 1 to 3 do
+        Run_log.record t ~iteration:i ~energy:(float_of_int i)
+      done;
+      (* flush_every defaults to 1: all three lines must already be on
+         disk while the recorder is still open. *)
+      Alcotest.(check int) "records on disk before close" 3
+        (List.length (read_lines path));
+      Alcotest.(check int) "written" 3 (Run_log.written t));
+  Run_log.close t;
+  (* idempotent *)
+  Alcotest.(check int) "unchanged after close" 3
+    (List.length (read_lines path))
+
+let test_path_from_env () =
+  with_env "PQC_RUN_LOG" "" (fun () ->
+      Alcotest.(check (option string)) "empty is unset" None
+        (Run_log.path_from_env ()));
+  with_env "PQC_RUN_LOG" "  /tmp/run.jsonl  " (fun () ->
+      Alcotest.(check (option string)) "trimmed" (Some "/tmp/run.jsonl")
+        (Run_log.path_from_env ()))
+
+(* --- Bench_report reader --- *)
+
+let experiment ?(name = "uccsd-h2") ?(pulse = 100.0) ?(parallel_s = 4.0)
+    ?(equal_pulse = true) () =
+  { Bench_report.name; strategy = "strict-partial"; engine = "numeric";
+    pulse_duration_ns = pulse; sequential_s = 10.0; parallel_s;
+    speedup = 10.0 /. parallel_s; cache_hits = 5; blocks_compiled = 7;
+    workers = 4; equal_pulse;
+    trace = [ { Bench_report.span = "engine.batch"; count = 2; total_s = 3.5 } ];
+    metrics =
+      [ { Bench_report.metric = "grape.block_s"; count = 7; mean = 0.5;
+          p50 = 0.5; p90 = 0.75; p99 = 0.875; max = 1.0 } ] }
+
+let report experiments = { Bench_report.mode = "fast"; workers = 4; experiments }
+
+let test_report_roundtrip () =
+  let t = report [ experiment (); experiment ~name:"weird \"name\"\n" () ] in
+  match Bench_report.of_json (Bench_report.to_json t) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok t' -> Alcotest.(check bool) "round-trips exactly" true (t = t')
+
+let test_report_reads_older_schemas () =
+  let v1 =
+    {|{"schema_version": 1, "mode": "fast", "workers": 2, "experiments": [
+        {"name": "uccsd-h2", "strategy": "strict-partial",
+         "engine": "numeric", "pulse_duration_ns": 100.0,
+         "sequential_s": 10.0, "parallel_s": 4.0, "speedup": 2.5,
+         "cache_hits": 5, "blocks_compiled": 7, "workers": 2,
+         "equal_pulse": true}]}|}
+  in
+  (match Bench_report.of_json v1 with
+  | Error e -> Alcotest.failf "v1 rejected: %s" e
+  | Ok t ->
+    let e = List.hd t.Bench_report.experiments in
+    Alcotest.(check bool) "missing trace reads as []" true
+      (e.Bench_report.trace = []);
+    Alcotest.(check bool) "missing metrics reads as []" true
+      (e.Bench_report.metrics = []));
+  Alcotest.(check bool) "future schema rejected" true
+    (match Bench_report.of_json {|{"schema_version": 99, "mode": "fast",
+                                   "workers": 1, "experiments": []}|} with
+    | Error _ -> true
+    | Ok _ -> false);
+  Alcotest.(check bool) "missing core field rejected" true
+    (match Bench_report.of_json {|{"schema_version": 1, "mode": "fast",
+                                   "workers": 1, "experiments": [{}]}|} with
+    | Error _ -> true
+    | Ok _ -> false);
+  Alcotest.(check bool) "unreadable path is Error, not raise" true
+    (match Bench_report.read ~path:"/no/such/bench.json" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- Bench_diff --- *)
+
+let test_diff_identical_passes () =
+  let t = report [ experiment (); experiment ~name:"uccsd-lih" () ] in
+  let d = Bench_diff.diff ~old_report:t ~new_report:t () in
+  Alcotest.(check (list string)) "no regressions" []
+    d.Bench_diff.regressions;
+  Alcotest.(check int) "two metrics per experiment" 4
+    (List.length d.Bench_diff.rows)
+
+let test_diff_pulse_regression_gates () =
+  let old_report = report [ experiment () ] in
+  (* +25% pulse duration: past the 20% default threshold. *)
+  let regressed = report [ experiment ~pulse:125.0 () ] in
+  let d = Bench_diff.diff ~old_report ~new_report:regressed () in
+  Alcotest.(check int) "one regression" 1
+    (List.length d.Bench_diff.regressions);
+  let row =
+    List.find
+      (fun r -> r.Bench_diff.metric = "pulse_duration_ns")
+      d.Bench_diff.rows
+  in
+  Alcotest.(check bool) "pulse row gates" true row.Bench_diff.regression;
+  Alcotest.(check (float 1e-9)) "delta percent" 25.0 row.Bench_diff.delta_pct;
+  (* +10% stays under the default threshold... *)
+  let mild = report [ experiment ~pulse:110.0 () ] in
+  Alcotest.(check (list string)) "under threshold passes" []
+    (Bench_diff.diff ~old_report ~new_report:mild ()).Bench_diff.regressions;
+  (* ...but a tightened threshold catches it. *)
+  Alcotest.(check bool) "tightened threshold catches it" true
+    ((Bench_diff.diff ~threshold_pct:5.0 ~old_report ~new_report:mild ())
+       .Bench_diff.regressions
+    <> []);
+  (* Improvements never gate. *)
+  let improved = report [ experiment ~pulse:50.0 () ] in
+  Alcotest.(check (list string)) "improvement passes" []
+    (Bench_diff.diff ~old_report ~new_report:improved ())
+      .Bench_diff.regressions
+
+let test_diff_missing_and_broken () =
+  let old_report = report [ experiment (); experiment ~name:"uccsd-lih" () ] in
+  let missing = report [ experiment () ] in
+  let d = Bench_diff.diff ~old_report ~new_report:missing () in
+  Alcotest.(check (list string)) "missing experiment is a regression"
+    [ "uccsd-lih/strict-partial/numeric" ]
+    d.Bench_diff.missing;
+  Alcotest.(check bool) "missing gates" true
+    (d.Bench_diff.regressions <> []);
+  let broken = report [ experiment ~equal_pulse:false () ] in
+  let d = Bench_diff.diff ~old_report:(report [ experiment () ])
+      ~new_report:broken ()
+  in
+  Alcotest.(check bool) "broken determinism contract gates" true
+    (d.Bench_diff.regressions <> []);
+  (* An experiment only the new report has is an addition, not a gate. *)
+  let grown = report [ experiment (); experiment ~name:"uccsd-beh2" () ] in
+  let d =
+    Bench_diff.diff ~old_report:(report [ experiment () ]) ~new_report:grown ()
+  in
+  Alcotest.(check (list string)) "addition reported"
+    [ "uccsd-beh2/strict-partial/numeric" ] d.Bench_diff.added;
+  Alcotest.(check (list string)) "addition does not gate" []
+    d.Bench_diff.regressions
+
+let test_diff_time_threshold_opt_in () =
+  let old_report = report [ experiment () ] in
+  let slower = report [ experiment ~parallel_s:6.0 () ] in
+  Alcotest.(check (list string)) "wall-clock ignored by default" []
+    (Bench_diff.diff ~old_report ~new_report:slower ()).Bench_diff.regressions;
+  Alcotest.(check bool) "wall-clock gates when opted in" true
+    ((Bench_diff.diff ~time_threshold_pct:20.0 ~old_report ~new_report:slower
+        ())
+       .Bench_diff.regressions
+    <> [])
+
+let test_diff_render_mentions_verdict () =
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i =
+      i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+    in
+    n = 0 || go 0
+  in
+  let old_report = report [ experiment () ] in
+  let pass = Bench_diff.render (Bench_diff.diff ~old_report ~new_report:old_report ()) in
+  Alcotest.(check bool) "pass verdict" true (contains pass "PASS");
+  let fail =
+    Bench_diff.render
+      (Bench_diff.diff ~old_report
+         ~new_report:(report [ experiment ~pulse:125.0 () ])
+         ())
+  in
+  Alcotest.(check bool) "fail verdict" true (contains fail "FAIL")
+
+let () =
+  Alcotest.run "run-metrics"
+    [ ( "jsonx",
+        [ Alcotest.test_case "parser basics" `Quick test_jsonx_basics ] );
+      ( "run-log",
+        [ Alcotest.test_case "vqe 200-iteration jsonl" `Quick
+            test_vqe_run_jsonl;
+          Alcotest.test_case "recorder never changes results" `Quick
+            test_recorder_never_changes_results;
+          Alcotest.test_case "qaoa jsonl" `Quick test_qaoa_run_jsonl;
+          Alcotest.test_case "streaming flush" `Quick test_streaming_flush;
+          Alcotest.test_case "PQC_RUN_LOG parsing" `Quick
+            test_path_from_env ] );
+      ( "bench-report",
+        [ Alcotest.test_case "v3 round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "older schemas tolerated" `Quick
+            test_report_reads_older_schemas ] );
+      ( "bench-diff",
+        [ Alcotest.test_case "identical passes" `Quick
+            test_diff_identical_passes;
+          Alcotest.test_case "pulse regression gates" `Quick
+            test_diff_pulse_regression_gates;
+          Alcotest.test_case "missing/broken experiments gate" `Quick
+            test_diff_missing_and_broken;
+          Alcotest.test_case "time threshold is opt-in" `Quick
+            test_diff_time_threshold_opt_in;
+          Alcotest.test_case "render verdicts" `Quick
+            test_diff_render_mentions_verdict ] ) ]
