@@ -33,6 +33,7 @@ type numeric_config = {
   deadline_s : float option;
   cache_file : string option;
   mutable cache_dropped : int;
+  mutable cache_salvaged : int;
 }
 
 type fault = Nan_fidelity | No_converge | Stall
@@ -84,7 +85,7 @@ let result_of_entry (e : Pulse_cache.entry) =
     fallback
 
 let load_cache cfg path =
-  let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+  let { Pulse_cache.entries; dropped; salvaged } = Pulse_cache.load ~path in
   let unknown = ref 0 in
   List.iter
     (fun (e : Pulse_cache.entry) ->
@@ -92,7 +93,8 @@ let load_cache cfg path =
       | Some r -> Hashtbl.replace cfg.cache e.key r
       | None -> incr unknown)
     entries;
-  cfg.cache_dropped <- dropped + !unknown
+  cfg.cache_dropped <- dropped + !unknown;
+  cfg.cache_salvaged <- salvaged
 
 let numeric ?(settings = Grape.fast_settings) ?system_for ?policy ?deadline_s
     ?cache_file () =
@@ -114,7 +116,7 @@ let numeric ?(settings = Grape.fast_settings) ?system_for ?policy ?deadline_s
   in
   let cfg =
     { settings; system_for; cache = Hashtbl.create 64; policy; deadline_s;
-      cache_file; cache_dropped = 0 }
+      cache_file; cache_dropped = 0; cache_salvaged = 0 }
   in
   (match cache_file with Some path -> load_cache cfg path | None -> ());
   Numeric cfg
@@ -138,12 +140,12 @@ let rec unwrap = function
 let is_numeric t =
   match unwrap t with _, Base_numeric _ -> true | _, Base_model -> false
 
-let persist t =
+let persist_result t =
   match unwrap t with
-  | _, Base_model -> ()
+  | _, Base_model -> Ok ()
   | _, Base_numeric cfg ->
     (match cfg.cache_file with
-     | None -> ()
+     | None -> Ok ()
      | Some path ->
        let entries =
          Hashtbl.fold (fun key r acc -> entry_of_result key r :: acc)
@@ -153,7 +155,29 @@ let persist t =
           persist to the same cache path must both survive on disk. *)
        Obs.Span.with_ ~name:"engine.persist"
          ~attrs:[ ("entries", string_of_int (List.length entries)) ]
-         (fun () -> Pulse_cache.merge ~path entries))
+         (fun () ->
+           (* An unwritable or full cache path must not fail the compile
+              that produced the results: the memo table is intact, only
+              its persistence degraded. *)
+           match Pulse_cache.merge ~path entries with
+           | () -> Ok ()
+           | exception ((Sys_error _ | Unix.Unix_error _) as exn) ->
+             let detail =
+               match exn with
+               | Sys_error m -> m
+               | Unix.Unix_error (e, op, arg) ->
+                 Printf.sprintf "%s: %s (%s)" op (Unix.error_message e) arg
+               | _ -> Printexc.to_string exn
+             in
+             Obs.count "engine.persist.failed";
+             Printf.eprintf
+               "partialqc: pulse cache %s not persisted: %s\n%!" path detail;
+             Error
+               { Resilience.stage = "persist"; reason = Resilience.Io_error;
+                 detail }))
+
+let persist t =
+  match persist_result t with Ok () -> () | Error _ -> ()
 
 let cache_size t =
   match unwrap t with
@@ -164,6 +188,11 @@ let cache_dropped t =
   match unwrap t with
   | _, Base_model -> 0
   | _, Base_numeric cfg -> cfg.cache_dropped
+
+let cache_salvaged t =
+  match unwrap t with
+  | _, Base_model -> 0
+  | _, Base_numeric cfg -> cfg.cache_salvaged
 
 (* Canonical key of a bound block, for memoization.  Angles are keyed on
    their exact IEEE-754 bits: a printf truncation here once made bindings
@@ -515,6 +544,9 @@ let run_batch (type r) ?workers ?min_items t circuits
   if todo <> [] then
     Obs.count ~by:(float_of_int (List.length todo)) "engine.batch.dispatched";
   let f (idx, _k, c) = compute (item_engine t plan idx) c in
+  (* Force the chaos plan (PQC_FAULT_PLAN) to parse and install its pool
+     hook before any fork, so seeded worker faults apply to this batch. *)
+  ignore (Fault.current ());
   let pool_out, pstats =
     Pool.map ?workers ?min_items
       ~encode:(fun (k, r) -> encode k r)

@@ -83,16 +83,30 @@ val search : t -> Circuit.t -> block_result
     raises on optimizer failure: after bounded retries it returns the
     gate-based duration with [fallback] set. *)
 
+val persist_result : t -> (unit, Resilience.degradation) result
+(** Write the memo table to the engine's [cache_file] via
+    {!Pulse_cache.merge} (journaled, atomic; [Ok ()] immediately for
+    [model] or when no cache file is configured).  An unwritable path or
+    full disk never raises: the failure degrades to a one-line stderr
+    warning, an [engine.persist.failed] counter, and an
+    [Error] {!Resilience.degradation} with reason {!Resilience.Io_error}
+    — the in-memory memo table is untouched. *)
+
 val persist : t -> unit
-(** Write the memo table to the engine's [cache_file] (atomic; no-op for
-    [model] or when no cache file is configured). *)
+(** {!persist_result} with the degradation discarded (the warning and
+    counter still fire). *)
 
 val cache_size : t -> int
 (** Number of memoized block results (0 for [model]). *)
 
 val cache_dropped : t -> int
 (** Corrupt/unreadable entries dropped when the persistent cache was
-    loaded at engine creation. *)
+    loaded at engine creation (mid-file damage — bit flips). *)
+
+val cache_salvaged : t -> int
+(** Torn-tail entries salvaged away when the persistent cache was loaded
+    at engine creation (expected crash damage; see
+    {!Pulse_cache.load_result}). *)
 
 val tuned_run_cost : t -> Circuit.t -> duration:float -> cost
 (** Cost of one GRAPE run at a known duration with per-slice tuned

@@ -1,0 +1,69 @@
+(** Seeded chaos fault injection at the process and storage seams.
+
+    Where {!Engine.faulty} injects {e optimizer} failures (to exercise
+    retry/degradation), this module injects {e infrastructure} failures
+    — hung and crashing pool workers, torn pipe frames, truncated cache
+    files, a full disk — to prove that supervision
+    ({!Pqc_parallel.Pool}) and crash-consistency ({!Pulse_cache}) mask
+    them completely: under any plan, batch results are bit-identical to
+    the fault-free sequential run and the cache always reloads.
+
+    A {e plan} is a seed plus a per-site firing rate.  Whether a site
+    fires for a given key is a pure hash of (seed, site, key) — never of
+    execution order, process, or worker count — so a chaos run is
+    exactly reproducible from its spec string.
+
+    Spec syntax (the [PQC_FAULT_PLAN] environment variable, or {!parse}):
+    {v seed=42,hang=0.5,crash-pre=0.25,crash-mid=0.25,partial-pipe=0.5,truncate=1,enospc=1 v}
+    Unknown sites, rates outside [0,1], or a plan whose every rate is 0
+    are rejected; a malformed [PQC_FAULT_PLAN] warns once on stderr and
+    injects nothing.
+
+    Worker sites ([hang], [crash-pre], [crash-mid], [partial-pipe]) are
+    keyed by the item's batch index and consulted only inside forked
+    pool children (via {!Pqc_parallel.Pool.set_fault_hook}, installed by
+    {!set}/{!current}).  Storage sites ([truncate], [enospc]) are keyed
+    by a per-path operation counter and consulted by {!Pulse_cache}
+    inside the parent.  Each in-parent firing bumps a
+    [fault.<site>] counter in {!Pqc_obs.Obs}. *)
+
+type site =
+  | Worker_hang  (** Worker sleeps forever after claiming an item. *)
+  | Worker_crash_pre  (** Worker dies before computing the item. *)
+  | Worker_crash_mid  (** Worker dies halfway through its result frame. *)
+  | Partial_pipe  (** Worker frames a truncated record and carries on. *)
+  | Cache_truncate  (** Cache journal append is torn mid-record. *)
+  | Enospc  (** Cache persist fails as if the disk were full. *)
+
+val all_sites : site list
+val site_to_string : site -> string
+val site_of_string : string -> site option
+
+type plan
+
+val parse : string -> (plan, string) result
+val to_string : plan -> string
+(** Canonical spec of a plan ([seed=..] plus every nonzero rate);
+    [parse (to_string p)] reproduces [p]'s decisions. *)
+
+val decide : plan -> site -> key:int -> bool
+(** Pure decision function: does [site] fire for [key] under [plan]?
+    Free of side effects (no counters) — the form used inside forked
+    workers. *)
+
+val set : plan option -> unit
+(** Make a plan active process-wide (installing the pool fault hook) or
+    deactivate injection with [None].  Overrides [PQC_FAULT_PLAN]. *)
+
+val clear : unit -> unit
+(** [set None]. *)
+
+val current : unit -> plan option
+(** The active plan, lazily initialized from [PQC_FAULT_PLAN] on first
+    use (also installing the pool hook). *)
+
+val active : unit -> bool
+
+val fire : site -> key:int -> bool
+(** [decide] against the active plan (false when none), bumping the
+    [fault.<site>] counter on a hit.  The storage seams call this. *)

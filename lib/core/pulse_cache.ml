@@ -1,3 +1,5 @@
+module Obs = Pqc_obs.Obs
+
 type entry = {
   key : string;
   duration_ns : float;
@@ -10,6 +12,7 @@ type entry = {
 
 let version = 1
 let header = Printf.sprintf "PQC-PULSE-CACHE v%d" version
+let journal_path path = path ^ ".journal"
 
 (* FNV-1a 64-bit: tiny, dependency-free, and plenty to catch the
    truncation and bit-flip corruption this file guards against (it is an
@@ -74,9 +77,28 @@ let encode_entry e =
 
 let decode_entry = parse_line
 
-let save ~path entries =
+(* --- Durability primitives --- *)
+
+(* Directory fsync pins a rename/unlink to disk; some filesystems refuse
+   it, in which case the rename is still atomic — we just lose the
+   stronger power-failure guarantee, so errors are ignored. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* Atomic, durable snapshot: temp file, fsync, rename, directory fsync.
+   A crash at any point leaves either the old complete file or the new
+   complete file — never a torn snapshot. *)
+let write_snapshot ~path entries =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let oc = Unix.out_channel_of_descr fd in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
@@ -86,15 +108,65 @@ let save ~path entries =
         (fun e ->
           output_string oc (encode_entry e);
           output_char oc '\n')
-        entries);
-  Sys.rename tmp path
+        entries;
+      flush oc;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir path
 
-type load_result = { entries : entry list; dropped : int }
+(* Per-path operation counter, the deterministic key for the storage
+   fault sites (so a seeded plan tears the same operation every run). *)
+let op_counts : (string, int) Hashtbl.t = Hashtbl.create 8
 
-let load ~path =
-  if not (Sys.file_exists path) then { entries = []; dropped = 0 }
+let next_op path =
+  let k = Option.value (Hashtbl.find_opt op_counts path) ~default:0 in
+  Hashtbl.replace op_counts path (k + 1);
+  k
+
+(* Write-ahead append: once this returns, the records survive a crash
+   (salvageable from the journal even if the snapshot rewrite that
+   follows never happens).  The fault sites live here: ENOSPC fires
+   before any byte is written (a full disk must not half-write), and
+   the torn-write site truncates into the freshly appended tail exactly
+   as a crash between write and fsync would. *)
+let journal_append ~path entries =
+  if entries <> [] then begin
+    let jp = journal_path path in
+    let op = next_op path in
+    if Fault.fire Fault.Enospc ~key:op then
+      raise (Unix.Unix_error (Unix.ENOSPC, "write", jp));
+    let fd =
+      Unix.openfile jp [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    in
+    let oc = Unix.out_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (encode_entry e);
+            output_char oc '\n')
+          entries;
+        flush oc;
+        Unix.fsync fd);
+    if Fault.fire Fault.Cache_truncate ~key:op then begin
+      let size = (Unix.stat jp).Unix.st_size in
+      (* At least 2 bytes: cutting only the newline would leave the last
+         record complete, which is no fault at all. *)
+      let cut = 2 + (op * 7919) mod 16 in
+      Unix.truncate jp (max 0 (size - cut))
+    end
+  end
+
+(* --- Tolerant, salvaging reads --- *)
+
+type load_result = { entries : entry list; dropped : int; salvaged : int }
+
+(* [None] when the file does not exist (distinct from existing-but-empty). *)
+let read_lines path =
+  if not (Sys.file_exists path) then None
   else begin
-    let ic = open_in path in
+    let ic = open_in_bin path in
     let lines = ref [] in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -104,70 +176,127 @@ let load ~path =
             lines := input_line ic :: !lines
           done
         with End_of_file -> ());
-    match List.rev !lines with
-    | [] -> { entries = []; dropped = 0 }
-    | first :: rest ->
-      if not (String.equal first header) then
-        (* Unknown version or clobbered header: nothing in the file can be
-           trusted; count every record as dropped. *)
-        { entries = []; dropped = List.length rest + 1 }
-      else
-        let dropped = ref 0 in
-        let entries =
-          List.filter_map
-            (fun line ->
-              match parse_line line with
-              | Some e -> Some e
-              | None ->
-                (* Corrupt, truncated, or checksum-mismatched record:
-                   drop it and keep loading the rest. *)
-                incr dropped;
-                None)
-            rest
-        in
-        { entries; dropped = !dropped }
+    Some (List.rev !lines)
   end
 
-(* Read-merge-write under an exclusive advisory lock on [path ^ ".lock"]:
-   concurrent pools persisting to the same cache serialize here, so a
-   merge sees every record an earlier merge wrote (the union survives)
-   and the atomic [save] rename means a reader never observes a torn
-   file even if the lock protocol is ignored. *)
+(* Classify record lines: invalid lines with at least one valid record
+   after them are genuine corruption (dropped — a bit flip must not
+   grow into silent tail loss), while an invalid tail with nothing
+   valid after it is the signature of a torn or truncated write and is
+   salvaged away: the valid prefix is exactly what survives. *)
+let classify lines =
+  let parsed = Array.of_list (List.map parse_line lines) in
+  let last_valid = ref (-1) in
+  Array.iteri (fun i p -> if p <> None then last_valid := i) parsed;
+  let entries = ref [] and dropped = ref 0 and salvaged = ref 0 in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Some e -> entries := e :: !entries
+      | None -> if i > !last_valid then incr salvaged else incr dropped)
+    parsed;
+  (List.rev !entries, !dropped, !salvaged)
+
+(* Newest record wins on key collision: fresh entries replace their
+   on-disk predecessors in place; genuinely new keys append once each
+   (latest value) at their first position in [fresh]. *)
+let apply_over existing fresh =
+  let latest = Hashtbl.create (List.length fresh * 2 + 16) in
+  List.iter (fun e -> Hashtbl.replace latest e.key e) fresh;
+  let kept =
+    List.map
+      (fun e ->
+        match Hashtbl.find_opt latest e.key with
+        | Some v ->
+          Hashtbl.remove latest e.key;
+          v
+        | None -> e)
+      existing
+  in
+  let appended =
+    List.filter_map
+      (fun e ->
+        match Hashtbl.find_opt latest e.key with
+        | Some v ->
+          Hashtbl.remove latest e.key;
+          Some v
+        | None -> None)
+      fresh
+  in
+  kept @ appended
+
+let load ~path =
+  let entries, dropped, salvaged =
+    match read_lines path with
+    | None | Some [] -> ([], 0, 0)
+    | Some (first :: rest) ->
+      if not (String.equal first header) then
+        (* Unknown version or clobbered header: nothing in the file can
+           be trusted; count every record as dropped. *)
+        ([], List.length rest + 1, 0)
+      else classify rest
+  in
+  (* Replay the write-ahead journal (records only, no header) over the
+     snapshot: a crash between journal append and compaction loses
+     nothing, and replaying an already-compacted journal is idempotent
+     (same records, newest-wins).  The journal's torn tail — the
+     expected crash artifact — salvages like the snapshot's. *)
+  let entries, dropped, salvaged =
+    match read_lines (journal_path path) with
+    | None | Some [] -> (entries, dropped, salvaged)
+    | Some jlines ->
+      let je, jd, js = classify jlines in
+      if je <> [] then
+        Obs.count ~by:(float_of_int (List.length je)) "cache.journal.replayed";
+      (apply_over entries je, dropped + jd, salvaged + js)
+  in
+  if salvaged > 0 then Obs.count ~by:(float_of_int salvaged) "cache.salvaged";
+  if dropped > 0 then Obs.count ~by:(float_of_int dropped) "cache.dropped";
+  { entries; dropped; salvaged }
+
+(* --- Writes --- *)
+
+let remove_journal path =
+  match Sys.remove (journal_path path) with
+  | () -> fsync_dir path
+  | exception Sys_error _ -> ()
+
+let save ~path entries =
+  (* Full replace: clear the journal first so previously journaled
+     records cannot resurrect over the explicit new contents. *)
+  remove_journal path;
+  write_snapshot ~path entries
+
+(* Fold journal + snapshot into a fresh snapshot, then retire the
+   journal.  Order matters: the snapshot lands (atomically, durably)
+   before the journal is unlinked, so every record is on disk in at
+   least one of the two files at every instant. *)
+let compact ~path entries =
+  write_snapshot ~path entries;
+  remove_journal path;
+  Obs.count "cache.compaction"
+
+(* Journal-append-then-compact under an exclusive advisory lock on
+   [path ^ ".lock"]: concurrent pools persisting to the same cache
+   serialize here, so a merge sees every record an earlier merge wrote
+   (the union survives), while the journal + atomic snapshot mean a
+   crash at any instant — even mid-write — costs at most the unsynced
+   tail of the in-flight append. *)
 let merge ~path entries =
   let lock_path = path ^ ".lock" in
   let fd = Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (* Fun.protect, not manual cleanup: the lock must release and the fd
+     must close on every exit path, including a reader or codec raising
+     mid-merge — a leaked lockf here would wedge every other pool
+     persisting to this cache. *)
   Fun.protect
     ~finally:(fun () ->
       (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ()))
     (fun () ->
       Unix.lockf fd Unix.F_LOCK 0;
-      let { entries = existing; dropped = _ } = load ~path in
-      (* Newest record wins on key collision: fresh entries replace their
-         on-disk predecessors in place; genuinely new keys append in the
-         order given. *)
-      let fresh = Hashtbl.create (List.length entries * 2 + 16) in
-      List.iter (fun e -> Hashtbl.replace fresh e.key e) entries;
-      let kept =
-        List.map
-          (fun e ->
-            match Hashtbl.find_opt fresh e.key with
-            | Some latest ->
-              Hashtbl.remove fresh e.key;
-              latest
-            | None -> e)
-          existing
-      in
-      let appended =
-        (* Keys not already on disk, appended once each (latest value)
-           at their first position in [entries]. *)
-        List.filter_map
-          (fun e ->
-            match Hashtbl.find_opt fresh e.key with
-            | Some latest ->
-              Hashtbl.remove fresh e.key;
-              Some latest
-            | None -> None)
-          entries
-      in
-      save ~path (kept @ appended))
+      journal_append ~path entries;
+      (* Disk is the source of truth from here: whatever survived the
+         append (all of it, absent injected faults) is what compacts. *)
+      let { entries = merged; dropped = _; salvaged = _ } = load ~path in
+      compact ~path merged)

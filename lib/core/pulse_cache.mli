@@ -1,20 +1,37 @@
-(** Persistent, checksummed store for precompiled block-search results.
+(** Persistent, checksummed, crash-consistent store for precompiled
+    block-search results.
 
     Strict partial compilation's whole value is that Fixed-block GRAPE
     pulses are computed once; this file format makes that precompute
-    survive process restarts.  The format is line-oriented text:
+    survive process restarts {e and} process crashes.  The format is
+    line-oriented text:
 
     {v
     PQC-PULSE-CACHE v1
     <fnv1a-64-hex>\t<quoted key>\t<duration>\t<runs>\t<iters>\t<seconds>\t<fidelity|->\t<fallback|->
     v}
 
-    Every record line carries an FNV-1a checksum of its payload.  {!load}
-    never raises on bad input: records that are truncated, bit-flipped,
-    or otherwise unparseable are dropped (and counted), and a file whose
-    version header does not match is treated as fully untrusted.  {!save}
-    writes atomically (temp file + rename) so a crash mid-save cannot
-    corrupt an existing cache. *)
+    Every record line carries an FNV-1a checksum of its payload.
+
+    {b Crash consistency.} Writes follow a write-ahead discipline:
+    {!merge} first appends the fresh records to [path ^ ".journal"]
+    (fsynced — the durability point), then compacts journal + snapshot
+    into a new snapshot via temp-file + fsync + atomic rename +
+    directory fsync, and finally retires the journal.  At every instant
+    each record is complete on disk in at least one of the two files,
+    so a crash at any point costs at most the unsynced tail of the
+    in-flight append.  {!load} replays a surviving journal over the
+    snapshot (idempotently), salvages the valid prefix of a torn tail
+    in either file, and never raises on bad input: records that are
+    truncated, bit-flipped, or otherwise unparseable are dropped (and
+    counted), and a file whose version header does not match is treated
+    as fully untrusted.  Salvage and drop events surface as
+    [cache.salvaged] / [cache.dropped] {!Pqc_obs.Obs} counters
+    (journal replays as [cache.journal.replayed], compactions as
+    [cache.compaction]).
+
+    The {!Fault} chaos sites [truncate] and [enospc] hook the journal
+    append, keyed by a per-path operation counter. *)
 
 type entry = {
   key : string;  (** Canonical block key ({!Engine.block_key}). *)
@@ -31,6 +48,9 @@ type entry = {
 val version : int
 val header : string
 
+val journal_path : string -> string
+(** [path ^ ".journal"] — the write-ahead journal beside a cache file. *)
+
 val checksum : string -> string
 (** FNV-1a 64-bit of a payload string, as 16 hex digits (exposed for
     tests and external validators). *)
@@ -46,20 +66,32 @@ val decode_entry : string -> entry option
     or an unparseable payload. *)
 
 val save : path:string -> entry list -> unit
-(** Atomic write: serializes to [path ^ ".tmp"], then renames. *)
+(** Full atomic replace: clears the journal, then writes the snapshot
+    (temp file, fsync, rename, directory fsync). *)
 
 val merge : path:string -> entry list -> unit
-(** Read-merge-write under an exclusive lock on [path ^ ".lock"]: loads
-    the current file, replaces colliding keys with the fresh entries
-    (newest record wins), appends genuinely new keys, and saves
-    atomically.  Concurrent merges from separate processes serialize on
-    the lock, so no merge can clobber another's records. *)
+(** Journal-append-then-compact under an exclusive lock on
+    [path ^ ".lock"]: durably appends the fresh records to the journal,
+    reloads (snapshot + journal, newest record wins on key collision,
+    genuinely new keys append in order), writes the compacted snapshot
+    atomically, and retires the journal.  Concurrent merges from
+    separate processes serialize on the lock, so no merge can clobber
+    another's records; the lock and its fd are released on {e every}
+    exit path, exceptions included. *)
 
 type load_result = {
   entries : entry list;  (** Valid records, in file order. *)
-  dropped : int;  (** Corrupt/truncated records skipped. *)
+  dropped : int;
+      (** Corrupt records inside the file body (bit flips, clobbered
+          header) — real damage, skipped record-by-record. *)
+  salvaged : int;
+      (** Torn-tail records truncated away by a crash mid-write: the
+          valid prefix before them loaded cleanly and nothing after
+          them existed.  Expected (and fully masked) crash damage. *)
 }
 
 val load : path:string -> load_result
-(** Never raises: a missing file is an empty cache; corrupt records are
-    dropped entry-by-entry; a bad header drops everything. *)
+(** Never raises: a missing file is an empty cache; a surviving journal
+    is replayed over the snapshot; torn tails are salvaged to the valid
+    record prefix; corrupt mid-file records are dropped entry-by-entry;
+    a bad header drops everything. *)

@@ -2,7 +2,7 @@ module Grape = Pqc_grape.Grape
 
 type failure =
   | Non_finite | Diverged | Deadline_exceeded | Cache_corrupt | Lint
-  | Worker_lost
+  | Worker_lost | Io_error
 
 let failure_to_string = function
   | Non_finite -> "non-finite"
@@ -11,6 +11,7 @@ let failure_to_string = function
   | Cache_corrupt -> "cache-corrupt"
   | Lint -> "lint"
   | Worker_lost -> "worker-lost"
+  | Io_error -> "io-error"
 
 let failure_of_string = function
   | "non-finite" -> Some Non_finite
@@ -19,16 +20,19 @@ let failure_of_string = function
   | "cache-corrupt" -> Some Cache_corrupt
   | "lint" -> Some Lint
   | "worker-lost" -> Some Worker_lost
+  | "io-error" -> Some Io_error
   | _ -> None
 
 (* Deadlines and cache failures are not retryable: the former because the
    budget is already gone, the latter because re-reading the same bytes
    cannot help.  Lint findings are static properties of the circuit, so
    retrying cannot change them either.  A lost worker's items are already
-   recomputed in-process by the pool, so there is nothing left to retry. *)
+   recomputed in-process by the pool, so there is nothing left to retry.
+   IO failures (unwritable cache path, full disk) persist until the
+   operator intervenes. *)
 let retryable = function
   | Non_finite | Diverged -> true
-  | Deadline_exceeded | Cache_corrupt | Lint | Worker_lost -> false
+  | Deadline_exceeded | Cache_corrupt | Lint | Worker_lost | Io_error -> false
 
 (* --- Retry policy --- *)
 

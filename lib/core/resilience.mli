@@ -18,14 +18,17 @@ type failure =
   | Worker_lost
       (** A pool worker died (or shipped a corrupt record) and its share
           was recomputed in-process by the parent. *)
+  | Io_error
+      (** A filesystem operation failed (unwritable cache path, full
+          disk); the result stands, only persistence degraded. *)
 
 val failure_to_string : failure -> string
 val failure_of_string : string -> failure option
 
 val retryable : failure -> bool
 (** [Non_finite] and [Diverged] are worth retrying with fresh settings;
-    [Deadline_exceeded], [Cache_corrupt], [Lint] and [Worker_lost] are
-    not. *)
+    [Deadline_exceeded], [Cache_corrupt], [Lint], [Worker_lost] and
+    [Io_error] are not. *)
 
 type policy = {
   max_attempts : int;  (** Total attempts, first try included. *)

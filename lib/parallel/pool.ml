@@ -1,6 +1,25 @@
 module Obs = Pqc_obs.Obs
+module Rng = Pqc_util.Rng
 
-type stats = { workers : int; recovered : int }
+type stats = {
+  workers : int;
+  recovered : int;
+  hung : int;
+  respawned : int;
+  quarantined : int;
+  abnormal_exits : int;
+}
+
+type injected_fault = Hang | Crash_pre | Crash_mid | Partial_write
+
+(* The chaos harness (Pqc_core.Fault) installs its decision function
+   here; the hook is consulted only inside forked children, so the
+   sequential path and in-parent recovery are fault-free by construction
+   (which is what makes fault-plan runs comparable bit-for-bit to the
+   clean sequential run). *)
+let fault_hook : (int -> injected_fault option) ref = ref (fun _ -> None)
+let set_fault_hook h = fault_hook := h
+let clear_fault_hook () = fault_hook := fun _ -> None
 
 (* Warn once per distinct bad value, not once per call: grid searches
    call workers_from_env per batch and a thousand identical lines on
@@ -34,43 +53,111 @@ let min_items_from_env ?(default = 4) () =
      | Some n when n >= 1 -> n
      | Some _ | None -> default)
 
+let item_deadline_from_env () =
+  match Sys.getenv_opt "PQC_ITEM_DEADLINE_S" with
+  | None -> None
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+     | Some d when Float.is_finite d && d > 0.0 -> Some d
+     | Some _ | None -> None)
+
+let item_retries_from_env ?(default = 2) () =
+  match Sys.getenv_opt "PQC_POOL_ITEM_RETRIES" with
+  | None -> default
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> default)
+
+let backoff_base_from_env ?(default = 0.02) () =
+  match Sys.getenv_opt "PQC_POOL_BACKOFF_S" with
+  | None -> default
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+     | Some b when Float.is_finite b && b > 0.0 -> b
+     | Some _ | None -> default)
+
 let item_span f x = Obs.Span.with_ ~name:"pool.item" (fun () -> f x)
 
-let sequential f items =
-  ( List.map (fun x -> (item_span f x, false)) items,
-    { workers = 1; recovered = 0 } )
+let zero_stats w =
+  { workers = w; recovered = 0; hung = 0; respawned = 0; quarantined = 0;
+    abnormal_exits = 0 }
 
-(* Worker [j] of [w] owns items j, j+w, j+2w, ... — round-robin sharding
-   balances shards even when item cost correlates with position (deep
-   blocks cluster at the end of UCCSD ansatz partitions). *)
-let child_loop ~encode ~f ~items ~wr j w =
+let sequential f items =
+  (List.map (fun x -> (item_span f x, false)) items, zero_stats 1)
+
+(* --- Child protocol ---
+
+   One frame per line over the worker pipe:
+     <idx>\t<payload>   a result for item idx (payload is codec output)
+     H\t<idx>           heartbeat: the worker is starting item idx
+     T\t<payload>       trace events recorded since the fork
+     M\t<payload>       histogram registry snapshot
+   Results and heartbeats are flushed eagerly so the parent's liveness
+   view is current: a worker that goes silent past the item deadline
+   while items are outstanding is presumed hung. *)
+
+let child_loop ~encode ~f ~items ~wr ~indices wid =
   let oc = Unix.out_channel_of_descr wr in
-  let n = Array.length items in
-  let i = ref j in
   (* Events recorded before the fork belong to the parent; only ship
      what this child adds past this point.  The histogram registry is
      copy-on-write too: reset this child's copy so encode_all below
      ships exactly the observations made inside this worker (the parent
      still owns everything recorded before the fork). *)
   let m = Obs.mark () in
-  Obs.set_worker (j + 1);
+  Obs.set_worker wid;
   Obs.Metrics.reset ();
   (try
      Obs.Span.with_ ~name:"pool.worker"
-       ~attrs:[ ("worker", string_of_int (j + 1)) ]
+       ~attrs:[ ("worker", string_of_int wid) ]
        (fun () ->
-         while !i < n do
-           (match encode (item_span f items.(!i)) with
-            | s ->
-              (* A payload with a newline would desynchronize the line
-                 framing; drop it and let the parent recompute. *)
-              if not (String.contains s '\n') then
-                Printf.fprintf oc "%d\t%s\n" !i s
-            | exception _ -> ());
-           i := !i + w
-         done);
+         List.iter
+           (fun i ->
+             (* Claim the item before computing it, so a subsequent hang
+                or crash is attributable to exactly this item. *)
+             Printf.fprintf oc "H\t%d\n" i;
+             flush oc;
+             match !fault_hook i with
+             | Some Hang ->
+               (* A hung worker is silent, not dead: it holds its pipe
+                  open and never frames again.  Only the parent's
+                  deadline can end it. *)
+               while true do
+                 Unix.sleepf 3600.0
+               done
+             | Some Crash_pre -> Unix._exit 70
+             | (Some (Crash_mid | Partial_write) | None) as fault ->
+               (match encode (item_span f items.(i)) with
+                | s ->
+                  (* A payload with a newline would desynchronize the
+                     line framing; drop it and let the parent recompute. *)
+                  if not (String.contains s '\n') then begin
+                    let line = Printf.sprintf "%d\t%s" i s in
+                    match fault with
+                    | Some Crash_mid ->
+                      (* Torn frame: half a line, no newline, then die —
+                         the parent must discard the fragment. *)
+                      output_string oc
+                        (String.sub line 0 ((String.length line + 1) / 2));
+                      flush oc;
+                      Unix._exit 71
+                    | Some Partial_write ->
+                      (* Short write that still terminates the line: a
+                         framed-but-corrupt record the codec must
+                         reject. *)
+                      output_string oc
+                        (String.sub line 0 ((String.length line + 1) / 2));
+                      output_char oc '\n';
+                      flush oc
+                    | _ ->
+                      output_string oc line;
+                      output_char oc '\n';
+                      flush oc
+                  end
+                | exception _ -> ()))
+           indices);
      (* Trace frames ride the same pipe under a "T" pseudo-index that
-        parse_line already ignores, so untraced parents stay compatible;
+        result parsing ignores, so untraced parents stay compatible;
         histogram registries travel likewise under "M". *)
      (match Obs.encode_since m with
       | "" -> ()
@@ -96,18 +183,65 @@ let parse_line ~decode ~n line =
        Option.map (fun v -> (i, v)) (decode payload)
      | Some _ | None -> None)
 
-let is_trace_line line =
-  String.length line >= 2 && line.[0] = 'T' && line.[1] = '\t'
+let framed c line =
+  String.length line >= 2 && line.[0] = c && line.[1] = '\t'
 
-let is_metrics_line line =
-  String.length line >= 2 && line.[0] = 'M' && line.[1] = '\t'
+let frame_payload line = String.sub line 2 (String.length line - 2)
 
-let map ?workers ?min_items ~encode ~decode f items =
+let is_trace_line = framed 'T'
+let is_metrics_line = framed 'M'
+let is_heartbeat_line = framed 'H'
+
+(* --- Parent-side supervision --- *)
+
+type 'b worker = {
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  wid : int;
+  mutable pending : int list;  (** Assigned items not yet delivered. *)
+  mutable current : int;  (** Item claimed by the last heartbeat, -1 if none. *)
+  mutable last_seen : float;
+}
+
+(* Reap one child, preferring WNOHANG polls so a child that is slow to
+   transition never wedges shutdown behind a blocking wait; after the
+   poll budget a blocking wait is safe (the child is dead or dying: we
+   only reap after EOF or SIGKILL).  [None] when the child was already
+   reaped elsewhere. *)
+let reap_status pid =
+  let rec poll n =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if n <= 0 then snd (Unix.waitpid [] pid)
+      else begin
+        Unix.sleepf 0.002;
+        poll (n - 1)
+      end
+    | _, status -> status
+  in
+  match poll 100 with
+  | status -> Some status
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+
+let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
+    items =
   let requested =
     match workers with Some w -> max 1 w | None -> workers_from_env ()
   in
   let min_items =
     match min_items with Some m -> max 1 m | None -> min_items_from_env ()
+  in
+  let deadline =
+    match item_deadline_s with
+    | Some d when Float.is_finite d && d > 0.0 -> Some d
+    | Some _ -> None
+    | None -> item_deadline_from_env ()
+  in
+  let retries =
+    match item_retries with
+    | Some k -> max 1 k
+    | None -> item_retries_from_env ()
   in
   let n = List.length items in
   if requested <= 1 || n <= 1 || n < min_items then sequential f items
@@ -120,7 +254,21 @@ let map ?workers ?min_items ~encode ~decode f items =
         let items = Array.of_list items in
         let w = min requested n in
         let results = Array.make n None in
-        let spawn j =
+        let strikes = Array.make n 0 in
+        let quarantined = Array.make n false in
+        let hung = ref 0
+        and respawned = ref 0
+        and nquar = ref 0
+        and abnormal = ref 0 in
+        (* Deterministic backoff jitter: seeded per map call, so a chaos
+           run's sleep pattern is reproducible. *)
+        let rng = Rng.create 0x5eed1 in
+        let backoff_base = backoff_base_from_env () in
+        (* A runaway poison batch must converge: after the cap, anything
+           still undelivered falls through to in-parent recovery. *)
+        let respawn_cap = max 16 (4 * w) in
+        let next_wid = ref w in
+        let spawn indices wid =
           let r, wr = Unix.pipe () in
           match Unix.fork () with
           | 0 ->
@@ -128,41 +276,198 @@ let map ?workers ?min_items ~encode ~decode f items =
                running at_exit handlers or flushing buffers inherited from
                the parent (which would duplicate its pending output). *)
             Unix.close r;
-            child_loop ~encode ~f ~items ~wr j w;
+            child_loop ~encode ~f ~items ~wr ~indices wid;
             Unix._exit 0
           | pid ->
             Unix.close wr;
-            (pid, r)
+            { pid; fd = r; buf = Buffer.create 256; wid; pending = indices;
+              current = -1; last_seen = Unix.gettimeofday () }
         in
-        let children = Array.init w spawn in
-        (* Drain pipes one worker at a time: the parent only reads, so a
-           worker blocked on a full pipe simply waits for its turn — no
-           deadlock, and no need for select-based multiplexing. *)
-        Array.iter
-          (fun (pid, r) ->
-            let ic = Unix.in_channel_of_descr r in
-            (try
-               while true do
-                 let line = input_line ic in
-                 if is_trace_line line then
-                   Obs.absorb
-                     (String.sub line 2 (String.length line - 2))
-                 else if is_metrics_line line then
-                   Obs.Metrics.absorb
-                     (String.sub line 2 (String.length line - 2))
-                 else
-                   match parse_line ~decode ~n line with
-                   | Some (i, v) -> results.(i) <- Some v
-                   | None -> ()
-               done
-             with End_of_file | Sys_error _ -> ());
-            close_in_noerr ic;
-            (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()))
-          children;
+        (* Worker [j] of [w] owns items j, j+w, j+2w, ... — round-robin
+           sharding balances shards even when item cost correlates with
+           position (deep blocks cluster at the end of UCCSD ansatz
+           partitions). *)
+        let shard j =
+          let rec go i acc = if i >= n then List.rev acc else go (i + w) (i :: acc) in
+          go j []
+        in
+        let live = ref (List.init w (fun j -> spawn (shard j) (j + 1))) in
+        let remove wk = live := List.filter (fun x -> x.pid <> wk.pid) !live in
+        let process_line wk line =
+          if is_trace_line line then Obs.absorb (frame_payload line)
+          else if is_metrics_line line then
+            Obs.Metrics.absorb (frame_payload line)
+          else if is_heartbeat_line line then begin
+            match int_of_string_opt (frame_payload line) with
+            | Some i when i >= 0 && i < n -> wk.current <- i
+            | Some _ | None -> ()
+          end
+          else
+            match parse_line ~decode ~n line with
+            | Some (i, v) ->
+              results.(i) <- Some v;
+              wk.pending <- List.filter (fun j -> j <> i) wk.pending;
+              if wk.current = i then wk.current <- -1
+            | None -> ()
+        in
+        let split_lines wk =
+          let s = Buffer.contents wk.buf in
+          Buffer.clear wk.buf;
+          let len = String.length s in
+          let rec go start =
+            if start >= len then ()
+            else
+              match String.index_from_opt s start '\n' with
+              | Some e ->
+                process_line wk (String.sub s start (e - start));
+                go (e + 1)
+              | None -> Buffer.add_substring wk.buf s start (len - start)
+          in
+          go 0
+        in
+        let chunk = Bytes.create 65536 in
+        (* [true] on EOF. *)
+        let read_once wk =
+          match Unix.read wk.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> true
+          | k ->
+            Buffer.add_subbytes wk.buf chunk 0 k;
+            wk.last_seen <- Unix.gettimeofday ();
+            split_lines wk;
+            false
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        in
+        let drain_to_eof wk =
+          (try
+             while not (read_once wk) do
+               ()
+             done
+           with Unix.Unix_error _ -> ());
+          (try Unix.close wk.fd with Unix.Unix_error _ -> ())
+        in
+        (* Decide what a dead worker leaves behind.  A strike (abnormal
+           death or hang) is charged to the item the worker had claimed;
+           an item that collects [retries] strikes is poison — it has
+           killed that many workers — and is quarantined to in-parent
+           execution instead of being allowed to kill another.  The
+           struck item is re-dispatched last so the shard's healthy
+           items complete first on the respawn. *)
+        let requeue wk ~strike =
+          if strike && wk.current >= 0 && results.(wk.current) = None then begin
+            let i = wk.current in
+            strikes.(i) <- strikes.(i) + 1;
+            if strikes.(i) >= retries && not quarantined.(i) then begin
+              quarantined.(i) <- true;
+              incr nquar;
+              Obs.count "pool.quarantine"
+            end
+          end;
+          let undelivered =
+            List.filter
+              (fun i -> results.(i) = None && not quarantined.(i))
+              wk.pending
+          in
+          if strike && wk.current >= 0 && List.mem wk.current undelivered then
+            List.filter (fun i -> i <> wk.current) undelivered
+            @ [ wk.current ]
+          else undelivered
+        in
+        let maybe_respawn wk ~strike =
+          match requeue wk ~strike with
+          | [] -> ()
+          | redispatch ->
+            if strike && !respawned < respawn_cap then begin
+              Obs.count "pool.respawn";
+              let b =
+                Float.min 0.5
+                  (backoff_base
+                  *. (2.0 ** float_of_int !respawned)
+                  *. (0.5 +. Rng.float rng 1.0))
+              in
+              incr respawned;
+              Obs.Metrics.observe "pool.respawn.backoff_s" b;
+              Unix.sleepf b;
+              incr next_wid;
+              live := spawn redispatch !next_wid :: !live
+            end
+            (* No strike (a worker that exited 0 without delivering, e.g.
+               an encode failure), or the respawn budget is spent: the
+               items recover in-parent at fan-in, exactly as before. *)
+        in
+        let finalize wk ~killed =
+          remove wk;
+          let crashed =
+            match reap_status wk.pid with
+            | Some (Unix.WEXITED 0) | None -> false
+            | Some (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+              (* Deaths we caused (deadline SIGKILL) are accounted under
+                 pool.worker.hung, not as abnormal exits. *)
+              if not killed then begin
+                incr abnormal;
+                Obs.count "pool.worker.abnormal_exit"
+              end;
+              true
+          in
+          (* A worker that exited 0 with undelivered items (e.g. an encode
+             failure) is not struck: re-dispatching would fail the same
+             way, so those items recover in-parent instead. *)
+          maybe_respawn wk ~strike:(killed || crashed)
+        in
+        while !live <> [] do
+          let now = Unix.gettimeofday () in
+          let timeout =
+            match deadline with
+            | None -> -1.0
+            | Some d ->
+              let remaining =
+                List.fold_left
+                  (fun acc wk ->
+                    if wk.pending = [] then acc
+                    else Float.min acc (d -. (now -. wk.last_seen)))
+                  d !live
+              in
+              Float.min 0.25 (Float.max 0.005 remaining)
+          in
+          let readable, _, _ =
+            match Unix.select (List.map (fun wk -> wk.fd) !live) [] [] timeout with
+            | r -> r
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          let eofs = ref [] in
+          List.iter
+            (fun wk ->
+              if List.mem wk.fd readable then
+                if read_once wk then eofs := wk :: !eofs)
+            !live;
+          List.iter
+            (fun wk ->
+              (try Unix.close wk.fd with Unix.Unix_error _ -> ());
+              finalize wk ~killed:false)
+            !eofs;
+          (match deadline with
+           | None -> ()
+           | Some d ->
+             let now = Unix.gettimeofday () in
+             List.iter
+               (fun wk ->
+                 if wk.pending <> [] && now -. wk.last_seen > d then begin
+                   (* Hung: no frame for a full item deadline while items
+                      are outstanding.  SIGKILL — a stuck optimizer does
+                      not respond to gentler signals — then salvage
+                      whatever it piped before stalling. *)
+                   incr hung;
+                   Obs.count "pool.worker.hung";
+                   (try Unix.kill wk.pid Sys.sigkill
+                    with Unix.Unix_error _ -> ());
+                   drain_to_eof wk;
+                   finalize wk ~killed:true
+                 end)
+               !live)
+        done;
         (* Fan-in recovery: anything a worker failed to deliver — death,
-           corrupt record, encode failure — is recomputed here.  Exceptions
-           from [f] now surface in the parent, exactly as they would have
-           sequentially. *)
+           corrupt record, encode failure, quarantine — is recomputed
+           here.  Exceptions from [f] now surface in the parent, exactly
+           as they would have sequentially. *)
         let recovered = ref 0 in
         let out =
           List.init n (fun i ->
@@ -174,4 +479,7 @@ let map ?workers ?min_items ~encode ~decode f items =
                 ( Obs.Span.with_ ~name:"pool.recover" (fun () -> f items.(i)),
                   true ))
         in
-        (out, { workers = w; recovered = !recovered }))
+        ( out,
+          { workers = w; recovered = !recovered; hung = !hung;
+            respawned = !respawned; quarantined = !nquar;
+            abnormal_exits = !abnormal } ))

@@ -1,4 +1,4 @@
-(** Fork-based worker pool for batch compilation.
+(** Supervised fork-based worker pool for batch compilation.
 
     GRAPE block searches are CPU-bound, independent, and embarrassingly
     parallel; this module fans a batch of them out over [Unix.fork]
@@ -6,12 +6,34 @@
     observe the same result list regardless of how the batch was sharded
     or in which order workers finished.
 
-    The design is deliberately crash-only: workers ship each result as
-    one framed line over a pipe as soon as it is computed, and a worker
-    that dies mid-shard (segfault, OOM kill, deadline SIGKILL) simply
-    truncates its stream.  The parent recomputes every missing item
-    in-process after the fan-in, so a lost worker can slow a batch down
-    but can never lose it or corrupt it.
+    The design is crash-only {e and} hang-aware.  Workers ship each
+    result as one framed line over a pipe as soon as it is computed, and
+    heartbeat before starting each item, so the parent always knows
+    which item a worker is on.  The parent multiplexes every worker pipe
+    through [select]:
+
+    - A worker that {e dies} mid-shard (segfault, OOM kill, nonzero
+      exit) truncates its stream; the parent reaps it (WNOHANG loop,
+      abnormal exits counted), charges a {e strike} to the item it had
+      claimed, and re-dispatches its undelivered items to a respawned
+      worker after a seeded exponential backoff.
+    - A worker that {e hangs} — no frame for a full item deadline while
+      items are outstanding — is SIGKILLed and handled the same way.
+      Hang detection requires a deadline ([PQC_ITEM_DEADLINE_S] or
+      [?item_deadline_s]); without one the parent waits indefinitely,
+      as a deadline short enough to kill a healthy GRAPE run would be
+      worse than no supervision.
+    - An item that collects [item_retries] strikes is {e poison}: it is
+      quarantined instead of being allowed to kill another worker, and
+      is executed in-parent at fan-in (where the engine's own
+      retry/degradation chain applies).  Respawns are capped
+      ([max 16 (4*workers)] per map) so a pathological batch always
+      converges to the in-parent path.
+
+    After the fan-in the parent recomputes every item still missing —
+    lost, corrupt, quarantined, or over the respawn budget — so faults
+    can slow a batch down but can never lose it, corrupt it, or change
+    its results relative to the sequential run.
 
     Payload integrity is the codec's concern: [decode] should reject
     truncated or bit-flipped payloads (the engine's codec reuses the
@@ -24,19 +46,41 @@
     back over the same pipe on a dedicated ["T"]-indexed frame and are
     reassembled in the parent with their original parent-span ids, so a
     trace shows which worker ran which block.  Histogram registries
-    ({!Pqc_obs.Obs.Metrics}) travel the same way on an ["M"] frame:
-    each child resets its copy-on-write registry at fork and ships its
-    own observations back, which the parent merges additively — so
-    metrics recorded across any worker count are equivalent to the
-    sequential run.  Trace and metrics frames never touch result
-    payloads and tracing never changes results. *)
+    ({!Pqc_obs.Obs.Metrics}) travel the same way on an ["M"] frame.
+    Supervision events surface as [pool.worker.hung], [pool.respawn],
+    [pool.quarantine] and [pool.worker.abnormal_exit] counters plus a
+    [pool.respawn.backoff_s] histogram.  Trace and metrics frames never
+    touch result payloads and tracing never changes results. *)
 
 type stats = {
   workers : int;  (** Workers actually forked (1 = ran sequentially). *)
   recovered : int;
-      (** Items whose worker result was missing or corrupt and which were
-          recomputed in-process by the parent. *)
+      (** Items whose worker result was missing, corrupt, or quarantined
+          and which were recomputed in-process by the parent. *)
+  hung : int;  (** Workers SIGKILLed for exceeding the item deadline. *)
+  respawned : int;  (** Replacement workers forked after a strike. *)
+  quarantined : int;
+      (** Poison items withheld from re-dispatch after [item_retries]
+          worker deaths, executed in-parent instead. *)
+  abnormal_exits : int;
+      (** Workers that exited nonzero or on a signal the parent did not
+          send (deadline SIGKILLs are counted under [hung] instead). *)
 }
+
+type injected_fault = Hang | Crash_pre | Crash_mid | Partial_write
+(** Faults the chaos harness can inject at the child seams: sleep
+    forever after claiming an item; die before computing it; die halfway
+    through writing its result frame; or write a framed-but-truncated
+    record and carry on. *)
+
+val set_fault_hook : (int -> injected_fault option) -> unit
+(** Install the chaos decision function.  It is consulted {e only in
+    forked children}, once per item (keyed by the item's batch index),
+    so sequential runs and in-parent recovery are never faulted — which
+    is what makes fault-plan runs bit-comparable to clean sequential
+    runs.  Used by {!Pqc_core.Fault}; tests may install their own. *)
+
+val clear_fault_hook : unit -> unit
 
 val workers_from_env : ?default:int -> unit -> int
 (** Worker count from the [PQC_WORKERS] environment variable ([default]
@@ -54,9 +98,25 @@ val min_items_from_env : ?default:int -> unit -> int
     sequentially in-process: for tiny batches the fork/pipe overhead
     exceeds the compute being sharded. *)
 
+val item_deadline_from_env : unit -> float option
+(** Per-item wall-clock deadline in seconds from [PQC_ITEM_DEADLINE_S]
+    (finite, > 0; anything else reads as [None] — no hang detection). *)
+
+val item_retries_from_env : ?default:int -> unit -> int
+(** Strikes before quarantine from [PQC_POOL_ITEM_RETRIES] ([default]
+    — itself defaulting to 2 — when unset or invalid; integers >= 1). *)
+
+val backoff_base_from_env : ?default:float -> unit -> float
+(** Respawn backoff base in seconds from [PQC_POOL_BACKOFF_S] ([default]
+    — itself defaulting to 0.02 — when unset or invalid; finite > 0).
+    Respawn [k] sleeps [base * 2^k * jitter], capped at 0.5 s, with
+    jitter drawn from a seeded {!Pqc_util.Rng} (deterministic per map). *)
+
 val map :
   ?workers:int ->
   ?min_items:int ->
+  ?item_deadline_s:float ->
+  ?item_retries:int ->
   encode:('b -> string) ->
   decode:(string -> 'b option) ->
   ('a -> 'b) ->
@@ -66,10 +126,13 @@ val map :
     [workers] forked processes (round-robin sharding) and returns the
     results in input order, each flagged [true] when it had to be
     recovered by recomputing in the parent.  [workers] defaults to
-    {!workers_from_env}; [min_items] defaults to {!min_items_from_env}.
-    With [workers <= 1], fewer than two items, or fewer than [min_items]
-    items the whole batch runs sequentially in-process ([f x, false] per
-    item, no fork — exactly the pre-pool behaviour).
+    {!workers_from_env}; [min_items] defaults to {!min_items_from_env};
+    [item_deadline_s] defaults to {!item_deadline_from_env} (values
+    <= 0 disable the deadline); [item_retries] defaults to
+    {!item_retries_from_env}.  With [workers <= 1], fewer than two
+    items, or fewer than [min_items] items the whole batch runs
+    sequentially in-process ([f x, false] per item, no fork — exactly
+    the pre-pool behaviour).
 
     [encode] must produce a single line (no newline); a payload that
     fails to encode, decode, or checksum is recomputed in the parent

@@ -11,6 +11,7 @@ module Engine = Pqc_core.Engine
 module Strategy = Pqc_core.Strategy
 module Compiler = Pqc_core.Compiler
 module Resilience = Pqc_core.Resilience
+module Fault = Pqc_core.Fault
 module Cache_audit = Pqc_analysis.Cache_audit
 module Diagnostic = Pqc_analysis.Diagnostic
 module Molecule = Pqc_vqe.Molecule
@@ -289,6 +290,37 @@ let test_search_many_faulty_invariant () =
   Alcotest.(check bool) "some block degraded" true
     (List.exists (fun r -> r.Engine.fallback <> None) seq)
 
+let test_search_many_fault_plan_invariant () =
+  (* The supervision contract under chaos: infrastructure faults (worker
+     crashes, torn pipe frames) may cost retries and recoveries but must
+     never change a value.  With a nonempty seeded plan installed,
+     workers:1 (no forks, so no worker faults) and workers:4 (faulted)
+     agree bit-for-bit.  Eight distinct blocks, not the single-block H2
+     batch, so the plan demonstrably fires (the recovered guard below). *)
+  let blocks =
+    List.init 8 (fun i ->
+        Circuit.of_gates 1
+          [ (Gate.Rx (Param.const (0.15 +. (0.4 *. float_of_int i))), [ 0 ]) ])
+  in
+  let plan =
+    match Fault.parse "seed=3,crash-mid=0.45" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan rejected: %s" e
+  in
+  Fault.set (Some plan);
+  Fun.protect ~finally:Fault.clear (fun () ->
+      let run workers =
+        Engine.search_many ~workers (Engine.numeric ~settings:quick ())
+          blocks
+      in
+      let seq, _, _ = run 1 in
+      let par, par_stats, _ = run 4 in
+      Alcotest.(check bool) "plan fired (items were recovered)" true
+        (par_stats.Engine.recovered > 0);
+      List.iteri
+        (fun i (a, b) -> check_same_result (Printf.sprintf "block %d" i) a b)
+        (List.combine seq par))
+
 let test_faulty_results_never_cached () =
   let blocks = h2_blocks () in
   let engine =
@@ -534,7 +566,7 @@ let with_temp_cache f =
     ~finally:(fun () ->
       List.iter
         (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".lock"; path ^ ".tmp" ])
+        [ path; path ^ ".lock"; path ^ ".tmp"; path ^ ".journal" ])
     (fun () -> f path)
 
 let test_merge_newest_wins () =
@@ -542,7 +574,9 @@ let test_merge_newest_wins () =
       Pulse_cache.save ~path [ mk_entry "a"; mk_entry "b"; mk_entry "c" ];
       Pulse_cache.merge ~path
         [ mk_entry ~duration:7.0 "b"; mk_entry "d"; mk_entry ~duration:9.0 "d" ];
-      let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+      let { Pulse_cache.entries; dropped; salvaged = _ } =
+        Pulse_cache.load ~path
+      in
       Alcotest.(check int) "no drops" 0 dropped;
       Alcotest.(check (list string)) "keys once each, order stable"
         [ "a"; "b"; "c"; "d" ]
@@ -576,7 +610,9 @@ let test_merge_concurrent_pools () =
       let pb = child "b" in
       ignore (Unix.waitpid [] pa);
       ignore (Unix.waitpid [] pb);
-      let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+      let { Pulse_cache.entries; dropped; salvaged = _ } =
+        Pulse_cache.load ~path
+      in
       Alcotest.(check int) "no corrupt records" 0 dropped;
       Alcotest.(check int) "every record from both pools survives"
         ((rounds + 1) * 2)
@@ -634,6 +670,8 @@ let () =
             test_cache_hot_batch_never_forks;
           Alcotest.test_case "faulty invariant" `Quick
             test_search_many_faulty_invariant;
+          Alcotest.test_case "fault-plan invariant" `Quick
+            test_search_many_fault_plan_invariant;
           Alcotest.test_case "injected never cached" `Quick
             test_faulty_results_never_cached;
           Alcotest.test_case "flex invariant" `Quick

@@ -193,9 +193,10 @@ let sample_entries =
 let test_cache_round_trip () =
   let path = temp_path () in
   Pulse_cache.save ~path sample_entries;
-  let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+  let { Pulse_cache.entries; dropped; salvaged } = Pulse_cache.load ~path in
   Sys.remove path;
   Alcotest.(check int) "nothing dropped" 0 dropped;
+  Alcotest.(check int) "nothing salvaged" 0 salvaged;
   Alcotest.(check int) "all entries back" (List.length sample_entries)
     (List.length entries);
   List.iter2
@@ -212,7 +213,8 @@ let test_cache_round_trip () =
 let test_cache_missing_file () =
   let r = Pulse_cache.load ~path:"/nonexistent/pqc/cache/file" in
   Alcotest.(check int) "no entries" 0 (List.length r.Pulse_cache.entries);
-  Alcotest.(check int) "no drops" 0 r.Pulse_cache.dropped
+  Alcotest.(check int) "no drops" 0 r.Pulse_cache.dropped;
+  Alcotest.(check int) "no salvage" 0 r.Pulse_cache.salvaged
 
 let read_lines path =
   let ic = open_in path in
@@ -248,12 +250,13 @@ let test_cache_bit_flip_dropped () =
       lines
   in
   write_raw path (String.concat "\n" flipped ^ "\n");
-  let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+  let { Pulse_cache.entries; dropped; salvaged } = Pulse_cache.load ~path in
   Sys.remove path;
   Alcotest.(check int) "one record dropped" 1 dropped;
+  Alcotest.(check int) "bit flip is damage, not a torn tail" 0 salvaged;
   Alcotest.(check int) "others survive" 2 (List.length entries)
 
-let test_cache_truncation_dropped () =
+let test_cache_truncation_salvaged () =
   let path = temp_path () in
   Pulse_cache.save ~path sample_entries;
   let lines = read_lines path in
@@ -261,9 +264,11 @@ let test_cache_truncation_dropped () =
   let partial = List.nth lines 2 in
   let truncated = String.sub partial 0 (String.length partial / 2) in
   write_raw path (String.concat "\n" keep ^ "\n" ^ truncated);
-  let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+  let { Pulse_cache.entries; dropped; salvaged } = Pulse_cache.load ~path in
   Sys.remove path;
-  Alcotest.(check int) "truncated record dropped" 1 dropped;
+  (* A torn tail is the expected crash artifact: salvaged, not dropped. *)
+  Alcotest.(check int) "torn tail salvaged" 1 salvaged;
+  Alcotest.(check int) "nothing dropped" 0 dropped;
   Alcotest.(check int) "intact prefix survives" 1 (List.length entries)
 
 let test_cache_bad_header_drops_everything () =
@@ -272,7 +277,7 @@ let test_cache_bad_header_drops_everything () =
   let lines = read_lines path in
   let tampered = "PQC-PULSE-CACHE v999" :: List.tl lines in
   write_raw path (String.concat "\n" tampered ^ "\n");
-  let { Pulse_cache.entries; dropped } = Pulse_cache.load ~path in
+  let { Pulse_cache.entries; dropped; salvaged = _ } = Pulse_cache.load ~path in
   Sys.remove path;
   Alcotest.(check int) "nothing trusted" 0 (List.length entries);
   Alcotest.(check bool) "drops counted" true (dropped > 0)
@@ -424,12 +429,23 @@ let test_engine_cache_round_trips_through_disk () =
 
 let test_engine_corrupt_cache_file_survives () =
   let path = temp_path () in
-  write_raw path "PQC-PULSE-CACHE v1\ndeadbeef\tgarbage that is not a record\n";
+  let good =
+    Pulse_cache.encode_entry
+      { Pulse_cache.key = "1;h,0"; duration_ns = 1.5; grape_runs = 1;
+        grape_iterations = 3; seconds = 0.0; fidelity = None;
+        fallback = None }
+  in
+  (* Garbage with a valid record after it is mid-file damage (dropped);
+     the same garbage as the final line would salvage as a torn tail. *)
+  write_raw path
+    ("PQC-PULSE-CACHE v1\ndeadbeef\tgarbage that is not a record\n" ^ good
+   ^ "\n");
   let engine = Engine.numeric ~settings:quick ~cache_file:path () in
   Sys.remove path;
   Alcotest.(check int) "corrupt entry dropped, not fatal" 1
     (Engine.cache_dropped engine);
-  Alcotest.(check int) "cache empty" 0 (Engine.cache_size engine)
+  Alcotest.(check int) "nothing salvaged" 0 (Engine.cache_salvaged engine);
+  Alcotest.(check int) "valid record still loads" 1 (Engine.cache_size engine)
 
 let test_engine_cache_miss_then_hit_accounting () =
   let engine = Engine.numeric ~settings:quick () in
@@ -571,7 +587,7 @@ let () =
         [ Alcotest.test_case "round trip" `Quick test_cache_round_trip;
           Alcotest.test_case "missing file" `Quick test_cache_missing_file;
           Alcotest.test_case "bit flip dropped" `Quick test_cache_bit_flip_dropped;
-          Alcotest.test_case "truncation dropped" `Quick test_cache_truncation_dropped;
+          Alcotest.test_case "truncation salvaged" `Quick test_cache_truncation_salvaged;
           Alcotest.test_case "bad header untrusted" `Quick test_cache_bad_header_drops_everything;
           Alcotest.test_case "checksum sensitivity" `Quick test_cache_checksum_sensitivity ] );
       ( "block-key",
