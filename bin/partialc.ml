@@ -384,13 +384,35 @@ let run_slices benchmark =
     show "flexible (single-parameter)" (Slice.flexible prepared);
     0
 
-(* --- lint --- *)
+(* --- lint / analyze --- *)
 
 let print_report ~json report =
   if json then print_endline (Pqc_analysis.Runner.to_json report)
   else print_endline (Pqc_analysis.Runner.to_string report)
 
-let run_lint file benchmark cache max_width json list_rules =
+(* CLI --disable/--promote flags first, then PQC_LINT_RULES entries: the
+   first binding for a rule id wins, so the command line takes precedence
+   over the environment. *)
+let build_overrides ~disable ~promote =
+  let cli =
+    List.map (fun id -> id ^ "=off") disable @ promote
+  in
+  let env = Option.value ~default:"" (Sys.getenv_opt "PQC_LINT_RULES") in
+  Pqc_analysis.Runner.parse_overrides (String.concat "," (cli @ [ env ]))
+
+let parse_error_report (line, col, message) =
+  let module A = Pqc_analysis in
+  (* Syntax errors are reported through the same diagnostic channel as
+     analysis findings, so --json consumers see one format. *)
+  let d =
+    A.Diagnostic.error ~rule:"PQC000" ~span:(A.Diagnostic.point line)
+      ~hint:"fix the syntax error before analysis can run"
+      (Printf.sprintf "parse error at %d:%d: %s" line col message)
+  in
+  { A.Runner.diagnostics = [ d ]; errors = 1; warnings = 0; infos = 0;
+    suppressed = 0; rules_run = []; skipped_structural = false }
+
+let run_lint file benchmark cache max_width json list_rules disable promote =
   let module A = Pqc_analysis in
   if list_rules then begin
     List.iter
@@ -403,10 +425,83 @@ let run_lint file benchmark cache max_width json list_rules =
       prerr_endline ("lint: " ^ msg);
       2
     in
+    match build_overrides ~disable ~promote with
+    | Error e -> usage e
+    | Ok overrides -> (
+      match (file, benchmark) with
+      | Some _, Some _ -> usage "pass either FILE or --benchmark, not both"
+      | None, None when cache = None ->
+        usage "nothing to lint (pass FILE, --benchmark or --cache)"
+      | _ -> (
+        let circuit =
+          match (file, benchmark) with
+          | Some f, _ -> (
+            try
+              let ic = open_in f in
+              let s = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              match Pqc_quantum.Qasm.of_qasm s with
+              | c -> Ok (Some c)
+              | exception Pqc_quantum.Qasm.Parse_error { line; col; message } ->
+                Error (`Parse (line, col, message))
+            with Sys_error e -> Error (`Io e))
+          | None, Some bench -> (
+            match benchmark_circuit bench with
+            | Ok c -> Ok (Some c)
+            | Error e -> Error (`Io e))
+          | None, None -> Ok None
+        in
+        match circuit with
+        | Error (`Io e) -> usage e
+        | Error (`Parse pe) ->
+          print_report ~json (parse_error_report pe);
+          1
+        | Ok circuit ->
+          let c =
+            match circuit with
+            | Some c -> c
+            | None -> Circuit.of_gates 1 [] (* cache-only audit *)
+          in
+          let report =
+            A.Runner.analyze ~overrides ?cache_file:cache ~max_width c
+          in
+          print_report ~json report;
+          A.Runner.exit_code report))
+  end
+
+(* analyze = lint + dataflow/cost advisory + optional SARIF export.  The
+   exit code follows the lint contract: 0 clean, 1 findings (errors),
+   2 usage or unreadable input. *)
+let run_analyze file benchmark cache max_width json sarif disable promote
+    latency_budget =
+  let module A = Pqc_analysis in
+  let usage msg =
+    prerr_endline ("analyze: " ^ msg);
+    2
+  in
+  let write_sarif report =
+    match sarif with
+    | None -> Ok ()
+    | Some path -> (
+      let uri = match (file, benchmark) with
+        | Some f, _ -> f
+        | None, Some b -> "benchmark:" ^ b
+        | None, None -> "unknown"
+      in
+      try
+        let oc = open_out path in
+        output_string oc (A.Sarif.of_report ~uri report);
+        output_char oc '\n';
+        close_out oc;
+        Ok ()
+      with Sys_error e -> Error e)
+  in
+  match build_overrides ~disable ~promote with
+  | Error e -> usage e
+  | Ok overrides -> (
     match (file, benchmark) with
     | Some _, Some _ -> usage "pass either FILE or --benchmark, not both"
-    | None, None when cache = None ->
-      usage "nothing to lint (pass FILE, --benchmark or --cache)"
+    | None, None -> usage "nothing to analyze (pass FILE or --benchmark)"
     | _ -> (
       let circuit =
         match (file, benchmark) with
@@ -416,40 +511,47 @@ let run_lint file benchmark cache max_width json list_rules =
             let s = really_input_string ic (in_channel_length ic) in
             close_in ic;
             match Pqc_quantum.Qasm.of_qasm s with
-            | c -> Ok (Some c)
+            | c -> Ok c
             | exception Pqc_quantum.Qasm.Parse_error { line; col; message } ->
               Error (`Parse (line, col, message))
           with Sys_error e -> Error (`Io e))
         | None, Some bench -> (
           match benchmark_circuit bench with
-          | Ok c -> Ok (Some c)
+          | Ok c -> Ok c
           | Error e -> Error (`Io e))
-        | None, None -> Ok None
+        | None, None -> assert false
       in
       match circuit with
       | Error (`Io e) -> usage e
-      | Error (`Parse (line, col, message)) ->
-        (* Syntax errors are reported through the same diagnostic channel
-           as analysis findings, so --json consumers see one format. *)
-        let d =
-          A.Diagnostic.error ~rule:"PQC000" ~span:(A.Diagnostic.point line)
-            ~hint:"fix the syntax error before analysis can run"
-            (Printf.sprintf "parse error at %d:%d: %s" line col message)
-        in
-        print_report ~json
-          { A.Runner.diagnostics = [ d ]; errors = 1; warnings = 0; infos = 0;
-            rules_run = []; skipped_structural = false };
-        1
-      | Ok circuit ->
-        let c =
-          match circuit with
-          | Some c -> c
-          | None -> Circuit.of_gates 1 [] (* cache-only audit *)
-        in
-        let report = A.Runner.analyze ?cache_file:cache ~max_width c in
+      | Error (`Parse pe) -> (
+        let report = parse_error_report pe in
         print_report ~json report;
-        A.Runner.exit_code report)
-  end
+        match write_sarif report with
+        | Ok () -> 1
+        | Error e -> usage ("cannot write SARIF: " ^ e))
+      | Ok c -> (
+        let report =
+          A.Runner.analyze ~overrides ?cache_file:cache ~max_width c
+        in
+        let advice =
+          A.Runner.advise ~max_width ~latency_budget_s:latency_budget c
+        in
+        if json then
+          Printf.printf "{\"report\":%s,\"advice\":%s}\n"
+            (A.Runner.to_json report)
+            (A.Cost.advice_to_json advice)
+        else begin
+          print_report ~json:false report;
+          print_newline ();
+          print_endline (A.Cost.advice_to_string advice)
+        end;
+        match write_sarif report with
+        | Ok () ->
+          (match sarif with
+          | Some path when not json -> Printf.printf "wrote SARIF %s\n" path
+          | _ -> ());
+          A.Runner.exit_code report
+        | Error e -> usage ("cannot write SARIF: " ^ e))))
 
 (* --- bench diff --- *)
 
@@ -595,6 +697,22 @@ let qasm_cmd =
   Cmd.v (Cmd.info "qasm" ~doc:"Compile an external OpenQASM 2.0 file")
     Term.(const run_qasm_file $ path $ seed)
 
+let disable_arg =
+  Arg.(value & opt_all string []
+      & info [ "disable" ] ~docv:"RULE"
+          ~doc:
+            "Suppress a rule's findings (repeatable). Suppressed findings \
+             are counted in the report's $(b,suppressed) field. Also \
+             settable via $(b,PQC_LINT_RULES) (e.g. \
+             PQC040=off,PQC030=error); command-line flags win.")
+
+let promote_arg =
+  Arg.(value & opt_all string []
+      & info [ "promote" ] ~docv:"RULE=LEVEL"
+          ~doc:
+            "Override a rule's severity, e.g. $(b,PQC030=error) or \
+             $(b,PQC020=info) (repeatable).")
+
 let lint_cmd =
   let file =
     Arg.(value & pos 0 (some string) None
@@ -622,7 +740,51 @@ let lint_cmd =
        ~doc:
          "Statically analyze a circuit before compilation (exit 0 clean, 1 \
           errors, 2 usage)")
-    Term.(const run_lint $ file $ benchmark $ cache $ max_width $ json $ rules)
+    Term.(const run_lint $ file $ benchmark $ cache $ max_width $ json $ rules
+          $ disable_arg $ promote_arg)
+
+let analyze_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"OpenQASM 2.0 file to analyze.")
+  in
+  let benchmark =
+    Arg.(value & opt (some string) None
+        & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit to analyze.")
+  in
+  let cache =
+    Arg.(value & opt (some string) None
+        & info [ "cache" ] ~doc:"Pulse-cache file to audit alongside.")
+  in
+  let max_width =
+    Arg.(value & opt int 4 & info [ "max-width" ] ~doc:"Blocking budget.")
+  in
+  let json =
+    Arg.(value & flag
+        & info [ "json" ]
+            ~doc:"One JSON object with $(b,report) and $(b,advice) keys.")
+  in
+  let sarif =
+    Arg.(value & opt (some string) None
+        & info [ "sarif" ] ~docv:"OUT.sarif"
+            ~doc:"Also write the report as a SARIF 2.1.0 log to $(docv).")
+  in
+  let latency_budget =
+    Arg.(value & opt float 1.0
+        & info [ "latency-budget" ] ~docv:"SECONDS"
+            ~doc:
+              "Per-variational-iteration compile-latency budget the \
+               strategy advisor must respect.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Lint plus dataflow/cost analysis: per-strategy pulse and latency \
+          predictions, a strategy recommendation, per-block gate-vs-pulse \
+          decisions, and optional SARIF export (exit 0 clean, 1 findings, \
+          2 usage)")
+    Term.(const run_analyze $ file $ benchmark $ cache $ max_width $ json
+          $ sarif $ disable_arg $ promote_arg $ latency_budget)
 
 let bench_cmd =
   let diff_cmd =
@@ -672,4 +834,4 @@ let () =
     Cmd.info "partialc" ~version:"1.0.0"
       ~doc:"Partial compilation of variational quantum algorithms"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd; lint_cmd; bench_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd; lint_cmd; analyze_cmd; bench_cmd ]))

@@ -1,0 +1,9 @@
+// Dead-parameter fixture: the trailing rz(t1) is diagonal and nothing
+// non-diagonal follows it on q[1], so varying t1 cannot change any
+// measured expectation value (rule PQC061).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rx(t0) q[0];
+cx q[0], q[1];
+rz(t1) q[1];

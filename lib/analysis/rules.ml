@@ -470,6 +470,85 @@ let mergeable_rotation =
               dead @ merge)) }
 
 (* ------------------------------------------------------------------ *)
+(* Dataflow and cost analyses                                          *)
+(* ------------------------------------------------------------------ *)
+
+let commutation_reslice =
+  { id = "PQC060"; title = "commutation-reslice";
+    doc = "a non-monotone circuit becomes monotone by reordering \
+           commuting gates";
+    check =
+      Structural
+        (fun _ctx c ->
+          if Slice.is_monotone c then []
+          else
+            match Dataflow.reslice c with
+            | None -> []
+            | Some _ ->
+              let df = Dataflow.of_circuit c in
+              let vars =
+                List.filter_map
+                  (fun (d : Dataflow.def_use) ->
+                    if d.contiguous then None
+                    else Some (Printf.sprintf "t%d" d.var))
+                  df.Dataflow.def_uses
+              in
+              [ Diagnostic.info ~rule:"PQC060"
+                  ~hint:
+                    "reorder commuting gates (Dataflow.reslice) to unlock \
+                     flexible partial compilation"
+                  (Printf.sprintf
+                     "parameter run%s {%s} can be made contiguous by \
+                      commutation-aware reslicing"
+                     (if List.length vars = 1 then "" else "s")
+                     (String.concat "," vars)) ]) }
+
+let dead_parameter =
+  { id = "PQC061"; title = "dead-parameter";
+    doc = "a parameter's gates never reach a measurement-relevant cone";
+    check =
+      Structural
+        (fun _ctx c ->
+          Dataflow.dead_params c
+          |> List.map (fun (v, gates) ->
+                 let first = List.fold_left min max_int gates in
+                 let last = List.fold_left max 0 gates in
+                 Diagnostic.warning ~rule:"PQC061"
+                   ~span:(Diagnostic.span ~first ~last)
+                   ~hint:
+                     "diagonal gates followed only by diagonal gates \
+                      commute to the end of the circuit, where they \
+                      cannot change measurement probabilities"
+                   (Printf.sprintf
+                      "parameter t%d cannot affect any measured \
+                       expectation value" v))) }
+
+let block_beats_grape =
+  { id = "PQC062"; title = "block-gate-lookup";
+    doc = "blocks where the predicted GRAPE pulse is no shorter than the \
+           lookup table";
+    check =
+      Structural
+        (fun ctx c ->
+          Cost.block_advices ~max_width:ctx.max_width c
+          |> List.filter_map (fun (b : Cost.block_advice) ->
+                 if b.use_pulse || b.last - b.first < 1 then None
+                 else
+                   Some
+                     (Diagnostic.info ~rule:"PQC062"
+                        ~span:(Diagnostic.span ~first:b.first ~last:b.last)
+                        ~hint:
+                          "a hybrid gate-pulse compiler would keep this \
+                           block gate-based"
+                        (Printf.sprintf
+                           "block on qubits {%s}: predicted GRAPE pulse \
+                            %.2f ns does not beat the %.2f ns lookup \
+                            table"
+                           (String.concat ","
+                              (List.map string_of_int b.qubits))
+                           b.grape_ns b.gate_ns)))) }
+
+(* ------------------------------------------------------------------ *)
 (* Pulse-cache audit                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -488,10 +567,22 @@ let cache_audit =
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let assert_unique rules =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Rule.t) ->
+      if Hashtbl.mem seen r.id then
+        invalid_arg (Printf.sprintf "duplicate rule id %s" r.id)
+      else Hashtbl.add seen r.id ())
+    rules
+
 let all =
   [ qubit_bounds; arity; duplicate_operand; non_finite_angle; unbound_param;
     monotonicity; strict_slice; flexible_slice; block_width; connectivity;
-    adjacent_inverse; mergeable_rotation; cache_audit ]
+    adjacent_inverse; mergeable_rotation; commutation_reslice; dead_parameter;
+    block_beats_grape; cache_audit ]
+
+let () = assert_unique all
 
 let find id =
   List.find_opt (fun (r : Rule.t) -> r.id = id || r.title = id) all

@@ -7,7 +7,12 @@
       {!flexible_slice}
     - PQC03x — blocking/topology: {!block_width}, {!connectivity}
     - PQC04x — lint: {!adjacent_inverse}, {!mergeable_rotation}
-    - PQC05x — external resources: {!cache_audit} *)
+    - PQC05x — external resources: {!cache_audit}
+    - PQC06x — dataflow/cost: {!commutation_reslice}, {!dead_parameter},
+      {!block_beats_grape}
+
+    PQC000 (parse error) and PQC999 (crashed rule) are synthesized by the
+    driver and {!Runner.guarded} respectively and are not in the catalog. *)
 
 val qubit_bounds : Rule.t
 val arity : Rule.t
@@ -31,8 +36,26 @@ val connectivity : Rule.t
 
 val adjacent_inverse : Rule.t
 val mergeable_rotation : Rule.t
+
+val commutation_reslice : Rule.t
+(** Info when a non-monotone circuit has a monotone commutation-equivalent
+    reordering ({!Dataflow.reslice}). *)
+
+val dead_parameter : Rule.t
+(** Warning per parameter whose gates never reach a measurement-relevant
+    cone ({!Dataflow.dead_params}). *)
+
+val block_beats_grape : Rule.t
+(** Info per multi-gate block whose predicted GRAPE pulse does not beat
+    the gate lookup table ({!Cost.block_advices}). *)
+
 val cache_audit : Rule.t
 (** Runs only when the context names a cache file; see {!Cache_audit}. *)
+
+val assert_unique : Rule.t list -> unit
+(** Raises [Invalid_argument] on a duplicate rule id.  Runs over {!all}
+    at module initialization; {!Runner.run} applies it to whatever rule
+    list it is given. *)
 
 val all : Rule.t list
 (** Every built-in rule, in id order. *)

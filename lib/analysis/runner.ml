@@ -5,21 +5,76 @@ type report = {
   errors : int;
   warnings : int;
   infos : int;
+  suppressed : int;
   rules_run : string list;
   skipped_structural : bool;
 }
 
 exception Rejected of report
 
+type override = Off | Severity of Diagnostic.severity
+
+let parse_overrides spec =
+  let parse_one item =
+    match String.index_opt item '=' with
+    | None ->
+      if String.length item > 1 && item.[0] = '-' then
+        Ok (String.sub item 1 (String.length item - 1), Off)
+      else Error (Printf.sprintf "override %S: expected RULE=LEVEL or -RULE" item)
+    | Some eq ->
+      let id = String.sub item 0 eq in
+      let level = String.sub item (eq + 1) (String.length item - eq - 1) in
+      if id = "" then Error (Printf.sprintf "override %S: empty rule id" item)
+      else (
+        match String.lowercase_ascii level with
+        | "off" | "none" -> Ok (id, Off)
+        | "error" -> Ok (id, Severity Diagnostic.Error)
+        | "warning" -> Ok (id, Severity Diagnostic.Warning)
+        | "info" -> Ok (id, Severity Diagnostic.Info)
+        | _ ->
+          Error
+            (Printf.sprintf
+               "override %S: unknown level %S (off|error|warning|info)" item
+               level))
+  in
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.fold_left
+       (fun acc item ->
+         match acc with
+         | Error _ -> acc
+         | Ok l -> (
+           match parse_one (String.trim item) with
+           | Ok o -> Ok (o :: l)
+           | Error e -> Error e))
+       (Ok [])
+  |> Result.map List.rev
+
 let count sev diags =
   List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) diags)
 
-let make_report ~rules_run ~skipped_structural diags =
+(* Overrides apply at report time, after every rule has run: a disabled
+   rule still executes (its crash would still surface), only its findings
+   are dropped.  The first binding for an id wins, so CLI flags prepended
+   before PQC_LINT_RULES take precedence. *)
+let apply_overrides overrides diags =
+  List.fold_left
+    (fun (kept, suppressed) (d : Diagnostic.t) ->
+      match List.assoc_opt d.rule overrides with
+      | None -> (d :: kept, suppressed)
+      | Some Off -> (kept, suppressed + 1)
+      | Some (Severity s) -> ({ d with severity = s } :: kept, suppressed))
+    ([], 0) diags
+  |> fun (kept, suppressed) -> (List.rev kept, suppressed)
+
+let make_report ?(overrides = []) ~rules_run ~skipped_structural diags =
+  let diags, suppressed = apply_overrides overrides diags in
   let diagnostics = List.stable_sort Diagnostic.compare diags in
   { diagnostics;
     errors = count Diagnostic.Error diagnostics;
     warnings = count Diagnostic.Warning diagnostics;
     infos = count Diagnostic.Info diagnostics;
+    suppressed;
     rules_run;
     skipped_structural }
 
@@ -34,15 +89,30 @@ let warnings r =
     r.diagnostics
 
 (* A rule must never take the pipeline down: a crashing check is itself
-   reported as a finding against that rule. *)
+   reported as an internal-error finding (PQC999, outside the catalog so
+   it can never be confused with a real finding of the crashed rule),
+   carrying the exception and a backtrace when the runtime recorded one. *)
 let guarded id f =
+  let recording = Printexc.backtrace_status () in
+  if not recording then Printexc.record_backtrace true;
+  let restore () = if not recording then Printexc.record_backtrace false in
   match f () with
-  | diags -> diags
+  | diags -> restore (); diags
   | exception e ->
-    [ Diagnostic.error ~rule:id
-        (Printf.sprintf "rule crashed: %s" (Printexc.to_string e)) ]
+    let bt = Printexc.get_backtrace () in
+    restore ();
+    let bt =
+      match String.trim bt with
+      | "" -> "backtrace unavailable"
+      | s -> s
+    in
+    [ Diagnostic.error ~rule:"PQC999"
+        ~hint:"this is a bug in the analyzer, not in the analyzed circuit"
+        (Printf.sprintf "rule %s crashed: %s\n%s" id (Printexc.to_string e)
+           bt) ]
 
-let run ?(rules = Rules.all) ctx =
+let run ?(rules = Rules.all) ?(overrides = []) ctx =
+  Rules.assert_unique rules;
   let stream_rules, structural_rules, external_rules =
     List.fold_left
       (fun (s, t, e) (r : Rule.t) ->
@@ -114,21 +184,26 @@ let run ?(rules = Rules.all) ctx =
         | Rule.Stream _ | Rule.Structural _ -> assert false)
       external_rules
   in
-  make_report
+  make_report ~overrides
     ~rules_run:(List.map (fun (r : Rule.t) -> r.id) rules)
     ~skipped_structural
     (stream_diags @ structural_diags @ external_diags)
 
-let analyze ?rules ?theta_len ?max_width ?topology ?cache_file ?target c =
-  run ?rules
+let analyze ?rules ?overrides ?theta_len ?max_width ?topology ?cache_file
+    ?target c =
+  run ?rules ?overrides
     (Rule.of_circuit ?theta_len ?max_width ?topology ?cache_file ?target c)
 
-let check ?rules ?theta_len ?max_width ?topology ?cache_file ?target c =
+let check ?rules ?overrides ?theta_len ?max_width ?topology ?cache_file
+    ?target c =
   let report =
-    analyze ?rules ?theta_len ?max_width ?topology ?cache_file ?target c
+    analyze ?rules ?overrides ?theta_len ?max_width ?topology ?cache_file
+      ?target c
   in
   if has_errors report then raise (Rejected report);
   report
+
+let advise = Cost.advise
 
 let summary r =
   Printf.sprintf "%d error%s, %d warning%s, %d info%s" r.errors
@@ -158,9 +233,9 @@ let to_json r =
     r.diagnostics;
   Buffer.add_string buf
     (Printf.sprintf
-       "],\"errors\":%d,\"warnings\":%d,\"infos\":%d,\
+       "],\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"suppressed\":%d,\
         \"skipped_structural\":%b}"
-       r.errors r.warnings r.infos r.skipped_structural);
+       r.errors r.warnings r.infos r.suppressed r.skipped_structural);
   Buffer.contents buf
 
 let exit_code r = if has_errors r then 1 else 0

@@ -1,0 +1,105 @@
+(* SARIF 2.1.0 export of an analysis report.
+
+   One run, one driver ("partialc-analysis").  The driver's rule table is
+   the static catalog plus the two synthesized ids: PQC000 (parse error,
+   emitted by the CLI front end) and PQC999 (crashed rule, emitted by
+   Runner.guarded) — every result's ruleId therefore resolves to a
+   ruleIndex.  Severity maps Error -> "error", Warning -> "warning",
+   Info -> "note" (SARIF has no "info" level).
+
+   Spans are instruction indices into the analyzed stream, not text
+   positions, so they are exported under result.properties
+   ({firstInstruction, lastInstruction}).  The one exception is PQC000,
+   whose span is a real source line: it gets a physicalLocation region. *)
+
+let esc = Diagnostic.json_escape
+
+type rule_entry = { id : string; name : string; short : string }
+
+let driver_rules () =
+  List.map
+    (fun (id, title, doc) -> { id; name = title; short = doc })
+    (Rules.catalog ())
+  @ [ { id = "PQC000"; name = "parse-error";
+        short = "the input file could not be parsed" };
+      { id = "PQC999"; name = "internal-error";
+        short = "an analysis rule crashed; this is an analyzer bug" } ]
+
+let level_of (s : Diagnostic.severity) =
+  match s with
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let rule_json r =
+  Printf.sprintf
+    "{\"id\":\"%s\",\"name\":\"%s\",\
+     \"shortDescription\":{\"text\":\"%s\"}}"
+    (esc r.id) (esc r.name) (esc r.short)
+
+let result_json ~uri ~index_of (d : Diagnostic.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ruleId\":\"%s\",\"ruleIndex\":%d,\"level\":\"%s\""
+       (esc d.rule) (index_of d.rule) (level_of d.severity));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"message\":{\"text\":\"%s\"}" (esc d.message));
+  (match (d.rule, d.span, uri) with
+  | "PQC000", Some s, Some u ->
+    (* PQC000 spans are 1-based source lines of the parsed file. *)
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+          {\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"endLine\":%d}}}]"
+         (esc u) s.Diagnostic.first s.Diagnostic.last)
+  | _, _, Some u ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+          {\"uri\":\"%s\"}}}]"
+         (esc u))
+  | _ -> ());
+  let props =
+    (match d.span with
+    | Some s when d.rule <> "PQC000" ->
+      [ Printf.sprintf "\"firstInstruction\":%d" s.Diagnostic.first;
+        Printf.sprintf "\"lastInstruction\":%d" s.Diagnostic.last ]
+    | _ -> [])
+    @
+    match d.hint with
+    | Some h -> [ Printf.sprintf "\"hint\":\"%s\"" (esc h) ]
+    | None -> []
+  in
+  if props <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"properties\":{%s}" (String.concat "," props));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let of_report ?uri (r : Runner.report) =
+  let rules = driver_rules () in
+  let index_of id =
+    let rec go i = function
+      | [] -> -1 (* unreachable for catalog + PQC000/PQC999 ids *)
+      | e :: rest -> if e.id = id then i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":\
+     {\"name\":\"partialc-analysis\",\"version\":\"1.0.0\",\"rules\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (rule_json e))
+    rules;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (result_json ~uri ~index_of d))
+    r.Runner.diagnostics;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** SARIF 2.1.0 export of an analysis {!Runner.report}.
+
+    One run, one driver ([partialc-analysis]) whose rule table is the
+    full {!Rules.catalog} plus the synthesized PQC000 (parse error) and
+    PQC999 (crashed rule) ids, so every result's [ruleId] resolves to a
+    [ruleIndex].  Severities map [Error] to ["error"], [Warning] to
+    ["warning"], [Info] to ["note"].
+
+    Instruction-index spans are not text positions; they are exported as
+    [result.properties.firstInstruction]/[lastInstruction].  PQC000 spans
+    are real source lines and become a [physicalLocation] region. *)
+
+val of_report : ?uri:string -> Runner.report -> string
+(** Serialize the report as one SARIF log.  [uri] is the analyzed file,
+    attached as the artifact location of every result when present. *)

@@ -252,6 +252,12 @@ let analysis_target = function
   | Flexible_partial -> Pqc_analysis.Rule.Flexible_partial
   | Full_grape -> Pqc_analysis.Rule.Full_grape
 
+let strategy_of_target = function
+  | Pqc_analysis.Rule.Gate_based -> Gate_based
+  | Pqc_analysis.Rule.Strict_partial -> Strict_partial
+  | Pqc_analysis.Rule.Flexible_partial -> Flexible_partial
+  | Pqc_analysis.Rule.Full_grape -> Full_grape
+
 (* Fail-fast gate: no GRAPE time is spent on a circuit that violates the
    invariants the strategies rely on.  Errors abort (Runner.Rejected);
    warnings become degradation records so the accounting that already
@@ -270,8 +276,26 @@ let analysis_gate ~max_width strategy c ~theta =
         detail = Pqc_analysis.Diagnostic.to_string d })
     (Pqc_analysis.Runner.warnings report)
 
-let compile ?workers ?(max_width = 4) ?(analysis = true) ~engine strategy c
-    ~theta =
+let compile ?workers ?(max_width = 4) ?(analysis = true) ?advice ~engine
+    strategy c ~theta =
+  (* When the static advisor recommends exactly the requested strategy,
+     this is a no-op: same strategy, no extra degradation record, so the
+     compiled result is bit-identical to the unadvised call (held by
+     test).  Only a differing recommendation switches the strategy, and
+     that switch is recorded like every other degradation. *)
+  let strategy, advisor_degs =
+    match advice with
+    | None -> (strategy, [])
+    | Some (a : Pqc_analysis.Cost.advice) ->
+      let recommended = strategy_of_target a.Pqc_analysis.Cost.recommended in
+      if recommended = strategy then (strategy, [])
+      else
+        ( recommended,
+          [ { Resilience.stage = "advisor"; reason = Resilience.Lint;
+              detail =
+                Printf.sprintf "advisor switched %s to %s"
+                  (strategy_name strategy) (strategy_name recommended) } ] )
+  in
   Pqc_obs.Obs.Span.with_ ~name:"compiler.compile"
     ~attrs:
       [ ("strategy", strategy_name strategy);
@@ -279,7 +303,8 @@ let compile ?workers ?(max_width = 4) ?(analysis = true) ~engine strategy c
         ("gates", string_of_int (Circuit.length c)) ]
   @@ fun () ->
   let lint_degs =
-    if analysis then analysis_gate ~max_width strategy c ~theta else []
+    advisor_degs
+    @ (if analysis then analysis_gate ~max_width strategy c ~theta else [])
   in
   let rec go degs = function
     | [] -> assert false (* chains always end in Gate_based *)

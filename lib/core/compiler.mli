@@ -65,8 +65,12 @@ val degrade_chain : strategy -> strategy list
     strict too).  Gate-based is the terminal rung — pure table lookups
     that cannot fail. *)
 
+val strategy_of_target : Pqc_analysis.Rule.target -> strategy
+(** Inverse of the strategy-to-analysis-target mapping. *)
+
 val compile :
-  ?workers:int -> ?max_width:int -> ?analysis:bool -> engine:Engine.t ->
+  ?workers:int -> ?max_width:int -> ?analysis:bool ->
+  ?advice:Pqc_analysis.Cost.advice -> engine:Engine.t ->
   strategy -> Circuit.t -> theta:float array -> Strategy.compiled
 (** Fault-tolerant compilation entry point: runs the requested strategy
     and, if it raises or yields a non-finite duration, walks
@@ -80,4 +84,10 @@ val compile :
     ({!Pqc_analysis.Runner}) gates the whole pipeline first: any [Error]
     diagnostic raises {!Pqc_analysis.Runner.Rejected} before a single
     GRAPE search starts, and [Warning] diagnostics are recorded as
-    [Resilience.Lint] degradations in the result. *)
+    [Resilience.Lint] degradations in the result.
+
+    When [advice] (from {!Pqc_analysis.Runner.advise}) is given and its
+    recommendation differs from [strategy], the recommended strategy is
+    compiled instead and the switch is recorded as an ["advisor"]
+    degradation.  When the recommendation equals [strategy], the call is
+    bit-identical to the unadvised one (held by test). *)

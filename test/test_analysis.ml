@@ -203,6 +203,11 @@ let test_mergeable_rotation_lint () =
 
 (* --- runner mechanics --- *)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let test_crashing_rule_is_contained () =
   let crashing =
     { Rule.id = "TST999"; title = "crash"; doc = "always crashes";
@@ -210,10 +215,83 @@ let test_crashing_rule_is_contained () =
   in
   let c = Circuit.of_gates 1 [ (Gate.H, [ 0 ]) ] in
   let report = Runner.run ~rules:(Rules.all @ [ crashing ]) (Rule.of_circuit c) in
-  match diags_of "TST999" report with
+  Alcotest.(check (list string)) "no finding under the crashed rule's id" []
+    (List.map (fun (d : Diagnostic.t) -> d.message) (diags_of "TST999" report));
+  match diags_of "PQC999" report with
   | [ d ] ->
-    Alcotest.(check bool) "reported as error" true (Diagnostic.is_error d)
-  | _ -> Alcotest.fail "crash must surface as exactly one diagnostic"
+    Alcotest.(check bool) "reported as error" true (Diagnostic.is_error d);
+    Alcotest.(check bool) "names the crashed rule" true
+      (contains ~sub:"TST999" d.Diagnostic.message);
+    Alcotest.(check bool) "carries the exception" true
+      (contains ~sub:"boom" d.Diagnostic.message);
+    (* The backtrace (or the explicit unavailability marker) follows the
+       exception on its own lines. *)
+    Alcotest.(check bool) "message is multi-line" true
+      (contains ~sub:"\n" d.Diagnostic.message)
+  | _ -> Alcotest.fail "crash must surface as exactly one PQC999 diagnostic"
+
+let test_duplicate_rule_rejected () =
+  let dup =
+    { Rule.id = "PQC020"; title = "imposter"; doc = "duplicate id";
+      check = Rule.Structural (fun _ _ -> []) }
+  in
+  let c = Circuit.of_gates 1 [ (Gate.H, [ 0 ]) ] in
+  (match Runner.run ~rules:(Rules.all @ [ dup ]) (Rule.of_circuit c) with
+  | _ -> Alcotest.fail "duplicate rule id must be rejected"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "names the id" true (contains ~sub:"PQC020" msg))
+
+let test_overrides () =
+  (* non_monotone trips PQC020 (error, lint target) and PQC060/PQC061. *)
+  let base = Runner.analyze ~theta_len:2 non_monotone in
+  Alcotest.(check bool) "baseline has errors" true (Runner.has_errors base);
+  let off =
+    Runner.analyze ~overrides:[ ("PQC020", Runner.Off) ] ~theta_len:2
+      non_monotone
+  in
+  Alcotest.(check int) "PQC020 findings suppressed" 0
+    (List.length (diags_of "PQC020" off));
+  Alcotest.(check bool) "suppressed counted" true (off.Runner.suppressed > 0);
+  Alcotest.(check int) "totals exclude suppressed"
+    (List.length off.Runner.diagnostics)
+    (off.Runner.errors + off.Runner.warnings + off.Runner.infos);
+  let demoted =
+    Runner.analyze
+      ~overrides:[ ("PQC020", Runner.Severity Diagnostic.Info) ]
+      ~theta_len:2 non_monotone
+  in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Alcotest.(check bool) "demoted to info" true
+        (d.severity = Diagnostic.Info))
+    (diags_of "PQC020" demoted);
+  let promoted =
+    Runner.analyze
+      ~overrides:[ ("PQC060", Runner.Severity Diagnostic.Error) ]
+      ~theta_len:2 non_monotone
+  in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Alcotest.(check bool) "promoted to error" true (Diagnostic.is_error d))
+    (diags_of "PQC060" promoted)
+
+let test_parse_overrides () =
+  (match Runner.parse_overrides "PQC040=off, -PQC041 ,PQC030=error" with
+  | Ok
+      [ ("PQC040", Runner.Off); ("PQC041", Runner.Off);
+        ("PQC030", Runner.Severity Diagnostic.Error) ] ->
+    ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error e -> Alcotest.fail e);
+  (match Runner.parse_overrides "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty spec must parse to no overrides");
+  (match Runner.parse_overrides "PQC030=fatal" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown level must be rejected");
+  match Runner.parse_overrides "PQC040" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare id without '-' or '=' must be rejected"
 
 let test_check_raises_rejected () =
   (match Runner.check ~theta_len:2 non_monotone with
@@ -224,7 +302,7 @@ let test_check_raises_rejected () =
   Alcotest.(check int) "clean passes" 0 (Runner.check clean).Runner.errors
 
 let test_registry () =
-  Alcotest.(check int) "catalog size" 13 (List.length (Rules.catalog ()));
+  Alcotest.(check int) "catalog size" 16 (List.length (Rules.catalog ()));
   Alcotest.(check bool) "find by id" true (Rules.find "PQC020" <> None);
   Alcotest.(check bool) "find by title" true
     (Rules.find "param-monotonicity" <> None);
@@ -361,6 +439,210 @@ let test_compile_rejects_unbound_param () =
          (fun (d : Diagnostic.t) -> d.rule = "PQC011")
          report.Runner.diagnostics)
 
+(* --- dataflow/cost rules (PQC06x) --- *)
+
+module Cost = Pqc_analysis.Cost
+module Sarif = Pqc_analysis.Sarif
+
+let test_commutation_reslice_rule () =
+  (* non_monotone is all-Rz, hence fully commuting: reslicable. *)
+  let report = Runner.analyze ~theta_len:2 non_monotone in
+  Alcotest.(check bool) "PQC060 fires" true (has_rule "PQC060" report);
+  (* An H pins the Rz order: t0's run genuinely cannot be made
+     contiguous, so the rule must stay silent. *)
+  let pinned =
+    Circuit.of_gates 1
+      [ (Gate.Rz (Param.var 0), [ 0 ]); (Gate.H, [ 0 ]);
+        (Gate.Rz (Param.var 1), [ 0 ]); (Gate.H, [ 0 ]);
+        (Gate.Rz (Param.var 0), [ 0 ]) ]
+  in
+  let report = Runner.analyze ~theta_len:2 pinned in
+  Alcotest.(check bool) "PQC060 silent when not reslicable" false
+    (has_rule "PQC060" report)
+
+let test_dead_parameter_rule () =
+  let c =
+    Circuit.of_gates 2
+      [ (Gate.Rx (Param.var 0), [ 0 ]); (Gate.CX, [ 0; 1 ]);
+        (Gate.Rz (Param.var 1), [ 1 ]) ]
+  in
+  let report = Runner.analyze ~theta_len:2 c in
+  (match diags_of "PQC061" report with
+  | [ d ] ->
+    Alcotest.(check bool) "names t1" true
+      (contains ~sub:"t1" d.Diagnostic.message);
+    Alcotest.(check (option (pair int int))) "span is the dead gate"
+      (Some (2, 2)) (span_of "PQC061" report)
+  | ds ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly one PQC061, got %d" (List.length ds)));
+  (* An X basis change after the Rz keeps the parameter live. *)
+  let live =
+    Circuit.of_gates 1
+      [ (Gate.Rz (Param.var 0), [ 0 ]); (Gate.H, [ 0 ]) ]
+  in
+  Alcotest.(check bool) "live param is silent" false
+    (has_rule "PQC061" (Runner.analyze ~theta_len:1 live))
+
+let test_block_beats_grape_rule () =
+  (* Two Rz(pi) on one qubit: the modelled GRAPE time equals the lookup
+     table exactly (both are pure Z-drive content), so pulses buy
+     nothing. *)
+  let tie =
+    Circuit.of_gates 1
+      [ (Gate.Rz (Param.const Float.pi), [ 0 ]);
+        (Gate.Rz (Param.const Float.pi), [ 0 ]) ]
+  in
+  Alcotest.(check bool) "PQC062 fires on a no-win block" true
+    (has_rule "PQC062" (Runner.analyze tie));
+  (* Bell pair: GRAPE compresses H+CX well below the table. *)
+  let bell = Circuit.of_gates 2 [ (Gate.H, [ 0 ]); (Gate.CX, [ 0; 1 ]) ] in
+  Alcotest.(check bool) "PQC062 silent when GRAPE wins" false
+    (has_rule "PQC062" (Runner.analyze bell))
+
+(* --- SARIF export --- *)
+
+let test_sarif_shape () =
+  let report = Runner.analyze ~theta_len:2 non_monotone in
+  let sarif = Sarif.of_report ~uri:"test.qasm" report in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" sub) true
+        (contains ~sub sarif))
+    [ "\"version\":\"2.1.0\"";
+      "sarif-2.1.0.json";
+      "\"name\":\"partialc-analysis\"";
+      "\"ruleId\":\"PQC020\"";
+      "\"ruleIndex\":";
+      "\"level\":\"error\"";
+      "\"firstInstruction\":";
+      "\"uri\":\"test.qasm\"" ];
+  (* Every result's ruleId resolves: PQC999 and PQC000 are in the driver
+     rule table too. *)
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "driver knows %s" sub) true
+        (contains ~sub sarif))
+    [ "\"id\":\"PQC000\""; "\"id\":\"PQC999\"" ]
+
+(* --- the strategy advisor --- *)
+
+let prepared_h2 = Compiler.prepare (Pqc_vqe.Uccsd.ansatz Pqc_vqe.Molecule.h2)
+
+let test_advice_noop_is_bit_identical () =
+  let advice = Runner.advise prepared_h2 in
+  let strategy = Compiler.strategy_of_target advice.Cost.recommended in
+  let theta = Cost.canonical_theta prepared_h2 in
+  let plain = Compiler.compile ~engine:Engine.model strategy prepared_h2 ~theta in
+  let advised =
+    Compiler.compile ~advice ~engine:Engine.model strategy prepared_h2 ~theta
+  in
+  Alcotest.(check string) "same strategy" plain.Strategy.strategy
+    advised.Strategy.strategy;
+  Alcotest.(check (float 0.0)) "same duration" plain.Strategy.duration_ns
+    advised.Strategy.duration_ns;
+  Alcotest.(check bool) "bit-identical pulse" true
+    (plain.Strategy.pulse = advised.Strategy.pulse);
+  Alcotest.(check int) "no extra degradations"
+    (List.length plain.Strategy.degradations)
+    (List.length advised.Strategy.degradations)
+
+let test_advice_switch_is_recorded () =
+  (* Force a switch: request full GRAPE while the advisor, given a tiny
+     latency budget, must pick a zero-per-iteration strategy. *)
+  let advice = Runner.advise ~latency_budget_s:1e-9 prepared_h2 in
+  let recommended = Compiler.strategy_of_target advice.Cost.recommended in
+  if recommended <> Compiler.Full_grape then begin
+    let theta = Cost.canonical_theta prepared_h2 in
+    let r =
+      Compiler.compile ~advice ~engine:Engine.model Compiler.Full_grape
+        prepared_h2 ~theta
+    in
+    Alcotest.(check string) "compiled the recommendation"
+      (Compiler.strategy_name recommended) r.Strategy.strategy;
+    Alcotest.(check bool) "advisor switch recorded" true
+      (List.exists
+         (fun (d : Resilience.degradation) -> d.Resilience.stage = "advisor")
+         r.Strategy.degradations)
+  end
+  else Alcotest.fail "tiny budget cannot admit full GRAPE"
+
+(* The static cost model must agree with what actually compiling under the
+   calibrated model engine reports (the claim in Cost's docstring). *)
+let test_cost_matches_model_compiler () =
+  let theta = Cost.canonical_theta prepared_h2 in
+  let close what a b =
+    let tol = 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.9g ~ %.9g" what a b)
+      true
+      (Float.abs (a -. b) <= tol)
+  in
+  List.iter
+    (fun (strategy, target) ->
+      let e = Cost.estimate ~theta prepared_h2 target in
+      let r =
+        Compiler.compile ~analysis:false ~engine:Engine.model strategy
+          prepared_h2 ~theta
+      in
+      let name = Compiler.strategy_name strategy in
+      close (name ^ " pulse") r.Strategy.duration_ns e.Cost.pulse_ns;
+      close (name ^ " precompute") r.Strategy.precompute.Engine.seconds
+        e.Cost.precompute_s;
+      close (name ^ " per-iteration") r.Strategy.per_iteration.Engine.seconds
+        e.Cost.per_iteration_s)
+    [ (Compiler.Gate_based, Rule.Gate_based);
+      (Compiler.Strict_partial, Rule.Strict_partial);
+      (Compiler.Flexible_partial, Rule.Flexible_partial);
+      (Compiler.Full_grape, Rule.Full_grape) ]
+
+(* The advisor's predicted pulse-duration ordering must reproduce the
+   measured ordering in the committed numeric baseline. *)
+let test_ranking_matches_committed_baseline () =
+  match Pqc_core.Bench_report.read ~path:"../BENCH_partial_compilation.json" with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    let target_of = function
+      | "gate-based" -> Rule.Gate_based
+      | "strict-partial" -> Rule.Strict_partial
+      | "flexible-partial" -> Rule.Flexible_partial
+      | "full-grape" -> Rule.Full_grape
+      | s -> Alcotest.fail ("unknown strategy in baseline: " ^ s)
+    in
+    let circuit_of name =
+      match name with
+      | "uccsd-h2" -> Compiler.prepare (Pqc_vqe.Uccsd.ansatz Pqc_vqe.Molecule.h2)
+      | "uccsd-lih" ->
+        Compiler.prepare (Pqc_vqe.Uccsd.ansatz Pqc_vqe.Molecule.lih)
+      | s -> Alcotest.fail ("unknown benchmark in baseline: " ^ s)
+    in
+    let rows =
+      List.map
+        (fun (x : Pqc_core.Bench_report.experiment) ->
+          let c = circuit_of x.name in
+          let e = Cost.estimate c (target_of x.strategy) in
+          (x.name, e.Cost.pulse_ns, x.pulse_duration_ns))
+        report.Pqc_core.Bench_report.experiments
+    in
+    Alcotest.(check bool) "baseline has experiments" true (rows <> []);
+    List.iter
+      (fun (na, pa, ma) ->
+        List.iter
+          (fun (nb, pb, mb) ->
+            if ma <> mb then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s vs %s: predicted order matches measured"
+                   na nb)
+                true
+                (compare pa pb = compare ma mb))
+          rows)
+      rows
+
+let test_advise_deterministic () =
+  let a = Cost.advice_to_json (Runner.advise prepared_h2) in
+  let b = Cost.advice_to_json (Runner.advise prepared_h2) in
+  Alcotest.(check string) "two runs, same advice" a b
+
 let () =
   Alcotest.run "analysis"
     [ ( "diagnostic",
@@ -394,6 +676,10 @@ let () =
       ( "runner",
         [ Alcotest.test_case "crashing rule contained" `Quick
             test_crashing_rule_is_contained;
+          Alcotest.test_case "duplicate rule rejected" `Quick
+            test_duplicate_rule_rejected;
+          Alcotest.test_case "overrides" `Quick test_overrides;
+          Alcotest.test_case "parse overrides" `Quick test_parse_overrides;
           Alcotest.test_case "check raises" `Quick test_check_raises_rejected;
           Alcotest.test_case "registry" `Quick test_registry ] );
       ( "cache-audit",
@@ -414,4 +700,22 @@ let () =
           Alcotest.test_case "analysis opt-out" `Quick
             test_compile_analysis_opt_out;
           Alcotest.test_case "rejects unbound param" `Quick
-            test_compile_rejects_unbound_param ] ) ]
+            test_compile_rejects_unbound_param ] );
+      ( "dataflow-rules",
+        [ Alcotest.test_case "commutation reslice" `Quick
+            test_commutation_reslice_rule;
+          Alcotest.test_case "dead parameter" `Quick test_dead_parameter_rule;
+          Alcotest.test_case "block beats grape" `Quick
+            test_block_beats_grape_rule ] );
+      ( "sarif", [ Alcotest.test_case "shape" `Quick test_sarif_shape ] );
+      ( "advisor",
+        [ Alcotest.test_case "no-op advice bit-identical" `Quick
+            test_advice_noop_is_bit_identical;
+          Alcotest.test_case "switch recorded" `Quick
+            test_advice_switch_is_recorded;
+          Alcotest.test_case "cost matches model compiler" `Quick
+            test_cost_matches_model_compiler;
+          Alcotest.test_case "ranking matches baseline" `Quick
+            test_ranking_matches_committed_baseline;
+          Alcotest.test_case "deterministic" `Quick
+            test_advise_deterministic ] ) ]

@@ -1,0 +1,226 @@
+module Param = Pqc_quantum.Param
+module Gate = Pqc_quantum.Gate
+module Circuit = Pqc_quantum.Circuit
+module Cmat = Pqc_linalg.Cmat
+module Slice = Pqc_transpile.Slice
+module Dataflow = Pqc_analysis.Dataflow
+
+(* --- unit tests: commutation --- *)
+
+let i gate qubits = { Circuit.gate; qubits = Array.of_list qubits }
+
+let test_commutes_known_pairs () =
+  let check what expected a b =
+    Alcotest.(check bool) what expected (Dataflow.commutes a b);
+    Alcotest.(check bool) (what ^ " (symmetric)") expected
+      (Dataflow.commutes b a)
+  in
+  check "disjoint supports" true (i Gate.H [ 0 ]) (i Gate.CX [ 1; 2 ]);
+  check "Rz on CX control" true
+    (i (Gate.Rz (Param.var 0)) [ 0 ])
+    (i Gate.CX [ 0; 1 ]);
+  check "X on CX target" true (i Gate.X [ 1 ]) (i Gate.CX [ 0; 1 ]);
+  check "Rx on CX target" true
+    (i (Gate.Rx (Param.var 0)) [ 1 ])
+    (i Gate.CX [ 0; 1 ]);
+  check "Rz on CX target" false
+    (i (Gate.Rz (Param.var 0)) [ 1 ])
+    (i Gate.CX [ 0; 1 ]);
+  check "X on CX control" false (i Gate.X [ 0 ]) (i Gate.CX [ 0; 1 ]);
+  check "H vs Rz same qubit" false (i Gate.H [ 0 ])
+    (i (Gate.Rz (Param.var 0)) [ 0 ]);
+  check "diagonal pair" true (i (Gate.Rz (Param.var 0)) [ 0 ])
+    (i Gate.T [ 0 ]);
+  check "CX pair sharing control" true (i Gate.CX [ 0; 1 ]) (i Gate.CX [ 0; 2 ]);
+  check "CX pair sharing target" true (i Gate.CX [ 0; 2 ]) (i Gate.CX [ 1; 2 ]);
+  check "CX control meets CX target" false (i Gate.CX [ 0; 1 ])
+    (i Gate.CX [ 1; 2 ]);
+  check "identical instructions" true (i Gate.Swap [ 0; 1 ])
+    (i Gate.Swap [ 0; 1 ]);
+  check "swap vs anything shared" false (i Gate.Swap [ 0; 1 ]) (i Gate.Z [ 0 ])
+
+let test_def_use_chains () =
+  let c =
+    Circuit.of_gates 2
+      [ (Gate.Rz (Param.var 0), [ 0 ]); (Gate.CX, [ 0; 1 ]);
+        (Gate.Rz (Param.var 1), [ 1 ]); (Gate.CX, [ 0; 1 ]);
+        (Gate.Rz (Param.var 0), [ 0 ]) ]
+  in
+  let df = Dataflow.of_circuit c in
+  Alcotest.(check bool) "not monotone" false df.Dataflow.monotone;
+  (match Dataflow.find_def_use df 0 with
+  | Some d ->
+    Alcotest.(check (list int)) "t0 gates" [ 0; 4 ] d.Dataflow.gates;
+    Alcotest.(check bool) "t0 broken" false d.Dataflow.contiguous
+  | None -> Alcotest.fail "t0 must have a chain");
+  (match Dataflow.find_def_use df 1 with
+  | Some d ->
+    Alcotest.(check bool) "t1 contiguous" true d.Dataflow.contiguous
+  | None -> Alcotest.fail "t1 must have a chain");
+  Alcotest.(check int) "qubit 0 uses" 4 df.Dataflow.liveness.(0).Dataflow.uses;
+  Alcotest.(check (option int)) "qubit 1 first use" (Some 1)
+    df.Dataflow.liveness.(1).Dataflow.first_use
+
+let test_reslice_fixture () =
+  (* The bad_monotonicity fixture: Rz gates commute through CX controls,
+     so reslicing recovers a monotone order. *)
+  let c =
+    Circuit.of_gates 2
+      [ (Gate.Rz (Param.var 0), [ 0 ]); (Gate.CX, [ 0; 1 ]);
+        (Gate.Rz (Param.var 1), [ 1 ]); (Gate.CX, [ 0; 1 ]);
+        (Gate.Rz (Param.var 0), [ 0 ]) ]
+  in
+  match Dataflow.reslice c with
+  | None -> Alcotest.fail "fixture must be reslicable"
+  | Some c' ->
+    Alcotest.(check bool) "monotone after reslice" true (Slice.is_monotone c');
+    Alcotest.(check int) "same length" (Circuit.length c) (Circuit.length c');
+    let theta = [| 0.3; 1.1 |] in
+    Alcotest.(check bool) "same unitary" true
+      (Cmat.max_abs_diff (Circuit.unitary ~theta c) (Circuit.unitary ~theta c')
+      < 1e-9)
+
+let test_dead_params () =
+  let c =
+    Circuit.of_gates 2
+      [ (Gate.Rx (Param.var 0), [ 0 ]); (Gate.CX, [ 0; 1 ]);
+        (Gate.Rz (Param.var 1), [ 1 ]); (Gate.T, [ 1 ]) ]
+  in
+  (match Dataflow.dead_params c with
+  | [ (1, [ 2 ]) ] -> ()
+  | _ -> Alcotest.fail "exactly t1@2 must be dead");
+  let live =
+    Circuit.of_gates 1
+      [ (Gate.Rz (Param.var 0), [ 0 ]); (Gate.H, [ 0 ]) ]
+  in
+  Alcotest.(check bool) "H keeps the param live" true
+    (Dataflow.dead_params live = [])
+
+(* --- generators --- *)
+
+(* Random >=1-qubit circuits over the analysis-relevant gate alphabet,
+   with a small parameter pool so runs collide and break monotonicity
+   often. *)
+let gen_circuit ~max_qubits ~max_len =
+  QCheck.Gen.(
+    int_range 1 max_qubits >>= fun n ->
+    int_range 0 max_len >>= fun len ->
+    let qubit = int_range 0 (n - 1) in
+    let gate_1q =
+      oneof
+        [ return Gate.H; return Gate.X; return Gate.T; return Gate.S;
+          map (fun v -> Gate.Rz (Param.var v)) (int_range 0 2);
+          map (fun v -> Gate.Rx (Param.var v)) (int_range 0 2) ]
+    in
+    let instr =
+      if n = 1 then map2 (fun g q -> (g, [ q ])) gate_1q qubit
+      else
+        frequency
+          [ (3, map2 (fun g q -> (g, [ q ])) gate_1q qubit);
+            ( 1,
+              qubit >>= fun a ->
+              int_range 0 (n - 2) >>= fun b' ->
+              let b = if b' >= a then b' + 1 else b' in
+              oneof [ return Gate.CX; return Gate.CZ ] >>= fun g ->
+              return (g, [ a; b ]) ) ]
+    in
+    list_size (return len) instr >>= fun gates ->
+    return (Circuit.of_gates n gates))
+
+let arb_circuit =
+  QCheck.make
+    ~print:(fun c -> Format.asprintf "%a" Circuit.pp c)
+    (gen_circuit ~max_qubits:3 ~max_len:14)
+
+(* --- properties --- *)
+
+(* Def-use chains are a function of the instruction stream, not of how
+   the circuit value was constructed. *)
+let prop_def_use_construction_stable =
+  QCheck.Test.make ~count:200 ~name:"def-use stable across construction"
+    arb_circuit (fun c ->
+      let n = Circuit.n_qubits c in
+      let gates =
+        Array.to_list (Circuit.instrs c)
+        |> List.map (fun (x : Circuit.instr) ->
+               (x.gate, Array.to_list x.qubits))
+      in
+      (* Rebuild three ways: extend in two chunks, one gate at a time
+         through Builder, and the original. *)
+      let k = List.length gates / 2 in
+      let chunked =
+        Circuit.extend
+          (Circuit.extend (Circuit.empty n) (List.filteri (fun i _ -> i < k) gates))
+          (List.filteri (fun i _ -> i >= k) gates)
+      in
+      let b = Circuit.Builder.create n in
+      List.iter (fun (g, qs) -> Circuit.Builder.add b g qs) gates;
+      let built = Circuit.Builder.to_circuit b in
+      let df = Dataflow.of_circuit c in
+      let same (d : Dataflow.t) (d' : Dataflow.t) =
+        d.Dataflow.monotone = d'.Dataflow.monotone
+        && d.Dataflow.def_uses = d'.Dataflow.def_uses
+        && d.Dataflow.liveness = d'.Dataflow.liveness
+      in
+      same df (Dataflow.of_circuit chunked)
+      && same df (Dataflow.of_circuit built))
+
+(* A successful reslice never changes the circuit's unitary. *)
+let prop_reslice_preserves_unitary =
+  QCheck.Test.make ~count:200 ~name:"reslice preserves unitary" arb_circuit
+    (fun c ->
+      match Dataflow.reslice c with
+      | None -> QCheck.assume_fail ()
+      | Some c' ->
+        let n_params = Circuit.n_params c in
+        let theta =
+          Array.init n_params (fun k -> 0.37 +. (0.61 *. float_of_int k))
+        in
+        Slice.is_monotone c'
+        && Circuit.length c = Circuit.length c'
+        && Cmat.max_abs_diff
+             (Circuit.unitary ~theta c)
+             (Circuit.unitary ~theta c')
+           < 1e-9)
+
+(* Instructions the relation declares commuting really do commute as
+   unitaries — the soundness half of the commutation analysis. *)
+let prop_commutes_is_sound =
+  let arb_pair =
+    QCheck.make
+      ~print:(fun (a, b) ->
+        Format.asprintf "%a | %a" Circuit.pp a Circuit.pp b)
+      QCheck.Gen.(
+        gen_circuit ~max_qubits:3 ~max_len:1 >>= fun a ->
+        gen_circuit ~max_qubits:3 ~max_len:1 >>= fun b ->
+        return (a, b))
+  in
+  QCheck.Test.make ~count:300 ~name:"commutes is sound" arb_pair
+    (fun (ca, cb) ->
+      match (Circuit.instrs ca, Circuit.instrs cb) with
+      | [| a |], [| b |] ->
+        let n = 3 in
+        let lift x = Circuit.of_instrs n [ x ] in
+        if not (Dataflow.commutes a b) then QCheck.assume_fail ()
+        else begin
+          let theta = [| 0.41; 1.13; 2.71 |] in
+          let u x = Circuit.unitary ~theta (lift x) in
+          let ab = Cmat.mul (u b) (u a) and ba = Cmat.mul (u a) (u b) in
+          Cmat.max_abs_diff ab ba < 1e-9
+        end
+      | _ -> QCheck.assume_fail ())
+
+let () =
+  Alcotest.run "dataflow"
+    [ ( "commutation",
+        [ Alcotest.test_case "known pairs" `Quick test_commutes_known_pairs ] );
+      ( "def-use",
+        [ Alcotest.test_case "chains" `Quick test_def_use_chains ] );
+      ( "reslice",
+        [ Alcotest.test_case "fixture" `Quick test_reslice_fixture ] );
+      ( "dead-params",
+        [ Alcotest.test_case "trailing diagonal" `Quick test_dead_params ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_def_use_construction_stable; prop_reslice_preserves_unitary;
+            prop_commutes_is_sound ] ) ]
