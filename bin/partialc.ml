@@ -18,38 +18,10 @@ module Hamiltonian = Pqc_grape.Hamiltonian
 module Grape = Pqc_grape.Grape
 open Pqc_core
 
-let benchmark_circuit name =
-  match Pqc_vqe.Molecule.find name with
-  | Some m -> Ok (Pqc_vqe.Uccsd.ansatz m)
-  | None ->
-    (* QAOA spec: "<kind><nodes>p<rounds>", e.g. 3reg6p2, er8p1, k4p3. *)
-    let parse () =
-      match String.split_on_char 'p' (String.lowercase_ascii name) with
-      | [ head; p ] ->
-        let p = int_of_string p in
-        let rng = Rng.create 2019 in
-        let graph =
-          if String.length head > 4 && String.sub head 0 4 = "3reg" then
-            Pqc_qaoa.Graph.random_regular rng ~degree:3
-              (int_of_string (String.sub head 4 (String.length head - 4)))
-          else if String.length head > 2 && String.sub head 0 2 = "er" then
-            Pqc_qaoa.Graph.erdos_renyi rng ~p:0.5
-              (int_of_string (String.sub head 2 (String.length head - 2)))
-          else if String.length head > 1 && head.[0] = 'k' then
-            Pqc_qaoa.Graph.clique
-              (int_of_string (String.sub head 1 (String.length head - 1)))
-          else failwith "unknown benchmark"
-        in
-        Ok (Pqc_qaoa.Qaoa.circuit graph ~p)
-      | _ -> failwith "unknown benchmark"
-    in
-    (try parse ()
-     with _ ->
-       Error
-         (Printf.sprintf
-            "unknown benchmark %S (molecules: h2 lih beh2 nah h2o; QAOA: \
-             3reg6p2, er8p1, k4p3, ...)"
-            name))
+(* Workload spec parsing (molecule names and "<kind><nodes>p<rounds>"
+   QAOA specs) lives in Bench_matrix so the bench-matrix manifests and
+   the CLI agree on exactly one spec language. *)
+let benchmark_circuit name = Bench_matrix.circuit_of_spec name
 
 let theta_for seed c =
   let rng = Rng.create seed in
@@ -573,6 +545,54 @@ let run_bench_diff old_path new_path threshold time_threshold =
       print_string (Bench_diff.render d);
       if d.Bench_diff.regressions = [] then 0 else 1)
 
+(* --- bench matrix / rollup --- *)
+
+let run_bench_matrix manifest_path out_dir workers dry_run =
+  match Bench_matrix.load_manifest ~path:manifest_path with
+  | Error e ->
+    Printf.eprintf "partialc: %s\n" e;
+    2
+  | Ok manifest ->
+    if dry_run then begin
+      let cells = Bench_matrix.expand manifest in
+      List.iter
+        (fun c -> print_endline c.Bench_matrix.id)
+        cells;
+      Printf.printf "%d cells\n" (List.length cells);
+      0
+    end
+    else begin
+      let outcomes = Bench_matrix.run ?workers manifest ~out_dir in
+      let failed =
+        List.filter
+          (fun o -> Result.is_error o.Bench_matrix.status)
+          outcomes
+      in
+      List.iter
+        (fun o ->
+          match o.Bench_matrix.status with
+          | Ok () -> Printf.printf "ok   %s\n" o.Bench_matrix.cell.Bench_matrix.id
+          | Error e ->
+            Printf.printf "FAIL %s: %s\n" o.Bench_matrix.cell.Bench_matrix.id e)
+        outcomes;
+      Printf.printf "%d/%d cells ok; results under %s\n"
+        (List.length outcomes - List.length failed)
+        (List.length outcomes) out_dir;
+      if failed = [] then 0 else 1
+    end
+
+let run_bench_rollup dir out =
+  match Bench_rollup.of_results_dir ~dir with
+  | Error e ->
+    Printf.eprintf "partialc: %s\n" e;
+    2
+  | Ok rollup ->
+    let out = Option.value out ~default:(Filename.concat dir "rollup.json") in
+    Bench_rollup.write ~path:out rollup;
+    print_string (Bench_rollup.render rollup);
+    Printf.printf "wrote %s\n" out;
+    if rollup.Bench_rollup.missing_cells = [] then 0 else 1
+
 (* --- cmdliner plumbing --- *)
 
 open Cmdliner
@@ -819,7 +839,58 @@ let bench_cmd =
       Term.(const run_bench_diff $ old_path $ new_path $ threshold
             $ time_threshold)
   in
-  Cmd.group (Cmd.info "bench" ~doc:"Benchmark report tooling") [ diff_cmd ]
+  let matrix_cmd =
+    let manifest =
+      Arg.(required & pos 0 (some string) None
+          & info [] ~docv:"MANIFEST.json"
+              ~doc:"Workload-matrix manifest (see bench/workloads/).")
+    in
+    let out_dir =
+      Arg.(value & opt string "matrix-out"
+          & info [ "out"; "o" ] ~docv:"DIR"
+              ~doc:"Results directory (per-cell reports + cells.json).")
+    in
+    let workers =
+      Arg.(value & opt (some int) None
+          & info [ "workers"; "j" ] ~docv:"N"
+              ~env:(Cmd.Env.info "PQC_WORKERS")
+              ~doc:"Driver processes executing cells (cells' own worker \
+                    counts come from the manifest).")
+    in
+    let dry_run =
+      Arg.(value & flag
+          & info [ "dry-run" ]
+              ~doc:"Print the expanded cell ids and exit without running.")
+    in
+    Cmd.v
+      (Cmd.info "matrix"
+         ~doc:
+           "Expand and execute a workload-matrix manifest (exit 0 all \
+            cells ok, 1 cell failure or pulse mismatch, 2 unreadable or \
+            invalid manifest)")
+      Term.(const run_bench_matrix $ manifest $ out_dir $ workers $ dry_run)
+  in
+  let rollup_cmd =
+    let dir =
+      Arg.(required & pos 0 (some string) None
+          & info [] ~docv:"DIR"
+              ~doc:"Results directory produced by $(b,bench matrix).")
+    in
+    let out =
+      Arg.(value & opt (some string) None
+          & info [ "out"; "o" ] ~docv:"ROLLUP.json"
+              ~doc:"Rollup output path (default: DIR/rollup.json).")
+    in
+    Cmd.v
+      (Cmd.info "rollup"
+         ~doc:
+           "Aggregate a matrix results directory into one fleet report \
+            (exit 0 complete, 1 missing cells, 2 unreadable directory)")
+      Term.(const run_bench_rollup $ dir $ out)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Benchmark report tooling")
+    [ diff_cmd; matrix_cmd; rollup_cmd ]
 
 let slices_cmd =
   let benchmark =

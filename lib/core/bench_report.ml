@@ -71,9 +71,9 @@ let trace_json = function
     String.concat ""
       [ "[\n"; String.concat ",\n" (List.map rollup_json rs); "\n      ]" ]
 
-let metric_json m =
+let metric_rollup_json ~indent m =
   String.concat ""
-    [ "        { \"metric\": "; json_string m.metric;
+    [ indent; "{ \"metric\": "; json_string m.metric;
       ", \"count\": "; string_of_int m.count;
       ", \"mean\": "; json_float m.mean;
       ", \"p50\": "; json_float m.p50;
@@ -85,7 +85,9 @@ let metrics_json = function
   | [] -> "[]"
   | ms ->
     String.concat ""
-      [ "[\n"; String.concat ",\n" (List.map metric_json ms); "\n      ]" ]
+      [ "[\n";
+        String.concat ",\n" (List.map (metric_rollup_json ~indent:"        ") ms);
+        "\n      ]" ]
 
 let experiment_json e =
   String.concat ""
@@ -104,6 +106,40 @@ let experiment_json e =
       "      \"trace\": "; trace_json e.trace; ",\n";
       "      \"metrics\": "; metrics_json e.metrics; "\n";
       "    }" ]
+
+(* The diff and the rollup both key experiments by name/strategy/engine;
+   '/' cannot appear in a strategy or engine token, so the key is
+   unambiguous. *)
+let experiment_key e = e.name ^ "/" ^ e.strategy ^ "/" ^ e.engine
+
+let sorted t =
+  { t with
+    experiments =
+      List.sort
+        (fun a b -> String.compare (experiment_key a) (experiment_key b))
+        t.experiments }
+
+(* Wall-clock fields vary run to run even when the compilation itself is
+   deterministic; zeroing them (while keeping every count, pulse duration
+   and flag) leaves exactly the byte-stable part of a report, which is
+   what the workers:1 == workers:4 determinism tests compare.  Trace
+   rollups are re-sorted by span name: their native order (heaviest span
+   first) is itself wall-clock-derived. *)
+let normalize t =
+  let span r = { r with total_s = 0.0 } in
+  let metric m = { m with mean = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0; max = 0.0 } in
+  let experiment e =
+    { e with
+      sequential_s = 0.0;
+      parallel_s = 0.0;
+      speedup = 0.0;
+      trace =
+        List.sort
+          (fun a b -> String.compare a.span b.span)
+          (List.map span e.trace);
+      metrics = List.map metric e.metrics }
+  in
+  { t with experiments = List.map experiment t.experiments }
 
 let to_json t =
   String.concat ""
@@ -207,6 +243,11 @@ let of_json s =
                 (req "experiments array"
                    (Option.bind (J.member "experiments" doc) J.to_list)) }
     with Malformed what -> Error what)
+
+let metric_rollup_of_json ~what j =
+  match metric_of_json what j with
+  | m -> Ok m
+  | exception Malformed e -> Error e
 
 let read ~path =
   match

@@ -62,6 +62,22 @@ type t = {
   experiments : experiment list;
 }
 
+val experiment_key : experiment -> string
+(** ["name/strategy/engine"] — the identity under which {!Bench_diff}
+    and the matrix rollup match experiments across reports. *)
+
+val sorted : t -> t
+(** Experiments reordered by {!experiment_key} (ascending).  Emitters
+    sort before writing so report bytes never depend on the order cells
+    or workers happened to finish in. *)
+
+val normalize : t -> t
+(** Zero every wall-clock-derived field (sequential/parallel seconds,
+    speedup, trace [total_s], metric mean/percentiles/max) while keeping
+    all counts, pulse durations and flags.  Two runs of the same
+    deterministic workload render byte-identically after [normalize] —
+    the invariant the workers:1 == workers:4 tests pin. *)
+
 val to_json : t -> string
 (** Deterministic pretty-printed JSON (2-space indent, fixed key order,
     trailing newline).  Non-finite floats render as [null]. *)
@@ -78,3 +94,26 @@ val of_json : string -> (t, string) result
 val read : path:string -> (t, string) result
 (** {!of_json} on a file's contents; I/O failures are returned as
     [Error], never raised. *)
+
+(** {2 JSON plumbing}
+
+    Shared with {!Bench_rollup}, whose document embeds report fragments
+    with extra top-level keys.  Stable but low-level; prefer {!to_json}
+    / {!of_json} for whole reports. *)
+
+val json_string : string -> string
+(** JSON string literal with the report's escaping rules. *)
+
+val json_float : float -> string
+(** [%.9g]; non-finite values render as [null]. *)
+
+val experiment_json : experiment -> string
+(** One experiment object, 4-space base indent, no trailing newline —
+    exactly the fragment {!to_json} embeds. *)
+
+val metric_rollup_json : indent:string -> metric_rollup -> string
+(** One metric-rollup object on a single line prefixed by [indent]. *)
+
+val metric_rollup_of_json :
+  what:string -> Pqc_util.Jsonx.t -> (metric_rollup, string) result
+(** Parse one metric-rollup object; [what] labels error messages. *)

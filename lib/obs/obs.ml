@@ -51,22 +51,29 @@ type hist = {
   h_buckets : (int, int) Hashtbl.t;
 }
 
-let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+(* Every registry operation below is written against an explicit table
+   so the same code serves both the live process-global registry and the
+   offline aggregators used by the bench rollup (Metrics.Agg). *)
+type hist_table = (string, hist) Hashtbl.t
+
+let hists : hist_table = Hashtbl.create 16
 
 let log_gamma = Float.log 2.0 /. 8.0
 let bucket_of v = int_of_float (Float.floor (Float.log v /. log_gamma))
 let bucket_mid k = Float.exp (log_gamma *. (float_of_int k +. 0.5))
 
-let hist_for name =
-  match Hashtbl.find_opt hists name with
+let hist_in (tbl : hist_table) name =
+  match Hashtbl.find_opt tbl name with
   | Some h -> h
   | None ->
     let h =
       { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
         h_nonpos = 0; h_buckets = Hashtbl.create 16 }
     in
-    Hashtbl.replace hists name h;
+    Hashtbl.replace tbl name h;
     h
+
+let hist_for name = hist_in hists name
 
 (* Non-finite observations are dropped: a NaN would poison sum/min/max
    and has no bucket. *)
@@ -395,17 +402,21 @@ module Metrics = struct
 
   let reset () = Hashtbl.reset hists
 
-  let names () =
-    Hashtbl.fold (fun name _ acc -> name :: acc) hists []
+  let names_in (tbl : hist_table) =
+    Hashtbl.fold (fun name _ acc -> name :: acc) tbl []
     |> List.sort String.compare
 
-  let stats name =
-    Hashtbl.find_opt hists name
+  let names () = names_in hists
+
+  let stats_in (tbl : hist_table) name =
+    Hashtbl.find_opt tbl name
     |> Option.map (fun h ->
            { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max })
 
-  let quantile name q =
-    match Hashtbl.find_opt hists name with
+  let stats name = stats_in hists name
+
+  let quantile_in (tbl : hist_table) name q =
+    match Hashtbl.find_opt tbl name with
     | None -> Float.nan
     | Some h when h.h_count = 0 -> Float.nan
     | Some h ->
@@ -431,17 +442,22 @@ module Metrics = struct
         walk h.h_nonpos buckets
       end
 
-  let percentiles name = (quantile name 0.5, quantile name 0.9, quantile name 0.99)
+  let quantile name q = quantile_in hists name q
+
+  let percentiles_in tbl name =
+    (quantile_in tbl name 0.5, quantile_in tbl name 0.9, quantile_in tbl name 0.99)
+
+  let percentiles name = percentiles_in hists name
 
   (* Pipe codec for the fork pool, same escaping discipline as the event
      codec: records '\x1e', fields '\x1f', bucket list '\x1d', bucket
      pair '\x1c'.  A forked child resets its (copy-on-write) registry
      right after the fork, so encode_all ships exactly the child's own
      observations and absorb can merge them additively. *)
-  let encode_all () =
-    if Hashtbl.length hists = 0 then ""
+  let encode_in (tbl : hist_table) =
+    if Hashtbl.length tbl = 0 then ""
     else
-      Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists []
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) tbl []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       |> List.filter (fun (_, h) -> h.h_count > 0)
       |> List.map (fun (name, h) ->
@@ -458,6 +474,8 @@ module Metrics = struct
                  Printf.sprintf "%h" h.h_max; string_of_int h.h_nonpos;
                  buckets ])
       |> String.concat "\x1e"
+
+  let encode_all () = encode_in hists
 
   let decode_hist s =
     match String.split_on_char '\x1f' s with
@@ -486,14 +504,14 @@ module Metrics = struct
           buckets )
     | _ -> None
 
-  let absorb line =
+  let absorb_in (tbl : hist_table) line =
     if line <> "" then
       String.split_on_char '\x1e' line
       |> List.iter (fun s ->
              match (try decode_hist s with _ -> None) with
              | None -> ()  (* best-effort, like the event codec *)
              | Some (name, count, sum, vmin, vmax, nonpos, buckets) ->
-               let h = hist_for name in
+               let h = hist_in tbl name in
                h.h_count <- h.h_count + count;
                h.h_sum <- h.h_sum +. sum;
                h.h_min <- Float.min h.h_min vmin;
@@ -506,10 +524,14 @@ module Metrics = struct
                      + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets k)))
                  buckets)
 
-  let mean name =
-    match stats name with
+  let absorb line = absorb_in hists line
+
+  let mean_in tbl name =
+    match stats_in tbl name with
     | Some s when s.count > 0 -> s.sum /. float_of_int s.count
     | Some _ | None -> Float.nan
+
+  let mean name = mean_in hists name
 
   let summary () =
     let t =
@@ -551,6 +573,24 @@ module Metrics = struct
       (names ());
     Buffer.add_string buf "\n  ]\n}\n";
     Buffer.contents buf
+
+  (* Offline aggregator over serialized registries.  Unlike the global
+     registry this is a plain value: it ignores the enabled flag and is
+     untouched by {!reset}, so a rollup pass can merge the [encode_all]
+     output of many finished runs (read back from disk) without tracing
+     being live and without stomping on the process's own telemetry. *)
+  module Agg = struct
+    type t = hist_table
+
+    let create () : t = Hashtbl.create 16
+    let absorb = absorb_in
+    let names = names_in
+    let stats = stats_in
+    let mean = mean_in
+    let quantile = quantile_in
+    let percentiles = percentiles_in
+    let encode = encode_in
+  end
 end
 
 (* ---- Chrome trace-event export --------------------------------------- *)

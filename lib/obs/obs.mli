@@ -158,6 +158,39 @@ module Metrics : sig
   (** Deterministic JSON exposition: histograms sorted by name, each
       with count, mean, min, max, p50, p90, p99.  Non-finite values
       render as [null]. *)
+
+  (** Offline histogram aggregator.  A standalone registry value that
+      merges {!encode_all}-serialized registries (e.g. the per-cell
+      [metrics.reg] files a bench-matrix run leaves on disk) additively,
+      with the same quantile semantics as the live registry.  Unlike the
+      global registry it is independent of {!Obs.enable}/{!Obs.reset}:
+      absorbing and querying work with tracing off, and nothing here
+      touches the process's own telemetry. *)
+  module Agg : sig
+    type t
+
+    val create : unit -> t
+
+    val absorb : t -> string -> unit
+    (** Merge one {!encode_all}-format line additively (bucket counts,
+        counts and sums add; min/max combine).  Undecodable records are
+        dropped, like the event codec. *)
+
+    val names : t -> string list
+    (** Histogram names, sorted. *)
+
+    val stats : t -> string -> stat option
+    val mean : t -> string -> float
+
+    val quantile : t -> string -> float -> float
+    (** Same estimator as {!Metrics.quantile}, over the merged buckets. *)
+
+    val percentiles : t -> string -> float * float * float
+    (** [(p50, p90, p99)]. *)
+
+    val encode : t -> string
+    (** Re-serialize the merged registry in {!encode_all} format. *)
+  end
 end
 
 (** {2 Export} *)
