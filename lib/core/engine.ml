@@ -397,8 +397,12 @@ let hyperopt_cost t c ~duration =
       seconds =
         float_of_int iters *. Latency_model.seconds_per_iteration ~width ~steps }
   | _, Base_numeric cfg ->
+    (* Wall clock, not [Sys.time] (process CPU time): hyperopt probes can
+       block on deadlines or fault hooks, and CPU time would silently drop
+       that.  Started before [system_for] so Hamiltonian construction is
+       part of the reported cost, matching what a caller actually waits. *)
+    let t0 = Unix.gettimeofday () in
     let sys = cfg.system_for width in
-    let t0 = Sys.time () in
     let obj =
       { Hyperopt.system = sys;
         (* The block is already bound; hyperopt probes perturb nothing, so
@@ -415,7 +419,7 @@ let hyperopt_cost t c ~duration =
     in
     { grape_runs = 8;
       grape_iterations = int_of_float (8.0 *. score.Hyperopt.iterations);
-      seconds = Sys.time () -. t0 }
+      seconds = Unix.gettimeofday () -. t0 }
 
 (* --- Batch compilation over the worker pool --- *)
 

@@ -1,3 +1,4 @@
+module BA = Bigarray.Array1
 module Cmat = Pqc_linalg.Cmat
 module Expm = Pqc_linalg.Expm
 module Rng = Pqc_util.Rng
@@ -50,13 +51,30 @@ let max_steps = 100_000
 
 let now () = Unix.gettimeofday ()
 
-(* Build H(u_k) = drift + sum_j u.(j).(k) H_j into [dst]. *)
+(* Build H(u_k) = drift + sum_j u.(j).(k) H_j into [dst].  The axpy is
+   written out over the flat buffers: a closure per call or a float argument
+   crossing a function boundary would each allocate (vanilla ocamlopt boxes
+   float arguments), and this runs once per slice per ADAM iteration on
+   every worker domain — minor-GC pressure here turns into stop-the-world
+   barriers for the whole pool.  The arithmetic is the scalar
+   {re = u; im = 0} case of [Cmat.axpy_ri], operation for operation. *)
 let build_slice_hamiltonian (sys : Hamiltonian.t) u k ~dst =
   Cmat.blit ~src:sys.drift ~dst;
-  Array.iteri
-    (fun j (ctrl : Hamiltonian.control) ->
-      Cmat.axpy ~alpha:{ Complex.re = u.(j).(k); im = 0.0 } ~x:ctrl.matrix ~y:dst)
-    sys.controls
+  let dd = Cmat.data dst in
+  let len = BA.dim dd in
+  for j = 0 to Array.length sys.controls - 1 do
+    let zre = u.(j).(k) in
+    let xd = Cmat.data sys.controls.(j).Hamiltonian.matrix in
+    let i = ref 0 in
+    while !i < len do
+      let p = !i in
+      let re = BA.unsafe_get xd p and im = BA.unsafe_get xd (p + 1) in
+      BA.unsafe_set dd p (BA.unsafe_get dd p +. ((zre *. re) -. (0.0 *. im)));
+      BA.unsafe_set dd (p + 1)
+        (BA.unsafe_get dd (p + 1) +. ((zre *. im) +. (0.0 *. re)));
+      i := p + 2
+    done
+  done
 
 let propagate (sys : Hamiltonian.t) ~dt u =
   let dim = sys.dim in
@@ -65,14 +83,31 @@ let propagate (sys : Hamiltonian.t) ~dt u =
   let h = Cmat.create dim dim in
   let gen = Cmat.create dim dim in
   let uk = Cmat.create dim dim in
+  (* Ping-pong accumulation: two buffers for the whole walk instead of one
+     fresh Cmat.mul allocation per time step.  Each step still computes the
+     same product U_k * acc, so the result is bit-identical to the
+     allocating version. *)
   let acc = ref (Cmat.identity dim) in
+  let nxt = ref (Cmat.create dim dim) in
   for k = 0 to n_steps - 1 do
     build_slice_hamiltonian sys u k ~dst:h;
-    Cmat.scale_into ~dst:gen { Complex.re = 0.0; im = -.dt } h;
+    Cmat.scale_ri_into ~dst:gen ~re:0.0 ~im:(-.dt) h;
     Expm.expm_into ws ~dst:uk gen;
-    acc := Cmat.mul uk !acc
+    Cmat.mul_into ~dst:!nxt uk !acc;
+    let t = !acc in
+    acc := !nxt;
+    nxt := t
   done;
   !acc
+
+(* Exact-bits comparison: the expm memo must only reuse a slice propagator
+   when the controls are indistinguishable at the IEEE-754 level ([=] alone
+   would conflate +0.0 with -0.0, whose products differ in zero signs).
+   For equal nonzero values plain [=] suffices; the reciprocal probe
+   separates the two zeros (1/+0. = inf, 1/-0. = -inf) without boxing an
+   Int64 per comparison.  NaN compares unequal, i.e. "changed" — controls
+   are NaN-guarded upstream anyway. *)
+let[@inline] same_bits a b = a = b && (a <> 0.0 || 1.0 /. a = 1.0 /. b)
 
 let subspace_overlap sys target_embedded u_total =
   let o = Cmat.inner target_embedded u_total in
@@ -89,7 +124,7 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
     invalid_arg "Grape.optimize: dt must be positive and finite";
   if not (Float.is_finite total_time) then
     invalid_arg "Grape.optimize: total_time must be finite";
-  let t0 = Sys.time () in
+  let t0 = now () in
   let dim = sys.dim in
   let nc = Array.length sys.controls in
   let n_steps = max 2 (int_of_float (Float.round (total_time /. settings.dt))) in
@@ -125,13 +160,34 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
   let flat_grad = Array.make flat_dim 0.0 in
   (* Workspaces reused across iterations. *)
   let ws = Expm.make_ws dim in
-  let h_buf = Cmat.create dim dim in
   let gen_buf = Cmat.create dim dim in
   let slice_u = Array.init n_steps (fun _ -> Cmat.create dim dim) in
   let prefix = Array.init n_steps (fun _ -> Cmat.create dim dim) in
+  (* Matrix-exponential memo: slice_u.(k) persists across ADAM iterations,
+     so a step whose control column is bit-for-bit unchanged (clip-saturated
+     tails, converged coordinates) can skip build + scale + expm entirely.
+     Keys are the exact IEEE-754 bits of the nc controls of that step —
+     exact bits are the only "quantization" that cannot change pulses, which
+     keeps the memo invisible to the determinism suite.  Memory is one
+     float per control per step, bounded for the life of the run. *)
+  let memo_key = Array.init n_steps (fun _ -> Array.make nc 0.0) in
+  let memo_valid = Array.make n_steps false in
+  let memo_hits = ref 0 in
   let m_buf = ref (Cmat.create dim dim) in
   let m_next = ref (Cmat.create dim dim) in
   let w_buf = Cmat.create dim dim in
+  (* Scratch for the allocation-free fused traces in the gradient loop (one
+     accumulator pair per control), plus flat views of the buffers the two
+     fused hot loops below stream over.  [ctrl_data] hoists the per-control
+     bigarray pointers so neither loop re-reads them through the record. *)
+  let tr_re = Array.make nc 0.0 and tr_im = Array.make nc 0.0 in
+  let neg_dt = -.dt in
+  let drift_d = Cmat.data sys.drift in
+  let ctrl_data =
+    Array.map (fun c -> Cmat.data c.Hamiltonian.matrix) sys.controls
+  in
+  let gd = Cmat.data gen_buf and wd = Cmat.data w_buf in
+  let buf_len = BA.dim gd in
   let target_dag = Cmat.dagger embedded in
   let best_fidelity = ref 0.0 in
   let best_u = Array.map Array.copy u in
@@ -164,13 +220,56 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
          deadline_hit := true;
          raise Exit
        | _ -> ());
-       (* Forward pass: slice propagators and cumulative products. *)
+       (* Forward pass: slice propagators and cumulative products.  A memo
+          hit leaves slice_u.(k) from the previous iteration in place; the
+          prefix products only need recomputing from the first changed
+          slice onward (earlier prefixes depend only on unchanged ones). *)
+       let first_dirty = ref n_steps in
        for k = 0 to n_steps - 1 do
-         build_slice_hamiltonian sys u k ~dst:h_buf;
-         Cmat.scale_into ~dst:gen_buf { Complex.re = 0.0; im = -.dt } h_buf;
-         Expm.expm_into ws ~dst:slice_u.(k) gen_buf;
+         let key = memo_key.(k) in
+         let hit = ref memo_valid.(k) in
+         if !hit then
+           for j = 0 to nc - 1 do
+             if not (same_bits key.(j) u.(j).(k)) then hit := false
+           done;
+         if !hit then incr memo_hits
+         else begin
+           for j = 0 to nc - 1 do
+             key.(j) <- u.(j).(k)
+           done;
+           memo_valid.(k) <- true;
+           (* gen = -i dt (drift + sum_j u_jk H_j), fused into one pass per
+              element: per entry this performs the exact per-element chains
+              of [build_slice_hamiltonian] (drift value, then controls in
+              ascending j) followed by [Cmat.scale_ri_into ~re:0.0
+              ~im:neg_dt], so the fusion is bit-invisible.  It saves the
+              per-control full-buffer passes over H plus the separate scale
+              pass, and keeps the coefficient an unboxed local.  [key] holds
+              exactly u.(j).(k) (just written above). *)
+           let ii = ref 0 in
+           while !ii < buf_len do
+             let p = !ii in
+             let hre = ref (BA.unsafe_get drift_d p)
+             and him = ref (BA.unsafe_get drift_d (p + 1)) in
+             for j = 0 to nc - 1 do
+               let zre = key.(j) in
+               let xd = ctrl_data.(j) in
+               let re = BA.unsafe_get xd p and im = BA.unsafe_get xd (p + 1) in
+               hre := !hre +. ((zre *. re) -. (0.0 *. im));
+               him := !him +. ((zre *. im) +. (0.0 *. re))
+             done;
+             let re = !hre and im = !him in
+             BA.unsafe_set gd p ((0.0 *. re) -. (neg_dt *. im));
+             BA.unsafe_set gd (p + 1) ((0.0 *. im) +. (neg_dt *. re));
+             ii := p + 2
+           done;
+           Expm.expm_into ws ~dst:slice_u.(k) gen_buf;
+           if !first_dirty = n_steps then first_dirty := k
+         end
+       done;
+       for k = !first_dirty to n_steps - 1 do
          if k = 0 then Cmat.blit ~src:slice_u.(0) ~dst:prefix.(0)
-         else Cmat.mul_into ~dst:prefix.(k) slice_u.(k) prefix.(k - 1)
+         else Cmat.mul_into_unchecked ~dst:prefix.(k) slice_u.(k) prefix.(k - 1)
        done;
        let overlap, fid = subspace_overlap sys embedded prefix.(n_steps - 1) in
        (* Divergence guard: a NaN/inf fidelity means the propagators blew
@@ -191,27 +290,54 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
        end;
        (* Backward pass: M_k = T† R_k with R_k = U_T ... U_{k+1}. *)
        Cmat.blit ~src:target_dag ~dst:!m_buf;
+       (* conj(overlap), unpacked once: the gradient inner loop below works
+          on floats so it allocates no Complex.t records per control/step. *)
+       let ov_re = overlap.Complex.re and ov_im = -.overlap.Complex.im in
        for k = n_steps - 1 downto 0 do
          (* W = P_k M_k, so Tr(M_k H_j P_k) = Tr(W H_j). *)
-         Cmat.mul_into ~dst:w_buf prefix.(k) !m_buf;
-         Array.iteri
-           (fun j (ctrl : Hamiltonian.control) ->
-             (* s = Tr(W H_j); gradient of |O|^2/d^2 via dO = -i dt s. *)
-             let s = Cmat.trace_of_product w_buf ctrl.matrix in
-             let d_o = Complex.mul { Complex.re = 0.0; im = -.dt } s in
-             let d_fid =
-               2.0 /. dsub2 *. ((Complex.conj overlap).re *. d_o.re
-                                -. (Complex.conj overlap).im *. d_o.im)
-             in
-             (* Cost = 1 - F + penalties: descend -dF plus penalty grads. *)
-             let amp_grad =
-               2.0 *. settings.amp_penalty *. u.(j).(k)
-               /. (ctrl.max_amp *. ctrl.max_amp)
-             in
-             grad.(j).(k) <- -.d_fid +. amp_grad)
-           sys.controls;
+         Cmat.mul_into_unchecked ~dst:w_buf prefix.(k) !m_buf;
+         (* Fused traces: one pass over W computes Tr(W H_j) for every
+            control at once, loading each W entry once instead of nc times.
+            Each control's accumulator runs through the same (i, jj) order
+            as [Cmat.trace_of_product_into] from the same 0.0 start, so the
+            fusion is bit-invisible. *)
+         for j = 0 to nc - 1 do
+           tr_re.(j) <- 0.0;
+           tr_im.(j) <- 0.0
+         done;
+         for i = 0 to dim - 1 do
+           for jj = 0 to dim - 1 do
+             let ka = 2 * ((i * dim) + jj) and kb = 2 * ((jj * dim) + i) in
+             let are = BA.unsafe_get wd ka and aim = BA.unsafe_get wd (ka + 1) in
+             for j = 0 to nc - 1 do
+               let xd = ctrl_data.(j) in
+               let bre = BA.unsafe_get xd kb and bim = BA.unsafe_get xd (kb + 1) in
+               tr_re.(j) <- tr_re.(j) +. ((are *. bre) -. (aim *. bim));
+               tr_im.(j) <- tr_im.(j) +. ((are *. bim) +. (aim *. bre))
+             done
+           done
+         done;
+         for j = 0 to nc - 1 do
+           let ctrl = sys.controls.(j) in
+           (* s = Tr(W H_j); gradient of |O|^2/d^2 via dO = -i dt s.
+              The float formulas transcribe Complex.mul/conj exactly, on
+              floats throughout, so no Complex.t record (and no per-step
+              closure) is allocated in this loop. *)
+           let s_re = tr_re.(j) and s_im = tr_im.(j) in
+           let d_o_re = (0.0 *. s_re) -. (-.dt *. s_im) in
+           let d_o_im = (0.0 *. s_im) +. (-.dt *. s_re) in
+           let d_fid =
+             2.0 /. dsub2 *. ((ov_re *. d_o_re) -. (ov_im *. d_o_im))
+           in
+           (* Cost = 1 - F + penalties: descend -dF plus penalty grads. *)
+           let amp_grad =
+             2.0 *. settings.amp_penalty *. u.(j).(k)
+             /. (ctrl.Hamiltonian.max_amp *. ctrl.Hamiltonian.max_amp)
+           in
+           grad.(j).(k) <- -.d_fid +. amp_grad
+         done;
          if k > 0 then begin
-           Cmat.mul_into ~dst:!m_next !m_buf slice_u.(k);
+           Cmat.mul_into_unchecked ~dst:!m_next !m_buf slice_u.(k);
            let tmp = !m_buf in
            m_buf := !m_next;
            m_next := tmp
@@ -239,7 +365,10 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
        done;
        let grad_finite = ref true in
        for i = 0 to flat_dim - 1 do
-         if not (Float.is_finite flat_grad.(i)) then grad_finite := false
+         (* Float.is_finite, written out: the stdlib function is not
+            [@inline], so calling it boxes every gradient entry. *)
+         let g = flat_grad.(i) in
+         if not (g -. g = 0.) then grad_finite := false
        done;
        if not !grad_finite then begin
          diverged := true;
@@ -253,13 +382,32 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
        Adam.step adam ~learning_rate:lr ~params:flat_params ~grad:flat_grad;
        for j = 0 to nc - 1 do
          let cap = sys.controls.(j).max_amp in
+         let lo = -.cap in
          for k = 0 to n_steps - 1 do
            let v = flat_params.((j * n_steps) + k) in
-           u.(j).(k) <- Float.max (-.cap) (Float.min cap v)
+           (* Float.max lo (Float.min cap v), stdlib bodies written out:
+              neither function is inlined by vanilla ocamlopt, and the
+              boxed float arguments dominated this loop's allocation
+              (~2 words per parameter per iteration). *)
+           let mn =
+             if v > cap || (not (Float.sign_bit v) && Float.sign_bit cap)
+             then if v <> v then v else cap
+             else if cap <> cap then cap
+             else v
+           in
+           let mx =
+             if mn > lo || (not (Float.sign_bit mn) && Float.sign_bit lo)
+             then if lo <> lo then lo else mn
+             else if mn <> mn then mn
+             else lo
+           in
+           u.(j).(k) <- mx
          done
        done
      done
    with Exit -> ());
+  if !memo_hits > 0 then
+    Obs.count ~by:(float_of_int !memo_hits) "grape.expm.memo_hits";
   if !prof_points <> [] then
     Obs.profile
       ~label:
@@ -269,7 +417,7 @@ let optimize ?(settings = default_settings) ?deadline (sys : Hamiltonian.t)
   { fidelity = !best_fidelity; iterations = !iterations; converged = !converged;
     diverged = !diverged; deadline_hit = !deadline_hit;
     total_time = float_of_int n_steps *. dt; n_steps; controls = best_u;
-    wall_time_s = Sys.time () -. t0 }
+    wall_time_s = now () -. t0 }
 
 let optimize_multistart ?(settings = default_settings) ?(starts = 3) ?deadline
     sys ~target ~total_time =

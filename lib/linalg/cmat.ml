@@ -1,35 +1,51 @@
-type t = { r : int; c : int; d : float array }
-(* Row-major, interleaved: entry (i, j) has real part at d.(2*(i*c + j)) and
-   imaginary part at the following index. *)
+module BA = Bigarray.Array1
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) BA.t
+
+type t = { r : int; c : int; d : buffer }
+(* Row-major, interleaved: entry (i, j) has real part at d.{2*(i*c + j)} and
+   imaginary part at the following index.  The backing store is a flat
+   [Bigarray.Array1] of float64s: elements are unboxed, reads/writes in the
+   kernels below use [unsafe_get]/[unsafe_set] (no bounds checks), and the
+   buffer is shareable with C-layout consumers. *)
 
 let rows m = m.r
 let cols m = m.c
 
-let create r c = { r; c; d = Array.make (2 * r * c) 0.0 }
+let ba_zeroed n =
+  let d = BA.create Bigarray.Float64 Bigarray.C_layout n in
+  BA.fill d 0.0;
+  d
+
+let create r c = { r; c; d = ba_zeroed (2 * r * c) }
+let data m = m.d
 
 let identity n =
   let m = create n n in
   for i = 0 to n - 1 do
-    m.d.(2 * ((i * n) + i)) <- 1.0
+    BA.unsafe_set m.d (2 * ((i * n) + i)) 1.0
   done;
   m
 
-let copy m = { m with d = Array.copy m.d }
+let copy m =
+  let d = BA.create Bigarray.Float64 Bigarray.C_layout (BA.dim m.d) in
+  BA.blit m.d d;
+  { m with d }
 
 let dims_equal a b = a.r = b.r && a.c = b.c
 
 let blit ~src ~dst =
   assert (dims_equal src dst);
-  Array.blit src.d 0 dst.d 0 (Array.length src.d)
+  BA.blit src.d dst.d
 
 let get m i j =
   let k = 2 * ((i * m.c) + j) in
-  { Complex.re = m.d.(k); im = m.d.(k + 1) }
+  { Complex.re = BA.get m.d k; im = BA.get m.d (k + 1) }
 
 let set m i j (z : Complex.t) =
   let k = 2 * ((i * m.c) + j) in
-  m.d.(k) <- z.re;
-  m.d.(k + 1) <- z.im
+  BA.set m.d k z.re;
+  BA.set m.d (k + 1) z.im
 
 let of_array a =
   let r = Array.length a in
@@ -48,8 +64,8 @@ let to_array m = Array.init m.r (fun i -> Array.init m.c (fun j -> get m i j))
 
 let add_into ~dst a b =
   assert (dims_equal a b && dims_equal a dst);
-  for k = 0 to Array.length a.d - 1 do
-    dst.d.(k) <- a.d.(k) +. b.d.(k)
+  for k = 0 to BA.dim a.d - 1 do
+    BA.unsafe_set dst.d k (BA.unsafe_get a.d k +. BA.unsafe_get b.d k)
   done
 
 let add a b =
@@ -60,53 +76,192 @@ let add a b =
 let sub a b =
   assert (dims_equal a b);
   let dst = create a.r a.c in
-  for k = 0 to Array.length a.d - 1 do
-    dst.d.(k) <- a.d.(k) -. b.d.(k)
+  for k = 0 to BA.dim a.d - 1 do
+    BA.unsafe_set dst.d k (BA.unsafe_get a.d k -. BA.unsafe_get b.d k)
   done;
   dst
 
-let scale_into ~dst (z : Complex.t) a =
+let scale_ri_into ~dst ~re:zre ~im:zim a =
   assert (dims_equal a dst);
-  for k = 0 to (Array.length a.d / 2) - 1 do
-    let re = a.d.(2 * k) and im = a.d.((2 * k) + 1) in
-    dst.d.(2 * k) <- (z.re *. re) -. (z.im *. im);
-    dst.d.((2 * k) + 1) <- (z.re *. im) +. (z.im *. re)
+  for k = 0 to (BA.dim a.d / 2) - 1 do
+    let re = BA.unsafe_get a.d (2 * k) and im = BA.unsafe_get a.d ((2 * k) + 1) in
+    BA.unsafe_set dst.d (2 * k) ((zre *. re) -. (zim *. im));
+    BA.unsafe_set dst.d ((2 * k) + 1) ((zre *. im) +. (zim *. re))
   done
+
+let scale_into ~dst (z : Complex.t) a = scale_ri_into ~dst ~re:z.re ~im:z.im a
 
 let scale z a =
   let dst = create a.r a.c in
   scale_into ~dst z a;
   dst
 
-let axpy ~alpha:(z : Complex.t) ~x ~y =
+let axpy_ri ~re:zre ~im:zim ~x ~y =
   assert (dims_equal x y);
-  for k = 0 to (Array.length x.d / 2) - 1 do
-    let re = x.d.(2 * k) and im = x.d.((2 * k) + 1) in
-    y.d.(2 * k) <- y.d.(2 * k) +. ((z.re *. re) -. (z.im *. im));
-    y.d.((2 * k) + 1) <- y.d.((2 * k) + 1) +. ((z.re *. im) +. (z.im *. re))
+  for k = 0 to (BA.dim x.d / 2) - 1 do
+    let re = BA.unsafe_get x.d (2 * k) and im = BA.unsafe_get x.d ((2 * k) + 1) in
+    BA.unsafe_set y.d (2 * k)
+      (BA.unsafe_get y.d (2 * k) +. ((zre *. re) -. (zim *. im)));
+    BA.unsafe_set y.d ((2 * k) + 1)
+      (BA.unsafe_get y.d ((2 * k) + 1) +. ((zre *. im) +. (zim *. re)))
   done
+
+let axpy ~alpha:(z : Complex.t) ~x ~y = axpy_ri ~re:z.re ~im:z.im ~x ~y
+
+(* Tile edge for the blocked product, in elements.  48 columns of interleaved
+   float64 pairs are 768 bytes, so an a-row segment plus the b-tile working
+   set stays inside L1 even at the top of the tile range. *)
+let mul_block = 48
+
+(* One output tile: rows i_lo..i_hi x cols j_lo..j_hi of dst = a * b.  The k
+   loop always runs its full range in ascending order, so every dst element
+   accumulates in exactly the same float order as the naive triple loop —
+   tiling changes which element is computed when, never the sum inside one
+   element.  That is the summation-order contract the bit-for-bit
+   determinism suite depends on. *)
+let mul_tile (ad : buffer) (bd : buffer) (dd : buffer) p q i_lo i_hi j_lo j_hi =
+  for i = i_lo to i_hi do
+    let ai = 2 * i * p and di = 2 * i * q in
+    for j = j_lo to j_hi do
+      let sre = ref 0.0 and sim = ref 0.0 in
+      let kb = ref (2 * j) in
+      for k = 0 to p - 1 do
+        let ka = ai + (2 * k) in
+        let are = BA.unsafe_get ad ka and aim = BA.unsafe_get ad (ka + 1) in
+        let bre = BA.unsafe_get bd !kb and bim = BA.unsafe_get bd (!kb + 1) in
+        sre := !sre +. ((are *. bre) -. (aim *. bim));
+        sim := !sim +. ((are *. bim) +. (aim *. bre));
+        kb := !kb + (2 * q)
+      done;
+      let kd = di + (2 * j) in
+      BA.unsafe_set dd kd !sre;
+      BA.unsafe_set dd (kd + 1) !sim
+    done
+  done
+
+(* Fully unrolled 2x2 product: the single-qubit (and qutrit-free) GRAPE
+   block size.  Sums carry the same leading [0.0 +. t0] and ascending-k adds
+   as the generic loop, so results are bit-identical. *)
+let mul2 (ad : buffer) (bd : buffer) (dd : buffer) =
+  let b00r = BA.unsafe_get bd 0 and b00i = BA.unsafe_get bd 1 in
+  let b01r = BA.unsafe_get bd 2 and b01i = BA.unsafe_get bd 3 in
+  let b10r = BA.unsafe_get bd 4 and b10i = BA.unsafe_get bd 5 in
+  let b11r = BA.unsafe_get bd 6 and b11i = BA.unsafe_get bd 7 in
+  for i = 0 to 1 do
+    let ai = 4 * i in
+    let a0r = BA.unsafe_get ad ai and a0i = BA.unsafe_get ad (ai + 1) in
+    let a1r = BA.unsafe_get ad (ai + 2) and a1i = BA.unsafe_get ad (ai + 3) in
+    BA.unsafe_set dd ai
+      ((0.0 +. ((a0r *. b00r) -. (a0i *. b00i))) +. ((a1r *. b10r) -. (a1i *. b10i)));
+    BA.unsafe_set dd (ai + 1)
+      ((0.0 +. ((a0r *. b00i) +. (a0i *. b00r))) +. ((a1r *. b10i) +. (a1i *. b10r)));
+    BA.unsafe_set dd (ai + 2)
+      ((0.0 +. ((a0r *. b01r) -. (a0i *. b01i))) +. ((a1r *. b11r) -. (a1i *. b11i)));
+    BA.unsafe_set dd (ai + 3)
+      ((0.0 +. ((a0r *. b01i) +. (a0i *. b01r))) +. ((a1r *. b11i) +. (a1i *. b11r)))
+  done
+
+(* Fully unrolled 4x4 product (the two-qubit gmon block size, the hot case
+   of the bench workloads): B is hoisted into locals once, each output sums
+   in the exact ascending-k order of the generic loop. *)
+let mul4 (ad : buffer) (bd : buffer) (dd : buffer) =
+  let b00r = BA.unsafe_get bd 0 and b00i = BA.unsafe_get bd 1 in
+  let b01r = BA.unsafe_get bd 2 and b01i = BA.unsafe_get bd 3 in
+  let b02r = BA.unsafe_get bd 4 and b02i = BA.unsafe_get bd 5 in
+  let b03r = BA.unsafe_get bd 6 and b03i = BA.unsafe_get bd 7 in
+  let b10r = BA.unsafe_get bd 8 and b10i = BA.unsafe_get bd 9 in
+  let b11r = BA.unsafe_get bd 10 and b11i = BA.unsafe_get bd 11 in
+  let b12r = BA.unsafe_get bd 12 and b12i = BA.unsafe_get bd 13 in
+  let b13r = BA.unsafe_get bd 14 and b13i = BA.unsafe_get bd 15 in
+  let b20r = BA.unsafe_get bd 16 and b20i = BA.unsafe_get bd 17 in
+  let b21r = BA.unsafe_get bd 18 and b21i = BA.unsafe_get bd 19 in
+  let b22r = BA.unsafe_get bd 20 and b22i = BA.unsafe_get bd 21 in
+  let b23r = BA.unsafe_get bd 22 and b23i = BA.unsafe_get bd 23 in
+  let b30r = BA.unsafe_get bd 24 and b30i = BA.unsafe_get bd 25 in
+  let b31r = BA.unsafe_get bd 26 and b31i = BA.unsafe_get bd 27 in
+  let b32r = BA.unsafe_get bd 28 and b32i = BA.unsafe_get bd 29 in
+  let b33r = BA.unsafe_get bd 30 and b33i = BA.unsafe_get bd 31 in
+  for i = 0 to 3 do
+    let ai = 8 * i in
+    let a0r = BA.unsafe_get ad ai and a0i = BA.unsafe_get ad (ai + 1) in
+    let a1r = BA.unsafe_get ad (ai + 2) and a1i = BA.unsafe_get ad (ai + 3) in
+    let a2r = BA.unsafe_get ad (ai + 4) and a2i = BA.unsafe_get ad (ai + 5) in
+    let a3r = BA.unsafe_get ad (ai + 6) and a3i = BA.unsafe_get ad (ai + 7) in
+    BA.unsafe_set dd ai
+      ((((0.0 +. ((a0r *. b00r) -. (a0i *. b00i)))
+         +. ((a1r *. b10r) -. (a1i *. b10i)))
+        +. ((a2r *. b20r) -. (a2i *. b20i)))
+      +. ((a3r *. b30r) -. (a3i *. b30i)));
+    BA.unsafe_set dd (ai + 1)
+      ((((0.0 +. ((a0r *. b00i) +. (a0i *. b00r)))
+         +. ((a1r *. b10i) +. (a1i *. b10r)))
+        +. ((a2r *. b20i) +. (a2i *. b20r)))
+      +. ((a3r *. b30i) +. (a3i *. b30r)));
+    BA.unsafe_set dd (ai + 2)
+      ((((0.0 +. ((a0r *. b01r) -. (a0i *. b01i)))
+         +. ((a1r *. b11r) -. (a1i *. b11i)))
+        +. ((a2r *. b21r) -. (a2i *. b21i)))
+      +. ((a3r *. b31r) -. (a3i *. b31i)));
+    BA.unsafe_set dd (ai + 3)
+      ((((0.0 +. ((a0r *. b01i) +. (a0i *. b01r)))
+         +. ((a1r *. b11i) +. (a1i *. b11r)))
+        +. ((a2r *. b21i) +. (a2i *. b21r)))
+      +. ((a3r *. b31i) +. (a3i *. b31r)));
+    BA.unsafe_set dd (ai + 4)
+      ((((0.0 +. ((a0r *. b02r) -. (a0i *. b02i)))
+         +. ((a1r *. b12r) -. (a1i *. b12i)))
+        +. ((a2r *. b22r) -. (a2i *. b22i)))
+      +. ((a3r *. b32r) -. (a3i *. b32i)));
+    BA.unsafe_set dd (ai + 5)
+      ((((0.0 +. ((a0r *. b02i) +. (a0i *. b02r)))
+         +. ((a1r *. b12i) +. (a1i *. b12r)))
+        +. ((a2r *. b22i) +. (a2i *. b22r)))
+      +. ((a3r *. b32i) +. (a3i *. b32r)));
+    BA.unsafe_set dd (ai + 6)
+      ((((0.0 +. ((a0r *. b03r) -. (a0i *. b03i)))
+         +. ((a1r *. b13r) -. (a1i *. b13i)))
+        +. ((a2r *. b23r) -. (a2i *. b23i)))
+      +. ((a3r *. b33r) -. (a3i *. b33i)));
+    BA.unsafe_set dd (ai + 7)
+      ((((0.0 +. ((a0r *. b03i) +. (a0i *. b03r)))
+         +. ((a1r *. b13i) +. (a1i *. b13r)))
+        +. ((a2r *. b23i) +. (a2i *. b23r)))
+      +. ((a3r *. b33i) +. (a3i *. b33r)))
+  done
+
+(* Precondition-free dispatch used by [mul_into] and by shape-safe internal
+   hot loops ([mul_into_unchecked]).  Callers guarantee compatible shapes
+   and no aliasing; violating either silently corrupts [dst]. *)
+let mul_dispatch ~dst a b =
+  let n = a.r and p = a.c and q = b.c in
+  let ad = a.d and bd = b.d and dd = dst.d in
+  if p = 4 && n = 4 && q = 4 then mul4 ad bd dd
+  else if p = 2 && n = 2 && q = 2 then mul2 ad bd dd
+  else if n <= mul_block && q <= mul_block then
+    (* Small matrices (the GRAPE slice regime, dim <= 81) are a single tile:
+       skip the blocking bookkeeping entirely. *)
+    mul_tile ad bd dd p q 0 (n - 1) 0 (q - 1)
+  else begin
+    (* Cache-blocked over the i/j output tiles only (k never splits). *)
+    let ii = ref 0 in
+    while !ii < n do
+      let i_hi = min n (!ii + mul_block) - 1 in
+      let jj = ref 0 in
+      while !jj < q do
+        let j_hi = min q (!jj + mul_block) - 1 in
+        mul_tile ad bd dd p q !ii i_hi !jj j_hi;
+        jj := !jj + mul_block
+      done;
+      ii := !ii + mul_block
+    done
+  end
+
+let mul_into_unchecked = mul_dispatch
 
 let mul_into ~dst a b =
   assert (a.c = b.r && dst.r = a.r && dst.c = b.c);
   assert (dst != a && dst != b);
-  let n = a.r and p = a.c and q = b.c in
-  let ad = a.d and bd = b.d and dd = dst.d in
-  for i = 0 to n - 1 do
-    let ai = i * p and di = i * q in
-    for j = 0 to q - 1 do
-      let sre = ref 0.0 and sim = ref 0.0 in
-      for k = 0 to p - 1 do
-        let ka = 2 * (ai + k) and kb = 2 * ((k * q) + j) in
-        let are = ad.(ka) and aim = ad.(ka + 1) in
-        let bre = bd.(kb) and bim = bd.(kb + 1) in
-        sre := !sre +. ((are *. bre) -. (aim *. bim));
-        sim := !sim +. ((are *. bim) +. (aim *. bre))
-      done;
-      let kd = 2 * (di + j) in
-      dd.(kd) <- !sre;
-      dd.(kd + 1) <- !sim
-    done
-  done
+  mul_dispatch ~dst a b
 
 let mul a b =
   let dst = create a.r b.c in
@@ -118,8 +273,8 @@ let dagger_into ~dst a =
   for i = 0 to a.r - 1 do
     for j = 0 to a.c - 1 do
       let ka = 2 * ((i * a.c) + j) and kd = 2 * ((j * dst.c) + i) in
-      dst.d.(kd) <- a.d.(ka);
-      dst.d.(kd + 1) <- -.a.d.(ka + 1)
+      BA.unsafe_set dst.d kd (BA.unsafe_get a.d ka);
+      BA.unsafe_set dst.d (kd + 1) (-.BA.unsafe_get a.d (ka + 1))
     done
   done
 
@@ -139,8 +294,8 @@ let transpose a =
 
 let conj a =
   let dst = copy a in
-  for k = 0 to (Array.length a.d / 2) - 1 do
-    dst.d.((2 * k) + 1) <- -.dst.d.((2 * k) + 1)
+  for k = 0 to (BA.dim a.d / 2) - 1 do
+    BA.unsafe_set dst.d ((2 * k) + 1) (-.BA.unsafe_get dst.d ((2 * k) + 1))
   done;
   dst
 
@@ -165,8 +320,8 @@ let trace m =
   let re = ref 0.0 and im = ref 0.0 in
   for i = 0 to m.r - 1 do
     let k = 2 * ((i * m.c) + i) in
-    re := !re +. m.d.(k);
-    im := !im +. m.d.(k + 1)
+    re := !re +. BA.unsafe_get m.d k;
+    im := !im +. BA.unsafe_get m.d (k + 1)
   done;
   { Complex.re = !re; im = !im }
 
@@ -176,20 +331,39 @@ let trace_of_product a b =
   for i = 0 to a.r - 1 do
     for j = 0 to a.c - 1 do
       let ka = 2 * ((i * a.c) + j) and kb = 2 * ((j * b.c) + i) in
-      let are = a.d.(ka) and aim = a.d.(ka + 1) in
-      let bre = b.d.(kb) and bim = b.d.(kb + 1) in
+      let are = BA.unsafe_get a.d ka and aim = BA.unsafe_get a.d (ka + 1) in
+      let bre = BA.unsafe_get b.d kb and bim = BA.unsafe_get b.d (kb + 1) in
       re := !re +. ((are *. bre) -. (aim *. bim));
       im := !im +. ((are *. bim) +. (aim *. bre))
     done
   done;
   { Complex.re = !re; im = !im }
 
+(* Allocation-free [trace_of_product]: results land in [dst.(0)]/[dst.(1)]
+   (a float array stores doubles unboxed, so the hot GRAPE gradient loop
+   allocates no Complex.t record per control/step).  Same accumulation
+   order as [trace_of_product]. *)
+let trace_of_product_into ~(dst : float array) a b =
+  assert (a.c = b.r && b.c = a.r && Array.length dst >= 2);
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to a.r - 1 do
+    for j = 0 to a.c - 1 do
+      let ka = 2 * ((i * a.c) + j) and kb = 2 * ((j * b.c) + i) in
+      let are = BA.unsafe_get a.d ka and aim = BA.unsafe_get a.d (ka + 1) in
+      let bre = BA.unsafe_get b.d kb and bim = BA.unsafe_get b.d (kb + 1) in
+      re := !re +. ((are *. bre) -. (aim *. bim));
+      im := !im +. ((are *. bim) +. (aim *. bre))
+    done
+  done;
+  dst.(0) <- !re;
+  dst.(1) <- !im
+
 let inner a b =
   assert (dims_equal a b);
   let re = ref 0.0 and im = ref 0.0 in
-  for k = 0 to (Array.length a.d / 2) - 1 do
-    let are = a.d.(2 * k) and aim = a.d.((2 * k) + 1) in
-    let bre = b.d.(2 * k) and bim = b.d.((2 * k) + 1) in
+  for k = 0 to (BA.dim a.d / 2) - 1 do
+    let are = BA.unsafe_get a.d (2 * k) and aim = BA.unsafe_get a.d ((2 * k) + 1) in
+    let bre = BA.unsafe_get b.d (2 * k) and bim = BA.unsafe_get b.d ((2 * k) + 1) in
     (* conj(a) * b *)
     re := !re +. ((are *. bre) +. (aim *. bim));
     im := !im +. ((are *. bim) -. (aim *. bre))
@@ -198,8 +372,9 @@ let inner a b =
 
 let frobenius_norm m =
   let s = ref 0.0 in
-  for k = 0 to Array.length m.d - 1 do
-    s := !s +. (m.d.(k) *. m.d.(k))
+  for k = 0 to BA.dim m.d - 1 do
+    let x = BA.unsafe_get m.d k in
+    s := !s +. (x *. x)
   done;
   sqrt !s
 
@@ -209,7 +384,8 @@ let one_norm m =
     let s = ref 0.0 in
     for i = 0 to m.r - 1 do
       let k = 2 * ((i * m.c) + j) in
-      s := !s +. sqrt ((m.d.(k) *. m.d.(k)) +. (m.d.(k + 1) *. m.d.(k + 1)))
+      let re = BA.unsafe_get m.d k and im = BA.unsafe_get m.d (k + 1) in
+      s := !s +. sqrt ((re *. re) +. (im *. im))
     done;
     if !s > !best then best := !s
   done;
@@ -218,9 +394,9 @@ let one_norm m =
 let max_abs_diff a b =
   assert (dims_equal a b);
   let best = ref 0.0 in
-  for k = 0 to (Array.length a.d / 2) - 1 do
-    let dre = a.d.(2 * k) -. b.d.(2 * k) in
-    let dim = a.d.((2 * k) + 1) -. b.d.((2 * k) + 1) in
+  for k = 0 to (BA.dim a.d / 2) - 1 do
+    let dre = BA.unsafe_get a.d (2 * k) -. BA.unsafe_get b.d (2 * k) in
+    let dim = BA.unsafe_get a.d ((2 * k) + 1) -. BA.unsafe_get b.d ((2 * k) + 1) in
     let m = sqrt ((dre *. dre) +. (dim *. dim)) in
     if m > !best then best := m
   done;

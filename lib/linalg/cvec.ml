@@ -1,22 +1,34 @@
-type t = { n : int; d : float array }
+module BA = Bigarray.Array1
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) BA.t
+
+type t = { n : int; d : buffer }
+(* Interleaved like Cmat: component k's real part at d.{2k}, imaginary part
+   at d.{2k+1}, stored unboxed in a flat float64 Bigarray. *)
 
 let dim v = v.n
 
-let create n = { n; d = Array.make (2 * n) 0.0 }
+let create n =
+  let d = BA.create Bigarray.Float64 Bigarray.C_layout (2 * n) in
+  BA.fill d 0.0;
+  { n; d }
 
 let basis n k =
   assert (k >= 0 && k < n);
   let v = create n in
-  v.d.(2 * k) <- 1.0;
+  BA.set v.d (2 * k) 1.0;
   v
 
-let copy v = { v with d = Array.copy v.d }
+let copy v =
+  let d = BA.create Bigarray.Float64 Bigarray.C_layout (2 * v.n) in
+  BA.blit v.d d;
+  { v with d }
 
-let get v k = { Complex.re = v.d.(2 * k); im = v.d.((2 * k) + 1) }
+let get v k = { Complex.re = BA.get v.d (2 * k); im = BA.get v.d ((2 * k) + 1) }
 
 let set v k (z : Complex.t) =
-  v.d.(2 * k) <- z.re;
-  v.d.((2 * k) + 1) <- z.im
+  BA.set v.d (2 * k) z.re;
+  BA.set v.d ((2 * k) + 1) z.im
 
 let of_array a =
   let v = create (Array.length a) in
@@ -29,8 +41,8 @@ let dot a b =
   assert (a.n = b.n);
   let re = ref 0.0 and im = ref 0.0 in
   for k = 0 to a.n - 1 do
-    let are = a.d.(2 * k) and aim = a.d.((2 * k) + 1) in
-    let bre = b.d.(2 * k) and bim = b.d.((2 * k) + 1) in
+    let are = BA.unsafe_get a.d (2 * k) and aim = BA.unsafe_get a.d ((2 * k) + 1) in
+    let bre = BA.unsafe_get b.d (2 * k) and bim = BA.unsafe_get b.d ((2 * k) + 1) in
     re := !re +. ((are *. bre) +. (aim *. bim));
     im := !im +. ((are *. bim) -. (aim *. bre))
   done;
@@ -53,8 +65,8 @@ let normalize v =
 let add a b =
   assert (a.n = b.n);
   let out = create a.n in
-  for k = 0 to Array.length a.d - 1 do
-    out.d.(k) <- a.d.(k) +. b.d.(k)
+  for k = 0 to BA.dim a.d - 1 do
+    BA.unsafe_set out.d k (BA.unsafe_get a.d k +. BA.unsafe_get b.d k)
   done;
   out
 
@@ -68,7 +80,11 @@ let max_abs_diff a b =
   !best
 
 let probability v k =
-  let re = v.d.(2 * k) and im = v.d.((2 * k) + 1) in
+  let re = BA.get v.d (2 * k) and im = BA.get v.d ((2 * k) + 1) in
   (re *. re) +. (im *. im)
 
 let unsafe_data v = v.d
+
+let blit ~src ~dst =
+  assert (src.n = dst.n);
+  BA.blit src.d dst.d

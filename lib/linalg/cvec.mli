@@ -1,7 +1,10 @@
 (** Dense complex vectors, the state-vector representation for the quantum
-    simulator.  Same interleaved flat-array layout as {!Cmat}. *)
+    simulator.  Same interleaved flat-Bigarray layout as {!Cmat}. *)
 
 type t
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The flat backing store: [2 * dim] float64s, interleaved. *)
 
 val dim : t -> int
 
@@ -38,4 +41,7 @@ val probability : t -> int -> float
 
 (** Raw interleaved storage, exposed for the simulator's in-place gate
     kernels: real part of component [k] at index [2k], imaginary at [2k+1]. *)
-val unsafe_data : t -> float array
+val unsafe_data : t -> buffer
+
+val blit : src:t -> dst:t -> unit
+(** Copy contents; dimensions must match. *)

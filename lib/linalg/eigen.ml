@@ -6,8 +6,24 @@
    where s carries the phase of a_pq.  Off-diagonal mass strictly
    decreases, giving the usual quadratic convergence over sweeps. *)
 
-(* Real scalar times complex. *)
-let rs c (z : Complex.t) = { Complex.re = c *. z.re; im = c *. z.im }
+module BA = Bigarray.Array1
+
+(* Flat-buffer core of one Jacobi rotation: mix the amplitude pair (x, y) at
+   flat offsets [kx]/[ky] with
+
+     x' = c*x + w*y        y' = c*y - u*x
+
+   for real [c] and complex [w]/[u].  The formulas transcribe the previous
+   Complex.add/mul/sub implementation operation for operation (including the
+   conjugation sign being negated once, outside, exactly as [Complex.conj]
+   did), so results are bit-identical to the boxed version. *)
+let[@inline] mix (d : Cmat.buffer) kx ky c wre wim ure uim =
+  let xre = BA.unsafe_get d kx and xim = BA.unsafe_get d (kx + 1) in
+  let yre = BA.unsafe_get d ky and yim = BA.unsafe_get d (ky + 1) in
+  BA.unsafe_set d kx ((c *. xre) +. ((wre *. yre) -. (wim *. yim)));
+  BA.unsafe_set d (kx + 1) ((c *. xim) +. ((wre *. yim) +. (wim *. yre)));
+  BA.unsafe_set d ky ((c *. yre) -. ((ure *. xre) -. (uim *. xim)));
+  BA.unsafe_set d (ky + 1) ((c *. yim) -. ((ure *. xim) +. (uim *. xre)))
 
 let rotate a v n p q =
   let apq = Cmat.get a p q in
@@ -21,31 +37,24 @@ let rotate a v n p q =
     (* Phase of a_pq distributes onto the rotation. *)
     let phase = Complex.div apq { Complex.re = norm_apq; im = 0.0 } in
     let s = Complex.mul { Complex.re = s_mag; im = 0.0 } phase in
-    let s_conj = Complex.conj s in
-    (* Update rows/columns p and q of [a] (Hermitian, so mirror), and
-       accumulate into the eigenvector matrix [v]. *)
+    let cre = s.re and cim = -.s.im in
+    (* conj s *)
+    let ad = Cmat.data a and vd = Cmat.data v in
+    (* Columns p/q of [a] (Hermitian, rows mirrored below):
+       a_kp' = c*a_kp + conj(s)*a_kq,  a_kq' = c*a_kq - s*a_kp. *)
     for k = 0 to n - 1 do
-      let akp = Cmat.get a k p and akq = Cmat.get a k q in
-      let new_kp = Complex.add (rs c akp) (Complex.mul s_conj akq) in
-      let new_kq =
-        Complex.sub (rs c akq) (Complex.mul s akp)
-      in
-      Cmat.set a k p new_kp;
-      Cmat.set a k q new_kq
+      let base = 2 * k * n in
+      mix ad (base + (2 * p)) (base + (2 * q)) c cre cim s.re s.im
     done;
+    (* Rows p/q: a_pk' = c*a_pk + s*a_qk,  a_qk' = c*a_qk - conj(s)*a_pk. *)
+    let rp = 2 * p * n and rq = 2 * q * n in
     for k = 0 to n - 1 do
-      let apk = Cmat.get a p k and aqk = Cmat.get a q k in
-      let new_pk = Complex.add (rs c apk) (Complex.mul s aqk) in
-      let new_qk = Complex.sub (rs c aqk) (Complex.mul s_conj apk) in
-      Cmat.set a p k new_pk;
-      Cmat.set a q k new_qk
+      mix ad (rp + (2 * k)) (rq + (2 * k)) c s.re s.im cre cim
     done;
+    (* Eigenvector columns accumulate exactly like the columns of [a]. *)
     for k = 0 to n - 1 do
-      let vkp = Cmat.get v k p and vkq = Cmat.get v k q in
-      let new_kp = Complex.add (rs c vkp) (Complex.mul s_conj vkq) in
-      let new_kq = Complex.sub (rs c vkq) (Complex.mul s vkp) in
-      Cmat.set v k p new_kp;
-      Cmat.set v k q new_kq
+      let base = 2 * k * n in
+      mix vd (base + (2 * p)) (base + (2 * q)) c cre cim s.re s.im
     done
   end
 

@@ -14,7 +14,9 @@ val make_ws : int -> ws
 
 val expm_into : ws -> dst:Cmat.t -> Cmat.t -> unit
 (** [expm_into ws ~dst a] stores exp(a) in [dst].  [dst] must not alias [a].
-    Dimensions must match the workspace. *)
+    Dimensions must match the workspace.  Performs no per-call heap
+    allocation: all scratch (including the identity seed of the Taylor
+    series) lives in [ws]. *)
 
 val expm : Cmat.t -> Cmat.t
 (** One-shot exponential (allocates a workspace). *)

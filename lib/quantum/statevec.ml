@@ -1,5 +1,7 @@
 module Cmat = Pqc_linalg.Cmat
 module Cvec = Pqc_linalg.Cvec
+module BA = Bigarray.Array1
+
 let init n = Cvec.basis (1 lsl n) 0
 
 let n_of_dim dim =
@@ -21,16 +23,16 @@ let apply_1q psi g bit_pos =
   for i = 0 to dim - 1 do
     if i land bit = 0 then begin
       let j = i lor bit in
-      let xre = d.(2 * i) and xim = d.((2 * i) + 1) in
-      let yre = d.(2 * j) and yim = d.((2 * j) + 1) in
+      let xre = BA.unsafe_get d (2 * i) and xim = BA.unsafe_get d ((2 * i) + 1) in
+      let yre = BA.unsafe_get d (2 * j) and yim = BA.unsafe_get d ((2 * j) + 1) in
       a_re := (g00.re *. xre) -. (g00.im *. xim) +. (g01.re *. yre) -. (g01.im *. yim);
       a_im := (g00.re *. xim) +. (g00.im *. xre) +. (g01.re *. yim) +. (g01.im *. yre);
       let bre = (g10.re *. xre) -. (g10.im *. xim) +. (g11.re *. yre) -. (g11.im *. yim) in
       let bim = (g10.re *. xim) +. (g10.im *. xre) +. (g11.re *. yim) +. (g11.im *. yre) in
-      d.(2 * i) <- !a_re;
-      d.((2 * i) + 1) <- !a_im;
-      d.(2 * j) <- bre;
-      d.((2 * j) + 1) <- bim
+      BA.unsafe_set d (2 * i) !a_re;
+      BA.unsafe_set d ((2 * i) + 1) !a_im;
+      BA.unsafe_set d (2 * j) bre;
+      BA.unsafe_set d ((2 * j) + 1) bim
     end
   done
 
@@ -47,8 +49,8 @@ let apply_2q psi g hi_pos lo_pos =
     if i land hi = 0 && i land lo = 0 then begin
       let idx = [| i; i lor lo; i lor hi; i lor hi lor lo |] in
       for s = 0 to 3 do
-        amp.(2 * s) <- d.(2 * idx.(s));
-        amp.((2 * s) + 1) <- d.((2 * idx.(s)) + 1)
+        amp.(2 * s) <- BA.unsafe_get d (2 * idx.(s));
+        amp.((2 * s) + 1) <- BA.unsafe_get d ((2 * idx.(s)) + 1)
       done;
       for r = 0 to 3 do
         let sre = ref 0.0 and sim = ref 0.0 in
@@ -57,8 +59,8 @@ let apply_2q psi g hi_pos lo_pos =
           sre := !sre +. ((z.re *. amp.(2 * s)) -. (z.im *. amp.((2 * s) + 1)));
           sim := !sim +. ((z.re *. amp.((2 * s) + 1)) +. (z.im *. amp.(2 * s)))
         done;
-        d.(2 * idx.(r)) <- !sre;
-        d.((2 * idx.(r)) + 1) <- !sim
+        BA.unsafe_set d (2 * idx.(r)) !sre;
+        BA.unsafe_set d ((2 * idx.(r)) + 1) !sim
       done
     end
   done
@@ -72,7 +74,7 @@ let apply_matrix psi g qubits =
   | _ ->
     let full = Circuit.embed ~n g qubits in
     let out = Cmat.apply full psi in
-    Array.blit (Cvec.unsafe_data out) 0 (Cvec.unsafe_data psi) 0 (2 * Cvec.dim psi)
+    Cvec.blit ~src:out ~dst:psi
 
 let apply_gate psi gate ~theta qubits =
   apply_matrix psi (Gate.matrix gate ~theta) qubits

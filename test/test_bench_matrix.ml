@@ -202,6 +202,37 @@ let test_matrix_determinism_across_driver_workers () =
           let j4 = Bench_rollup.to_json (Bench_rollup.normalize (roll dir4)) in
           checks "normalized rollups byte-identical" j1 j4))
 
+let test_smoke_manifest_determinism_extended () =
+  (* Extended determinism over the committed smoke manifest (the one the
+     matrix CI job sweeps): a third worker count, on the full 24-cell
+     matrix rather than the 4-cell mini manifest above.  Any
+     summation-order drift in the numeric kernels, or order-dependence in
+     the driver, shows up as a rollup byte diff here. *)
+  let m =
+    ok_or_fail "smoke manifest"
+      (Bench_matrix.load_manifest ~path:"../bench/workloads/smoke.json")
+  in
+  let run ~workers dir =
+    List.iter
+      (fun o ->
+        match o.Bench_matrix.status with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.failf "cell %s failed: %s" o.Bench_matrix.cell.Bench_matrix.id
+            e)
+      (Bench_matrix.run ~workers m ~out_dir:dir)
+  in
+  with_temp_dir (fun dir1 ->
+      with_temp_dir (fun dir3 ->
+          run ~workers:1 dir1;
+          run ~workers:3 dir3;
+          let roll dir =
+            ok_or_fail "rollup" (Bench_rollup.of_results_dir ~dir)
+          in
+          let j1 = Bench_rollup.to_json (Bench_rollup.normalize (roll dir1)) in
+          let j3 = Bench_rollup.to_json (Bench_rollup.normalize (roll dir3)) in
+          checks "smoke rollups byte-identical at workers 1 vs 3" j1 j3))
+
 let test_rollup_aggregation () =
   with_temp_dir (fun dir ->
       ignore (run_matrix ~workers:2 dir);
@@ -561,7 +592,9 @@ let () =
       ( "execution",
         [ Alcotest.test_case "per-cell artifacts" `Quick test_matrix_artifacts;
           Alcotest.test_case "deterministic across driver workers" `Quick
-            test_matrix_determinism_across_driver_workers ] );
+            test_matrix_determinism_across_driver_workers;
+          Alcotest.test_case "smoke manifest determinism (extended)" `Slow
+            test_smoke_manifest_determinism_extended ] );
       ( "rollup",
         [ Alcotest.test_case "fleet aggregation" `Quick test_rollup_aggregation;
           Alcotest.test_case "missing cell detection" `Quick

@@ -187,6 +187,25 @@ let test_engine_numeric_cached () =
   let second = Sys.time () -. t1 in
   Alcotest.(check bool) "cache hit much faster" true (second < first /. 5.0 +. 1e-3)
 
+let test_hyperopt_cost_wall_clock () =
+  (* Regression for the timing-clock bug: [hyperopt_cost]'s [seconds] was
+     [Sys.time]-based (process CPU time) and started after [system_for]
+     ran.  A sleeping [system_for] burns no CPU, so the old clock reported
+     ~0 for it on both counts; the wall clock started before construction
+     must see the sleep. *)
+  let engine =
+    Engine.numeric
+      ~settings:{ Grape.fast_settings with Grape.max_iters = 2 }
+      ~system_for:(fun w ->
+        Unix.sleepf 0.08;
+        Hamiltonian.gmon w)
+      ()
+  in
+  let c = Circuit.of_gates 1 [ (Gate.H, [ 0 ]) ] in
+  let cost = Engine.hyperopt_cost engine c ~duration:2.0 in
+  Alcotest.(check bool) "wall clock sees the sleep" true
+    (cost.Engine.seconds >= 0.05)
+
 let test_tuned_run_cheaper_than_search () =
   let c = Circuit.of_gates 2 [ (Gate.CX, [0;1]); (Gate.H, [0]); (Gate.CX, [0;1]) ] in
   let search = (Engine.search Engine.model c).Engine.search_cost in
@@ -373,6 +392,8 @@ let () =
           Alcotest.test_case "rejects unbound" `Quick test_engine_rejects_unbound;
           Alcotest.test_case "numeric 1q" `Slow test_engine_numeric_1q;
           Alcotest.test_case "numeric cached" `Slow test_engine_numeric_cached;
+          Alcotest.test_case "hyperopt cost wall clock" `Slow
+            test_hyperopt_cost_wall_clock;
           Alcotest.test_case "tuned cheaper" `Quick test_tuned_run_cheaper_than_search ] );
       ( "strategy",
         [ Alcotest.test_case "makespan parallel" `Quick test_makespan_parallel;

@@ -103,6 +103,56 @@ let test_grape_propagate_consistent () =
   Alcotest.(check bool) "controls reproduce fidelity" true
     (Float.abs (f -. r.fidelity) < 1e-6)
 
+let test_propagate_matches_allocating_reference () =
+  (* [Grape.propagate] accumulates in place with ping-pong buffers and a
+     reused expm workspace; this reference is the old allocating
+     implementation (fresh Hamiltonian, generator, exponential and product
+     per time step).  Under the summation-order contract the two must agree
+     to the last bit, not just to a tolerance. *)
+  let old_propagate (sys : Hamiltonian.t) ~dt u =
+    let dim = sys.Hamiltonian.dim in
+    let n_steps = if Array.length u = 0 then 0 else Array.length u.(0) in
+    let acc = ref (Cmat.identity dim) in
+    for k = 0 to n_steps - 1 do
+      let h = Cmat.copy sys.Hamiltonian.drift in
+      Array.iteri
+        (fun j row ->
+          Cmat.axpy
+            ~alpha:{ Complex.re = row.(k); im = 0.0 }
+            ~x:sys.Hamiltonian.controls.(j).Hamiltonian.matrix ~y:h)
+        u;
+      let gen = Cmat.scale { Complex.re = 0.0; im = -.dt } h in
+      let uk = Pqc_linalg.Expm.expm gen in
+      acc := Cmat.mul uk !acc
+    done;
+    !acc
+  in
+  let rng = Pqc_util.Rng.create 42 in
+  List.iter
+    (fun n ->
+      let sys = Hamiltonian.gmon n in
+      let nc = Array.length sys.Hamiltonian.controls in
+      let n_steps = 7 in
+      let u =
+        Array.init nc (fun _ ->
+            Array.init n_steps (fun _ ->
+                Pqc_util.Rng.uniform rng ~lo:(-0.5) ~hi:0.5))
+      in
+      let fast = Grape.propagate sys ~dt:0.3 u in
+      let slow = old_propagate sys ~dt:0.3 u in
+      for i = 0 to Cmat.rows fast - 1 do
+        for j = 0 to Cmat.cols fast - 1 do
+          let x = Cmat.get fast i j and y = Cmat.get slow i j in
+          if
+            Int64.bits_of_float x.Complex.re <> Int64.bits_of_float y.Complex.re
+            || Int64.bits_of_float x.im <> Int64.bits_of_float y.im
+          then
+            Alcotest.failf "gmon %d: entry (%d,%d) differs: (%h,%h) vs (%h,%h)"
+              n i j x.Complex.re x.im y.Complex.re y.im
+        done
+      done)
+    [ 1; 2 ]
+
 let test_grape_respects_amp_bounds () =
   let sys = Hamiltonian.gmon 1 in
   let r = Grape.optimize ~settings:quick sys ~target:(gate_target 1 Gate.X [ 0 ]) ~total_time:3.0 in
@@ -257,6 +307,8 @@ let () =
         [ Alcotest.test_case "X gate" `Quick test_grape_x_gate;
           Alcotest.test_case "H gate" `Quick test_grape_h_gate;
           Alcotest.test_case "propagate consistency" `Quick test_grape_propagate_consistent;
+          Alcotest.test_case "propagate = allocating reference" `Quick
+            test_propagate_matches_allocating_reference;
           Alcotest.test_case "amplitude bounds" `Quick test_grape_respects_amp_bounds;
           Alcotest.test_case "CX" `Slow test_grape_cx;
           Alcotest.test_case "deterministic" `Quick test_grape_deterministic ] );
