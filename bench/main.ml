@@ -751,15 +751,22 @@ let bench_json () =
       target_fidelity = 0.98 }
   in
   let run_one (name, strategy, max_width, c) =
+    (* Deterministic per-experiment correlation id: a pure function of
+       the experiment name and strategy, so the report's run_id column
+       is byte-identical for any PQC_WORKERS. *)
+    let rid =
+      Printf.sprintf "bench:%s/%s" name (Compiler.strategy_name strategy)
+    in
+    Pqc_obs.Obs.Ctx.with_ctx (Some rid) @@ fun () ->
     let theta = theta_for 7 c in
     (* A fresh engine per run: neither run may warm the other's cache,
        and forked children's CPU only shows up on the wall clock — hence
        gettimeofday, not Sys.time. *)
     let compile ~workers =
       let engine = Engine.numeric ~settings () in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Pqc_obs.Obs.Clock.now () in
       let r = Compiler.compile ~workers ~max_width ~engine strategy c ~theta in
-      (r, Unix.gettimeofday () -. t0)
+      (r, Pqc_obs.Obs.Clock.now () -. t0)
     in
     let seq, sequential_s = compile ~workers:1 in
     (* Trace the parallel run: its span rollup lands in the report's
@@ -800,6 +807,7 @@ let bench_json () =
     { Bench_report.name;
       strategy = Compiler.strategy_name strategy;
       engine = "numeric";
+      run_id = rid;
       pulse_duration_ns = par.Strategy.duration_ns;
       sequential_s;
       parallel_s;
@@ -854,9 +862,9 @@ let () =
       | Some f ->
         (* Wall clock: [Sys.time] is process CPU time, which misses the
            forked workers' CPU entirely and overstates multi-domain runs. *)
-        let t0 = Unix.gettimeofday () in
+        let t0 = Pqc_obs.Obs.Clock.now () in
         f ();
-        Printf.printf "[%s done in %.1f s]\n%!" name (Unix.gettimeofday () -. t0)
+        Printf.printf "[%s done in %.1f s]\n%!" name (Pqc_obs.Obs.Clock.now () -. t0)
       | None ->
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat " " (List.map fst experiments)))

@@ -162,11 +162,17 @@ let compile_info_for strategy circuit =
     degradations = List.length r.Strategy.degradations }
 
 (* [f] receives the recorder (or None when no path was given).  An
-   unwritable path is a usage problem: one line on stderr, exit 2. *)
+   unwritable path is a usage problem: one line on stderr, exit 2.  The
+   whole run — the compile-context probe and every recorded iteration —
+   shares one minted run_id, so the JSONL joins against the traces and
+   cache entries the embedded compiles produce. *)
 let with_run_log run_log ~strategy ~algo ~label ~circuit f =
   match run_log with
   | None -> f None
   | Some path -> (
+    Pqc_obs.Obs.Ctx.with_ctx
+      (Some (Pqc_obs.Obs.Ctx.mint (algo ^ ":" ^ label)))
+    @@ fun () ->
     let info = compile_info_for strategy circuit in
     match Pqc_obs.Run_log.create ~info ~algo ~label ~path () with
     | exception Sys_error e ->
@@ -593,6 +599,159 @@ let run_bench_rollup dir out =
     Printf.printf "wrote %s\n" out;
     if rollup.Bench_rollup.missing_cells = [] then 0 else 1
 
+(* --- obs: exposition tooling --- *)
+
+let read_whole_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Registry files for [obs export]: a path is either one metrics.reg
+   file or a matrix results directory holding <cell>/metrics.reg files
+   (the layout [bench matrix] writes). *)
+let registry_files path =
+  if Sys.is_directory path then
+    let direct = Filename.concat path "metrics.reg" in
+    let per_cell =
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.filter_map (fun entry ->
+             let p = Filename.concat path entry in
+             let reg = Filename.concat p "metrics.reg" in
+             if Sys.is_directory p && Sys.file_exists reg then Some reg
+             else None)
+    in
+    if Sys.file_exists direct then direct :: per_cell else per_cell
+  else [ path ]
+
+let write_or_stdout out contents =
+  match out with
+  | None -> print_string contents
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc contents);
+    Printf.printf "wrote %s\n" path
+
+let run_obs_export inputs out =
+  let module Obs = Pqc_obs.Obs in
+  let files = List.concat_map registry_files inputs in
+  match files with
+  | [] ->
+    Printf.eprintf "partialc: no metrics.reg files under %s\n"
+      (String.concat " " inputs);
+    2
+  | files -> (
+    match
+      let agg = Obs.Metrics.Agg.create () in
+      List.iter
+        (fun f ->
+          String.split_on_char '\n' (read_whole_file f)
+          |> List.iter (fun line ->
+                 if String.trim line <> "" then Obs.Metrics.Agg.absorb agg line))
+        files;
+      agg
+    with
+    | exception Sys_error e ->
+      Printf.eprintf "partialc: %s\n" e;
+      2
+    | agg ->
+      write_or_stdout out (Obs.Metrics.Agg.prometheus agg);
+      0)
+
+let run_obs_flamegraph trace mode out =
+  match read_whole_file trace with
+  | exception Sys_error e ->
+    Printf.eprintf "partialc: %s\n" e;
+    2
+  | doc -> (
+    match Pqc_obs.Obs.flamegraph_of_chrome ~mode doc with
+    | Error e ->
+      Printf.eprintf "partialc: %s: %s\n" trace e;
+      2
+    | Ok folded ->
+      write_or_stdout out folded;
+      0)
+
+let show_record (r : Pqc_obs.Run_log.record) =
+  Printf.printf "%-12s seq=%-5s iter=%-5d energy=% .6g elapsed=%.3fs %s/%s\n"
+    (Option.value ~default:"-" r.r_run_id)
+    (match r.r_seq with Some s -> string_of_int s | None -> "-")
+    r.r_iteration r.r_energy r.r_elapsed_s r.r_algo r.r_label
+
+let run_obs_tail path run_id last =
+  match Pqc_obs.Run_log.read_file path with
+  | exception Sys_error e ->
+    Printf.eprintf "partialc: %s\n" e;
+    2
+  | records ->
+    let records =
+      match run_id with
+      | None -> records
+      | Some rid ->
+        List.filter
+          (fun (r : Pqc_obs.Run_log.record) -> r.r_run_id = Some rid)
+          records
+    in
+    let n = List.length records in
+    let tail =
+      if n <= last then records
+      else List.filteri (fun i _ -> i >= n - last) records
+    in
+    List.iter show_record tail;
+    Printf.printf "%d of %d records\n" (List.length tail) n;
+    0
+
+(* Join: group records from several logs by run_id, so one correlation
+   id can be followed across files written by different processes. *)
+let run_obs_join paths run_id =
+  match List.concat_map Pqc_obs.Run_log.read_file paths with
+  | exception Sys_error e ->
+    Printf.eprintf "partialc: %s\n" e;
+    2
+  | records -> (
+    match run_id with
+    | Some rid ->
+      let mine =
+        List.filter
+          (fun (r : Pqc_obs.Run_log.record) -> r.r_run_id = Some rid)
+          records
+      in
+      let mine =
+        List.stable_sort
+          (fun (a : Pqc_obs.Run_log.record) (b : Pqc_obs.Run_log.record) ->
+            compare a.r_seq b.r_seq)
+          mine
+      in
+      List.iter show_record mine;
+      Printf.printf "%d records for run %s\n" (List.length mine) rid;
+      if mine = [] then 1 else 0
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (r : Pqc_obs.Run_log.record) ->
+          let key = Option.value ~default:"-" r.r_run_id in
+          let count, last = try Hashtbl.find tbl key with Not_found -> (0, r) in
+          let last =
+            if compare r.r_seq last.Pqc_obs.Run_log.r_seq >= 0 then r else last
+          in
+          Hashtbl.replace tbl key (count + 1, last))
+        records;
+      let rows =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let t = Table.create [ "run_id"; "records"; "algo/label"; "last energy" ] in
+      List.iter
+        (fun (rid, (count, (last : Pqc_obs.Run_log.record))) ->
+          Table.add_row t
+            [ rid; string_of_int count;
+              last.r_algo ^ "/" ^ last.r_label;
+              Printf.sprintf "%.6g" last.r_energy ])
+        rows;
+      Table.print t;
+      0)
+
 (* --- cmdliner plumbing --- *)
 
 open Cmdliner
@@ -892,6 +1051,112 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Benchmark report tooling")
     [ diff_cmd; matrix_cmd; rollup_cmd ]
 
+let obs_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+        & info [ "out"; "o" ] ~docv:"OUT"
+            ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run_id_arg =
+    Arg.(value & opt (some string) None
+        & info [ "run-id" ] ~docv:"RID"
+            ~doc:"Only records carrying correlation id $(docv).")
+  in
+  let export_cmd =
+    let inputs =
+      Arg.(non_empty & pos_all string []
+          & info [] ~docv:"PATH"
+              ~doc:
+                "A metrics.reg registry file, or a $(b,bench matrix) \
+                 results directory whose cells' registries are merged.")
+    in
+    (* --prometheus is the only format today; the flag is required so
+       adding a second format later is not a breaking change. *)
+    let prometheus =
+      Arg.(value & flag
+          & info [ "prometheus" ]
+              ~doc:"Render the Prometheus text exposition format.")
+    in
+    let run prometheus inputs out =
+      if not prometheus then begin
+        prerr_endline "obs export: pass --prometheus (the only format)";
+        2
+      end
+      else run_obs_export inputs out
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Merge serialized histogram registries and render them as \
+            Prometheus text exposition (exit 0, 2 unreadable input)")
+      Term.(const run $ prometheus $ inputs $ out_arg)
+  in
+  let flamegraph_cmd =
+    let trace =
+      Arg.(required & pos 0 (some file) None
+          & info [] ~docv:"TRACE.json"
+              ~doc:"Chrome trace file written by --trace or $(b,PQC_TRACE).")
+    in
+    let mode =
+      let mode_conv =
+        Arg.conv
+          ( (function
+             | "time" -> Ok `Time
+             | "count" -> Ok `Count
+             | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))),
+            fun fmt m ->
+              Format.pp_print_string fmt
+                (match m with `Time -> "time" | `Count -> "count") )
+      in
+      Arg.(value & opt mode_conv `Time
+          & info [ "mode" ] ~docv:"time|count"
+              ~doc:
+                "Weighting: $(b,time) (self microseconds) or $(b,count) \
+                 (1 per span — bit-stable across runs).")
+    in
+    Cmd.v
+      (Cmd.info "flamegraph"
+         ~doc:
+           "Convert a Chrome trace to folded-stack flamegraph lines \
+            (exit 0, 2 unreadable input)")
+      Term.(const run_obs_flamegraph $ trace $ mode $ out_arg)
+  in
+  let tail_cmd =
+    let path =
+      Arg.(required & pos 0 (some file) None
+          & info [] ~docv:"RUN.jsonl" ~doc:"Run log to read.")
+    in
+    let last =
+      Arg.(value & opt int 10
+          & info [ "n" ] ~docv:"N" ~doc:"Show the last $(docv) records.")
+    in
+    Cmd.v
+      (Cmd.info "tail"
+         ~doc:
+           "Show the last records of a run log, optionally filtered by \
+            run id (exit 0, 2 unreadable input)")
+      Term.(const run_obs_tail $ path $ run_id_arg $ last)
+  in
+  let join_cmd =
+    let paths =
+      Arg.(non_empty & pos_all file []
+          & info [] ~docv:"RUN.jsonl"
+              ~doc:"Run logs to join (repeatable).")
+    in
+    Cmd.v
+      (Cmd.info "join"
+         ~doc:
+           "Group records from several run logs by correlation id; with \
+            --run-id, print that run's records in sequence order (exit \
+            0, 1 no matching records, 2 unreadable input)")
+      Term.(const run_obs_join $ paths $ run_id_arg)
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Observability tooling: Prometheus export, flamegraphs, run-log \
+             provenance")
+    [ export_cmd; flamegraph_cmd; tail_cmd; join_cmd ]
+
 let slices_cmd =
   let benchmark =
     Arg.(value & opt string "h2" & info [ "benchmark"; "b" ] ~doc:"Benchmark circuit.")
@@ -905,4 +1170,4 @@ let () =
     Cmd.info "partialc" ~version:"1.0.0"
       ~doc:"Partial compilation of variational quantum algorithms"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd; lint_cmd; analyze_cmd; bench_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ compile_cmd; tables_cmd; vqe_cmd; qaoa_cmd; grape_cmd; export_cmd; qasm_cmd; slices_cmd; lint_cmd; analyze_cmd; bench_cmd; obs_cmd ]))

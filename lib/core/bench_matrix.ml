@@ -427,6 +427,14 @@ let run_cell m ~out_dir cell =
   try
     let dir = cell_dir ~out_dir cell in
     mkdir_p dir;
+    (* The cell's correlation id is a pure function of the manifest name
+       and the cell id — independent of which driver worker runs the
+       cell and of the driver's worker count — so rollup byte-equality
+       across driver parallelism levels is preserved.  Everything the
+       cell produces (spans, run-log lines, cache entries, degradations,
+       the report below) carries this id. *)
+    let rid = m.name ^ "/" ^ cell.id in
+    Pqc_obs.Obs.Ctx.with_ctx (Some rid) @@ fun () ->
     let workload =
       match workload_of_spec cell.workload with
       | Ok w -> w
@@ -444,12 +452,12 @@ let run_cell m ~out_dir cell =
       (* A fresh engine per compile: neither run may warm the other's
          cache, matching the bench harness's contract. *)
       let engine = engine_for m in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Pqc_obs.Obs.Clock.now () in
       let r =
         Compiler.compile ~workers ~max_width:m.max_width ~engine cell.strategy
           c ~theta
       in
-      (r, Unix.gettimeofday () -. t0)
+      (r, Pqc_obs.Obs.Clock.now () -. t0)
     in
     let seq, sequential_s = compile ~workers:1 in
     (* Telemetry and the fault plan are both scoped to the parallel
@@ -491,6 +499,7 @@ let run_cell m ~out_dir cell =
         { Bench_report.name = cell.cell_name;
           strategy = Compiler.strategy_name cell.strategy;
           engine = m.engine;
+          run_id = rid;
           pulse_duration_ns = par.Strategy.duration_ns;
           sequential_s;
           parallel_s;

@@ -2,8 +2,11 @@
    telemetry layer (empty when tracing was off for the run).
    v3: experiments gained a "metrics" array of histogram rollups
    (count/mean/percentiles per Obs.Metrics histogram, empty when
-   metrics were off for the run). *)
-let schema_version = 3
+   metrics were off for the run).
+   v4: experiments gained a "run_id" correlation id (Obs.Ctx) joining
+   the experiment to its trace spans, run-log lines, cache entries and
+   degradation records; "" when the run had no ambient context. *)
+let schema_version = 4
 
 type span_rollup = { span : string; count : int; total_s : float }
 
@@ -21,6 +24,7 @@ type experiment = {
   name : string;
   strategy : string;
   engine : string;
+  run_id : string;
   pulse_duration_ns : float;
   sequential_s : float;
   parallel_s : float;
@@ -35,23 +39,7 @@ type experiment = {
 
 type t = { mode : string; workers : int; experiments : experiment list }
 
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
+let json_string = Pqc_util.Jsonx.escape_string
 
 (* JSON has no inf/nan tokens; a benchmark that produced one (e.g. a
    speedup with a zero-duration denominator) renders as null rather than
@@ -95,6 +83,7 @@ let experiment_json e =
       "      \"name\": "; json_string e.name; ",\n";
       "      \"strategy\": "; json_string e.strategy; ",\n";
       "      \"engine\": "; json_string e.engine; ",\n";
+      "      \"run_id\": "; json_string e.run_id; ",\n";
       "      \"pulse_duration_ns\": "; json_float e.pulse_duration_ns; ",\n";
       "      \"sequential_s\": "; json_float e.sequential_s; ",\n";
       "      \"parallel_s\": "; json_float e.parallel_s; ",\n";
@@ -215,6 +204,10 @@ let experiment_of_json j =
   { name = get_string ctx "name" j;
     strategy = get_string ctx "strategy" j;
     engine = get_string ctx "engine" j;
+    (* v3 and earlier have no run_id; read as "" rather than failing. *)
+    run_id =
+      Option.value ~default:""
+        (Option.bind (J.member "run_id" j) J.to_string);
     pulse_duration_ns = get_float ctx "pulse_duration_ns" j;
     sequential_s = get_float ctx "sequential_s" j;
     parallel_s = get_float ctx "parallel_s" j;

@@ -11,8 +11,8 @@
     up to the current one. *)
 
 val schema_version : int
-(** Bumped on any change to the document structure below.  Currently 3:
-    v2 added [trace], v3 added [metrics]. *)
+(** Bumped on any change to the document structure below.  Currently 4:
+    v2 added [trace], v3 added [metrics], v4 added [run_id]. *)
 
 type span_rollup = {
   span : string;  (** Span name, e.g. ["engine.search"]. *)
@@ -37,6 +37,11 @@ type experiment = {
   name : string;  (** Benchmark circuit, e.g. ["uccsd-lih"]. *)
   strategy : string;  (** Compilation strategy compiled under. *)
   engine : string;  (** ["model"] or ["numeric"]. *)
+  run_id : string;
+      (** Correlation id ({!Pqc_obs.Obs.Ctx}) of the experiment's run —
+          the join key against trace spans, run-log lines and cache
+          entries.  [""] on pre-v4 documents and ad-hoc runs with no
+          ambient context. *)
   pulse_duration_ns : float;  (** Compiled pulse duration (parallel run). *)
   sequential_s : float;  (** Wall-clock of the [workers = 1] compile. *)
   parallel_s : float;  (** Wall-clock of the [workers = n] compile. *)
@@ -88,8 +93,9 @@ val write : path:string -> t -> unit
 val of_json : string -> (t, string) result
 (** Parse a report produced by any schema version up to the current one.
     Fields a document's vintage predates ([trace] before v2, [metrics]
-    before v3) read back as [[]]; anything missing from the v1 core is
-    an error, as is a [schema_version] newer than this build supports. *)
+    before v3, [run_id] before v4) read back as [[]] / [""]; anything
+    missing from the v1 core is an error, as is a [schema_version] newer
+    than this build supports. *)
 
 val read : path:string -> (t, string) result
 (** {!of_json} on a file's contents; I/O failures are returned as

@@ -46,7 +46,8 @@ let job_of_result ~cost ~degs (b : Block.block) (r : Engine.block_result) =
   | Some reason ->
     degs :=
       { Resilience.stage = "engine:" ^ label; reason;
-        detail = "block search fell back to lookup-table duration" }
+        detail = "block search fell back to lookup-table duration";
+        run_id = Pqc_obs.Obs.Ctx.current () }
       :: !degs
   | None -> ());
   { Strategy.label; qubits = b.qubits; duration = r.Engine.duration_ns }
@@ -194,7 +195,8 @@ let flexible_partial ?workers ?(max_width = 4) ~engine c ~theta =
           degs :=
             { Resilience.stage = "engine:" ^ label; reason;
               detail =
-                "slice block search fell back to lookup-table duration" }
+                "slice block search fell back to lookup-table duration";
+              run_id = Pqc_obs.Obs.Ctx.current () }
             :: !degs
         | None -> ());
         (* Offline: the minimal-time search plus hyperparameter tuning,
@@ -273,11 +275,25 @@ let analysis_gate ~max_width strategy c ~theta =
   List.map
     (fun d ->
       { Resilience.stage = "analysis"; reason = Resilience.Lint;
-        detail = Pqc_analysis.Diagnostic.to_string d })
+        detail = Pqc_analysis.Diagnostic.to_string d;
+        run_id = Pqc_obs.Obs.Ctx.current () })
     (Pqc_analysis.Runner.warnings report)
 
 let compile ?workers ?(max_width = 4) ?(analysis = true) ?advice ~engine
     strategy c ~theta =
+  (* Every top-level compile gets a correlation id.  An ambient context
+     (set by a batch driver like the bench matrix) wins; otherwise a
+     fresh deterministic id is minted from the strategy name.  Direct
+     strategy calls (strict_partial, ...) bypass this and run with
+     whatever context the caller holds — None in tests, which keeps
+     degradation strings and goldens byte-identical. *)
+  let module Ctx = Pqc_obs.Obs.Ctx in
+  let ctx =
+    match Ctx.current () with
+    | Some _ as c -> c
+    | None -> Some (Ctx.mint ("compile:" ^ strategy_name strategy))
+  in
+  Ctx.with_ctx ctx @@ fun () ->
   (* When the static advisor recommends exactly the requested strategy,
      this is a no-op: same strategy, no extra degradation record, so the
      compiled result is bit-identical to the unadvised call (held by
@@ -294,7 +310,8 @@ let compile ?workers ?(max_width = 4) ?(analysis = true) ?advice ~engine
           [ { Resilience.stage = "advisor"; reason = Resilience.Lint;
               detail =
                 Printf.sprintf "advisor switched %s to %s"
-                  (strategy_name strategy) (strategy_name recommended) } ] )
+                  (strategy_name strategy) (strategy_name recommended);
+              run_id = Pqc_obs.Obs.Ctx.current () } ] )
   in
   Pqc_obs.Obs.Span.with_ ~name:"compiler.compile"
     ~attrs:
@@ -321,7 +338,8 @@ let compile ?workers ?(max_width = 4) ?(analysis = true) ?advice ~engine
           (degs
           @ [ { Resilience.stage = strategy_name s;
                 reason = Resilience.Non_finite;
-                detail = "strategy produced a non-finite pulse duration" } ])
+                detail = "strategy produced a non-finite pulse duration";
+                run_id = Pqc_obs.Obs.Ctx.current () } ])
           rest
       | exception e ->
         Pqc_obs.Obs.count "compiler.degraded";
@@ -329,7 +347,8 @@ let compile ?workers ?(max_width = 4) ?(analysis = true) ?advice ~engine
           (degs
           @ [ { Resilience.stage = strategy_name s;
                 reason = Resilience.Diverged;
-                detail = "strategy raised: " ^ Printexc.to_string e } ])
+                detail = "strategy raised: " ^ Printexc.to_string e;
+                run_id = Pqc_obs.Obs.Ctx.current () } ])
           rest)
   in
   go lint_degs (degrade_chain strategy)

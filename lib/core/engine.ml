@@ -23,6 +23,9 @@ type block_result = {
   search_cost : cost;
   fidelity : float option;
   fallback : Resilience.failure option;
+  run_id : string option;
+      (* correlation id ambient when the result was produced; cache hits
+         keep the id of the request that originally paid for the pulse *)
 }
 
 type numeric_config = {
@@ -60,7 +63,8 @@ let entry_of_result key (r : block_result) =
     grape_iterations = r.search_cost.grape_iterations;
     seconds = r.search_cost.seconds;
     fidelity = r.fidelity;
-    fallback = Option.map Resilience.failure_to_string r.fallback }
+    fallback = Option.map Resilience.failure_to_string r.fallback;
+    run_id = r.run_id }
 
 (* [None] when the fallback tag is not a failure we know — treat the
    record as corrupt rather than resurrecting it with wrong semantics. *)
@@ -81,7 +85,8 @@ let result_of_entry (e : Pulse_cache.entry) =
             grape_iterations = e.grape_iterations;
             seconds = e.seconds };
         fidelity = e.fidelity;
-        fallback })
+        fallback;
+        run_id = e.run_id })
     fallback
 
 let load_cache cfg path =
@@ -174,7 +179,7 @@ let persist_result t =
                "partialqc: pulse cache %s not persisted: %s\n%!" path detail;
              Error
                { Resilience.stage = "persist"; reason = Resilience.Io_error;
-                 detail }))
+                 detail; run_id = Obs.Ctx.current () }))
 
 let persist t =
   match persist_result t with Ok () -> () | Error _ -> ()
@@ -234,7 +239,8 @@ let model_search c =
           float_of_int iters
           *. Latency_model.seconds_per_iteration ~width ~steps };
     fidelity = None;
-    fallback = None }
+    fallback = None;
+    run_id = Obs.Ctx.current () }
 
 (* One numeric search attempt at the given (possibly retuned) settings. *)
 let numeric_attempt cfg settings deadline c =
@@ -263,7 +269,8 @@ let numeric_attempt cfg settings deadline c =
                     *. float_of_int s.grape_iterations_total
                   else s.minimal.wall_time_s) };
            fidelity = Some s.minimal.fidelity;
-           fallback = None }
+           fallback = None;
+           run_id = Obs.Ctx.current () }
   | None ->
     (* Nothing converged within budget.  Distinguish running out of
        wall-clock from running out of probes so the degradation record
@@ -283,7 +290,8 @@ let fallback_result c reason spent =
   { duration_ns = Gate_times.circuit_duration c;
     search_cost = spent;
     fidelity = None;
-    fallback = Some reason }
+    fallback = Some reason;
+    run_id = Obs.Ctx.current () }
 
 (* [search] plus a flag telling whether the result was produced under an
    injected fault (and therefore must never be cached or persisted) —
@@ -293,7 +301,7 @@ let search_flagged t c =
   require_bound c;
   if Circuit.length c = 0 then
     ({ duration_ns = 0.0; search_cost = zero_cost; fidelity = None;
-       fallback = None },
+       fallback = None; run_id = Obs.Ctx.current () },
      false)
   else
     let plan, base = unwrap t in
@@ -401,7 +409,7 @@ let hyperopt_cost t c ~duration =
        block on deadlines or fault hooks, and CPU time would silently drop
        that.  Started before [system_for] so Hamiltonian construction is
        part of the reported cost, matching what a caller actually waits. *)
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     let sys = cfg.system_for width in
     let obj =
       { Hyperopt.system = sys;
@@ -419,7 +427,7 @@ let hyperopt_cost t c ~duration =
     in
     { grape_runs = 8;
       grape_iterations = int_of_float (8.0 *. score.Hyperopt.iterations);
-      seconds = Unix.gettimeofday () -. t0 }
+      seconds = Obs.Clock.now () -. t0 }
 
 (* --- Batch compilation over the worker pool --- *)
 
@@ -547,12 +555,34 @@ let run_batch (type r) ?workers ?min_items t circuits
     Obs.count ~by:(float_of_int !cache_hits) "engine.batch.cache_hits";
   if todo <> [] then
     Obs.count ~by:(float_of_int (List.length todo)) "engine.batch.dispatched";
-  let f (idx, _k, c) = compute (item_engine t plan idx) c in
+  (* Per-item correlation: each batch item derives "<run_id>#<idx>" from
+     the ambient request context (captured here, in the parent, before
+     any fork).  The derivation runs inside [f], which is the single
+     code path shared by sequential mode, forked children and in-parent
+     recovery — so the ids an item's spans, cache entries and records
+     carry are identical under any worker count. *)
+  let ambient = Obs.Ctx.current () in
+  let item_ctx idx = Option.map (fun a -> Obs.Ctx.derive a idx) ambient in
+  let item_rid idx =
+    match item_ctx idx with
+    | Some rid -> rid
+    | None -> Printf.sprintf "item#%d" idx
+  in
+  let f (idx, _k, c) =
+    Obs.Ctx.with_ctx (item_ctx idx) (fun () ->
+        compute (item_engine t plan idx) c)
+  in
   (* Force the chaos plan (PQC_FAULT_PLAN) to parse and install its pool
      hook before any fork, so seeded worker faults apply to this batch. *)
   ignore (Fault.current ());
+  let todo_arr = Array.of_list todo in
   let pool_out, pstats =
     Pool.map ?workers ?min_items
+      ~item_label:(fun i ->
+        if i < 0 || i >= Array.length todo_arr then ""
+        else
+          let idx, _, _ = todo_arr.(i) in
+          item_rid idx)
       ~encode:(fun (k, r) -> encode k r)
       ~decode
       (fun ((_, k, _) as item) -> (k, f item))
@@ -579,7 +609,8 @@ let run_batch (type r) ?workers ?min_items t circuits
               Printf.sprintf
                 "batch item %d recomputed in-process after its worker's \
                  record was lost or corrupt"
-                idx }
+                idx;
+            run_id = item_ctx idx }
           :: !degs;
       (match base with
       | Base_numeric cfg when cacheable r -> store cfg k r

@@ -32,6 +32,11 @@ type block_result = {
   fallback : Resilience.failure option;
       (** [Some f]: the search degraded to the gate-based lookup duration
           because of [f]; [None]: a genuine engine result. *)
+  run_id : string option;
+      (** Correlation id ({!Pqc_obs.Obs.Ctx}) ambient when this result
+          was produced.  Memo and persistent-cache hits keep the id of
+          the request that originally paid for the pulse — the cache
+          lineage a provenance grep follows. *)
 }
 
 type t

@@ -185,5 +185,19 @@ let fire site ~key =
   | None -> false
   | Some plan ->
     let hit = decide plan site ~key in
-    if hit then Obs.count ("fault." ^ site_to_string site);
+    if hit then begin
+      Obs.count ("fault." ^ site_to_string site);
+      (* Parent-side storage faults (truncate/enospc) fire in the
+         process that owns the flight ring, so the last-events trail is
+         dumped at the moment of injection — the same forensic record an
+         abnormal worker exit leaves. *)
+      let detail =
+        Printf.sprintf "fault %s fired (key %d)" (site_to_string site) key
+      in
+      Obs.Flight.record ~kind:"fault"
+        ~run_id:(Option.value ~default:"" (Obs.Ctx.current ()))
+        detail;
+      ignore
+        (Obs.Flight.dump_auto ~reason:("fault." ^ site_to_string site) ())
+    end;
     hit

@@ -8,6 +8,8 @@ type entry = {
   seconds : float;
   fidelity : float option;
   fallback : string option;
+  run_id : string option;
+      (* correlation id of the request that produced this pulse *)
 }
 
 let version = 1
@@ -34,11 +36,14 @@ let opt_string = function Some s -> s | None -> "-"
 
 (* One tab-separated record per line.  The key is an OCaml-quoted string
    (keys may contain any byte); floats are hex literals for lossless
-   round-trips. *)
+   round-trips.  The trailing field is the correlation run_id ("-" when
+   the entry was produced outside any request context); readers accept
+   the older 7-field records without it. *)
 let payload e =
-  Printf.sprintf "%S\t%h\t%d\t%d\t%h\t%s\t%s" e.key e.duration_ns
+  Printf.sprintf "%S\t%h\t%d\t%d\t%h\t%s\t%s\t%s" e.key e.duration_ns
     e.grape_runs e.grape_iterations e.seconds (opt_float e.fidelity)
     (opt_string e.fallback)
+    (opt_string e.run_id)
 
 let parse_opt_float = function
   | "-" -> Some None
@@ -46,22 +51,39 @@ let parse_opt_float = function
           | Some f -> Some (Some f)
           | None -> None)
 
+let mk_entry key duration_ns grape_runs grape_iterations seconds fid fb rid =
+  match parse_opt_float fid with
+  | None -> None
+  | Some fidelity ->
+    if Float.is_finite duration_ns && duration_ns >= 0.0 then
+      Some { key; duration_ns; grape_runs; grape_iterations; seconds;
+             fidelity;
+             fallback = (if fb = "-" then None else Some fb);
+             run_id = (if rid = "-" then None else Some rid) }
+    else None
+
+(* The current 8-field format is tried first; a 7-field vintage line
+   fails it (no tab after the fallback field) and falls through to the
+   old shape with [run_id = None].  The order matters: a plain [%s]
+   stops at the tab, so an 8-field line would *silently* satisfy the old
+   pattern and lose its run_id if tried first. *)
 let parse_payload s =
   match
-    Scanf.sscanf s "%S\t%h\t%d\t%d\t%h\t%s@\t%s"
-      (fun key duration_ns grape_runs grape_iterations seconds fid fb ->
-        (key, duration_ns, grape_runs, grape_iterations, seconds, fid, fb))
+    Scanf.sscanf s "%S\t%h\t%d\t%d\t%h\t%s@\t%s@\t%s"
+      (fun key duration_ns grape_runs grape_iterations seconds fid fb rid ->
+        mk_entry key duration_ns grape_runs grape_iterations seconds fid fb
+          rid)
   with
-  | key, duration_ns, grape_runs, grape_iterations, seconds, fid, fb ->
-    (match parse_opt_float fid with
-     | None -> None
-     | Some fidelity ->
-       if Float.is_finite duration_ns && duration_ns >= 0.0 then
-         Some { key; duration_ns; grape_runs; grape_iterations; seconds;
-                fidelity;
-                fallback = (if fb = "-" then None else Some fb) }
-       else None)
-  | exception _ -> None
+  | r -> r
+  | exception _ -> (
+    match
+      Scanf.sscanf s "%S\t%h\t%d\t%d\t%h\t%s@\t%s"
+        (fun key duration_ns grape_runs grape_iterations seconds fid fb ->
+          mk_entry key duration_ns grape_runs grape_iterations seconds fid fb
+            "-")
+    with
+    | r -> r
+    | exception _ -> None)
 
 let parse_line line =
   match String.index_opt line '\t' with

@@ -8,10 +8,13 @@
 
     {v
     PQC-PULSE-CACHE v1
-    <fnv1a-64-hex>\t<quoted key>\t<duration>\t<runs>\t<iters>\t<seconds>\t<fidelity|->\t<fallback|->
+    <fnv1a-64-hex>\t<quoted key>\t<duration>\t<runs>\t<iters>\t<seconds>\t<fidelity|->\t<fallback|->\t<run_id|->
     v}
 
-    Every record line carries an FNV-1a checksum of its payload.
+    Every record line carries an FNV-1a checksum of its payload.  The
+    trailing [run_id] field is the correlation id of the request that
+    produced the pulse; {!decode_entry} also accepts the older 7-field
+    records without it (read back as [run_id = None]).
 
     {b Crash consistency.} Writes follow a write-ahead discipline:
     {!merge} first appends the fresh records to [path ^ ".journal"]
@@ -43,6 +46,10 @@ type entry = {
   fallback : string option;
       (** Serialized {!Resilience.failure} when the result is a
           degraded (lookup-table) duration rather than a GRAPE pulse. *)
+  run_id : string option;
+      (** Correlation id of the request that produced this pulse
+          ({!Pqc_obs.Obs.Ctx}); [None] for entries produced outside any
+          request context and for vintage 7-field records. *)
 }
 
 val version : int

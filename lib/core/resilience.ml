@@ -90,7 +90,7 @@ let retune policy ~attempt (s : Grape.settings) =
 type deadline = float option
 
 let no_deadline = None
-let now () = Unix.gettimeofday ()
+let now () = Pqc_obs.Obs.Clock.now ()
 let deadline_after seconds = Some (now () +. Float.max 0.0 seconds)
 let of_seconds = function None -> None | Some s -> deadline_after s
 let expired = function None -> false | Some d -> now () > d
@@ -104,10 +104,23 @@ let deadline_seconds_from_env () = env_float "PQC_SEARCH_DEADLINE_S" None
 
 (* --- Degradation accounting --- *)
 
-type degradation = { stage : string; reason : failure; detail : string }
+type degradation = {
+  stage : string;
+  reason : failure;
+  detail : string;
+  run_id : string option;
+      (* correlation id of the request being degraded, when known *)
+}
 
+(* The [None] rendering is byte-identical to the historical format —
+   the workers:1 ≡ workers:N determinism suite compares these strings. *)
 let degradation_to_string d =
-  Printf.sprintf "%s: %s (%s)" d.stage (failure_to_string d.reason) d.detail
+  match d.run_id with
+  | None ->
+    Printf.sprintf "%s: %s (%s)" d.stage (failure_to_string d.reason) d.detail
+  | Some rid ->
+    Printf.sprintf "%s: %s (%s) [%s]" d.stage (failure_to_string d.reason)
+      d.detail rid
 
 (* --- Generic bounded retry loop --- *)
 

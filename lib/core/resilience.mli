@@ -78,9 +78,15 @@ type degradation = {
   stage : string;  (** Where the fallback happened, e.g. ["flexible-partial"]. *)
   reason : failure;
   detail : string;
+  run_id : string option;
+      (** Correlation id of the degraded request ({!Pqc_obs.Obs.Ctx}),
+          when one was ambient at the failure site. *)
 }
 
 val degradation_to_string : degradation -> string
+(** Renders ["<stage>: <reason> (<detail>)"], with a trailing
+    [" [<run_id>]"] only when a run_id is present — the [None] form is
+    byte-identical to the historical format. *)
 
 val with_retries :
   policy -> deadline -> (attempt:int -> ('a, failure) result) ->

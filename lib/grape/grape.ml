@@ -49,7 +49,7 @@ type result = {
    alone dominate memory and a search will never finish interactively. *)
 let max_steps = 100_000
 
-let now () = Unix.gettimeofday ()
+let now () = Pqc_obs.Obs.Clock.now ()
 
 (* Build H(u_k) = drift + sum_j u.(j).(k) H_j into [dst].  The axpy is
    written out over the flat buffers: a closure per call or a float argument

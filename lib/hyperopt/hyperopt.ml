@@ -69,7 +69,7 @@ let grid_search ?(workers = 1) ?(lr_grid = default_lr_grid)
     ?(decay_grid = default_decay_grid) ?(angles = default_angles) ?deadline
     obj =
   let expired () =
-    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+    match deadline with Some d -> Pqc_obs.Obs.Clock.now () > d | None -> false
   in
   if workers <= 1 then begin
     let best = ref None in

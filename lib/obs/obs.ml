@@ -21,6 +21,54 @@ type event =
   | Gauge of { name : string; value : float; ts : float; tid : int }
   | Profile of { label : string; points : point list; ts : float; tid : int }
 
+(* ---- wall clock ------------------------------------------------------
+   Single indirection over Unix.gettimeofday.  Every span timestamp,
+   deadline check and bench timer in the tree reads the wall clock
+   through here, so swapping in a monotonic source (or a fake clock in a
+   test) is a one-line change instead of a sweep. *)
+module Clock = struct
+  let default = Unix.gettimeofday
+  let hook = ref default
+  let now () = !hook ()
+  let set f = hook := f
+  let reset () = hook := default
+end
+
+(* ---- correlation contexts --------------------------------------------
+   A run_id names one compile request; per-batch-item ids derive from it
+   with a "#<idx>" suffix.  Ids are minted in the parent (before any
+   fork) from a process-local counter plus a label hash, so the id
+   stream is a pure function of the request sequence: workers:1 and
+   workers:N runs mint identical ids.  The ambient context is what
+   spans, cache entries, run-log lines and degradation records stamp
+   themselves with at creation time. *)
+module Ctx = struct
+  let ambient : string option ref = ref None
+  let minted = ref 0
+
+  let fnv1a s =
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+      s;
+    !h
+
+  let mint label =
+    incr minted;
+    Printf.sprintf "r%03d-%08x" !minted (fnv1a label)
+
+  let derive parent idx = parent ^ "#" ^ string_of_int idx
+  let current () = !ambient
+  let set c = ambient := c
+
+  let with_ctx c f =
+    let saved = !ambient in
+    ambient := c;
+    Fun.protect ~finally:(fun () -> ambient := saved) f
+
+  let reset_minted () = minted := 0
+end
+
 (* Global, process-local trace state.  Forked pool children inherit a
    copy-on-write snapshot; everything they record past the fork point is
    shipped back explicitly via encode_since/absorb, so the parent never
@@ -98,10 +146,42 @@ let max_events = 500_000
 
 let enabled () = !enabled_flag
 
+(* Sampling keeps 1 of every [sample_stride] span/profile pushes (a
+   deterministic stride, not a coin flip).  Counters, gauges and the
+   histogram registry are never sampled, so metric totals stay exact at
+   any rate; only the event buffer thins out. *)
+let sample_stride = ref 1
+let sample_tick = ref 0
+
+let set_trace_sample rate =
+  let stride =
+    if Float.is_finite rate && rate > 0.0 && rate < 1.0 then
+      max 1 (int_of_float (Float.round (1.0 /. rate)))
+    else 1
+  in
+  sample_stride := stride;
+  sample_tick := 0
+
+let sample_keep () =
+  if !sample_stride <= 1 then true
+  else begin
+    incr sample_tick;
+    if !sample_tick >= !sample_stride then begin
+      sample_tick := 0;
+      true
+    end
+    else false
+  end
+
+(* Cumulative seconds the tracing layer spent on its own bookkeeping
+   (span close, event push, histogram fold) — the self-overhead gauge. *)
+let overhead = ref 0.0
+let overhead_seconds () = !overhead
+
 let enable () =
   if not !enabled_flag then begin
     enabled_flag := true;
-    if !t0 = 0.0 then t0 := Unix.gettimeofday ()
+    if !t0 = 0.0 then t0 := Clock.now ()
   end
 
 let disable () = enabled_flag := false
@@ -113,9 +193,12 @@ let reset () =
   next_id := 0;
   Hashtbl.reset counters;
   Hashtbl.reset hists;
-  t0 := Unix.gettimeofday ()
+  sample_tick := 0;
+  overhead := 0.0;
+  Ctx.reset_minted ();
+  t0 := Clock.now ()
 
-let now () = Unix.gettimeofday () -. !t0
+let now () = Clock.now () -. !t0
 
 let push e =
   if !n_events < max_events then begin
@@ -130,6 +213,131 @@ let set_worker w =
   tid := w;
   next_id := !next_id + (w * 1_000_000)
 
+(* ---- flight recorder --------------------------------------------------
+   A bounded ring of the last N structured events, always on (even with
+   tracing disabled) because the append path is O(1) and allocation-free:
+   parallel pre-sized arrays hold references to caller-owned strings plus
+   an unboxed float timestamp.  The parent dumps its ring to a file when
+   the supervised pool kills/quarantines/reaps a worker or a fault plan
+   fires, turning "worker 3 died" into a replayable event tail. *)
+module Flight = struct
+  type entry = {
+    f_seq : int;  (* monotonic per process; survives ring wrap *)
+    f_ts : float;  (* wall clock, Clock.now *)
+    f_kind : string;
+    f_run_id : string;  (* "" when no ambient context *)
+    f_detail : string;
+  }
+
+  let default_capacity = 256
+
+  let env_capacity () =
+    match Sys.getenv_opt "PQC_FLIGHT_EVENTS" with
+    | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 0 -> n
+      | _ -> default_capacity)
+    | None -> default_capacity
+
+  let capacity = ref (env_capacity ())
+  let kinds = ref (Array.make !capacity "")
+  let runs = ref (Array.make !capacity "")
+  let details = ref (Array.make !capacity "")
+  let tss = ref (Array.make !capacity 0.0)
+  let total = ref 0
+
+  let set_capacity n =
+    let n = max 1 n in
+    capacity := n;
+    kinds := Array.make n "";
+    runs := Array.make n "";
+    details := Array.make n "";
+    tss := Array.make n 0.0;
+    total := 0
+
+  (* Child post-fork: logically empty the ring so a worker's dump never
+     replays parent history.  O(1): stale slots are simply out of the
+     live window. *)
+  let reset () = total := 0
+
+  let record ~kind ?(run_id = "") detail =
+    let i = !total mod !capacity in
+    !kinds.(i) <- kind;
+    !runs.(i) <- run_id;
+    !details.(i) <- detail;
+    !tss.(i) <- Clock.now ();
+    incr total
+
+  let entries () =
+    let n = min !total !capacity in
+    let first = !total - n in
+    List.init n (fun j ->
+        let seq = first + j in
+        let i = seq mod !capacity in
+        {
+          f_seq = seq;
+          f_ts = !tss.(i);
+          f_kind = !kinds.(i);
+          f_run_id = !runs.(i);
+          f_detail = !details.(i);
+        })
+
+  (* Dumps are forensic text, not a codec: newlines and tabs inside a
+     field are flattened so one entry is always one line. *)
+  let flat s =
+    String.map (function '\n' | '\r' | '\t' -> ' ' | c -> c) s
+
+  let dump_counter = ref 0
+
+  let render ~reason =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "# flight-recorder dump pid=%d worker=%d reason=%s\n"
+         (Unix.getpid ()) !tid (flat reason));
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d\t%.6f\t%s\t%s\t%s\n" e.f_seq e.f_ts
+             (flat e.f_kind)
+             (if e.f_run_id = "" then "-" else flat e.f_run_id)
+             (flat e.f_detail)))
+      (entries ());
+    Buffer.contents buf
+
+  let dump ~dir ~reason () =
+    if !total = 0 then None
+    else begin
+      incr dump_counter;
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "flight-%d-w%d-%d.txt" (Unix.getpid ()) !tid
+             !dump_counter)
+      in
+      match
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (render ~reason));
+        Sys.rename tmp path
+      with
+      | () -> Some path
+      | exception _ -> None
+    end
+
+  let configured_dir () =
+    match Sys.getenv_opt "PQC_FLIGHT_DIR" with
+    | Some d when String.trim d <> "" -> Some (String.trim d)
+    | _ -> None
+
+  (* No-op unless PQC_FLIGHT_DIR is configured: a normal run must never
+     leave dump files behind. *)
+  let dump_auto ~reason () =
+    match configured_dir () with
+    | Some dir -> dump ~dir ~reason ()
+    | None -> None
+end
+
 module Span = struct
   let with_ ~name ?(attrs = []) f =
     if not !enabled_flag then f ()
@@ -143,11 +351,24 @@ module Span = struct
         (match !stack with
         | s :: rest when s = id -> stack := rest
         | _ -> stack := List.filter (fun s -> s <> id) !stack);
-        let dur = now () -. ts in
-        push (Span { id; parent; name; attrs; ts; dur; tid = !tid });
+        let t_close = now () in
+        let dur = t_close -. ts in
+        (* Spans stamp themselves with the ambient correlation context,
+           so a grep for one run_id pulls its spans out of the trace. *)
+        let attrs =
+          match Ctx.current () with
+          | Some rid -> ("run_id", rid) :: attrs
+          | None -> attrs
+        in
+        let rid = match Ctx.current () with Some r -> r | None -> "" in
+        Flight.record ~kind:"span" ~run_id:rid name;
+        if sample_keep () then
+          push (Span { id; parent; name; attrs; ts; dur; tid = !tid });
         (* Every span close also feeds the latency histogram of its
-           name, so percentiles of e.g. engine.search come for free. *)
-        metrics_observe name dur
+           name, so percentiles of e.g. engine.search come for free —
+           sampling never touches the registry. *)
+        metrics_observe name dur;
+        overhead := !overhead +. (now () -. t_close)
       in
       match f () with
       | v ->
@@ -172,7 +393,7 @@ let gauge name value =
   if !enabled_flag then push (Gauge { name; value; ts = now (); tid = !tid })
 
 let profile ~label points =
-  if !enabled_flag then
+  if !enabled_flag && sample_keep () then
     push (Profile { label; points; ts = now (); tid = !tid })
 
 let rollup () =
@@ -373,23 +594,9 @@ let absorb line =
              | _ -> ());
              push e)
 
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
+(* One shared escaper for every JSON writer in the tree — see
+   {!Pqc_util.Jsonx.escape_string}. *)
+let json_string = Pqc_util.Jsonx.escape_string
 
 let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
@@ -574,6 +781,122 @@ module Metrics = struct
     Buffer.add_string buf "\n  ]\n}\n";
     Buffer.contents buf
 
+  (* ---- bucket export & Prometheus text exposition -------------------- *)
+
+  type export = {
+    e_name : string;
+    e_count : int;
+    e_sum : float;
+    e_nonpos : int;
+    e_buckets : (int * int) list;  (* (bucket index, count), index asc *)
+  }
+
+  (* Upper edge of log bucket [k]: 2^((k+1)/8) — the "le" boundary the
+     Prometheus exposition publishes for that bucket. *)
+  let bucket_upper k = Float.exp (log_gamma *. float_of_int (k + 1))
+
+  let export_in (tbl : hist_table) =
+    names_in tbl
+    |> List.filter_map (fun name ->
+           match Hashtbl.find_opt tbl name with
+           | None -> None
+           | Some h when h.h_count = 0 -> None
+           | Some h ->
+             let buckets =
+               Hashtbl.fold (fun k n acc -> (k, n) :: acc) h.h_buckets []
+               |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+             in
+             Some
+               {
+                 e_name = name;
+                 e_count = h.h_count;
+                 e_sum = h.h_sum;
+                 e_nonpos = h.h_nonpos;
+                 e_buckets = buckets;
+               })
+
+  let export () = export_in hists
+
+  let prom_name name =
+    let b = Buffer.create (String.length name + 4) in
+    Buffer.add_string b "pqc_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  let prom_float v =
+    if Float.is_nan v then "NaN"
+    else if v = Float.infinity then "+Inf"
+    else if v = Float.neg_infinity then "-Inf"
+    else Printf.sprintf "%.9g" v
+
+  (* Prometheus text format (version 0.0.4).  Histogram buckets are the
+     exact log buckets: "le" is the upper edge 2^((k+1)/8) of each
+     occupied bucket, cumulative counts fold the below-grid (<= 0)
+     observations in at the bottom, and the +Inf bucket equals _count,
+     so scraped counts reconstruct the registry losslessly. *)
+  let prometheus_render ?(counters = []) ?(gauges = []) (tbl : hist_table) =
+    let buf = Buffer.create 2048 in
+    List.iter
+      (fun e ->
+        let m = prom_name e.e_name in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "# HELP %s Log-bucket histogram for \"%s\" (gamma = 2^(1/8)).\n"
+             m e.e_name);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+        let cum = ref e.e_nonpos in
+        List.iter
+          (fun (k, n) ->
+            cum := !cum + n;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m
+                 (prom_float (bucket_upper k))
+                 !cum))
+          e.e_buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m e.e_count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" m (prom_float e.e_sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m e.e_count))
+      (export_in tbl);
+    List.iter
+      (fun (name, v) ->
+        let m = prom_name name ^ "_total" in
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s Monotonic counter \"%s\".\n" m name);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" m (prom_float v)))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) counters);
+    List.iter
+      (fun (name, v) ->
+        let m = prom_name name in
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s Gauge \"%s\" (last value).\n" m name);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" m);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" m (prom_float v)))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) gauges);
+    Buffer.contents buf
+
+  let prometheus () =
+    let cs =
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) counters []
+    in
+    let gauge_tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Gauge g -> Hashtbl.replace gauge_tbl g.name g.value
+        | _ -> ())
+      (events ());
+    Hashtbl.replace gauge_tbl "obs.overhead_s" (overhead_seconds ());
+    let gs = Hashtbl.fold (fun name v acc -> (name, v) :: acc) gauge_tbl [] in
+    prometheus_render ~counters:cs ~gauges:gs hists
+
   (* Offline aggregator over serialized registries.  Unlike the global
      registry this is a plain value: it ignores the enabled flag and is
      untouched by {!reset}, so a rollup pass can merge the [encode_all]
@@ -590,6 +913,8 @@ module Metrics = struct
     let quantile = quantile_in
     let percentiles = percentiles_in
     let encode = encode_in
+    let export = export_in
+    let prometheus t = prometheus_render t
   end
 end
 
@@ -665,12 +990,107 @@ let to_chrome_json ?(normalize = false) () =
   Buffer.contents buf
 
 let write ?normalize ~path () =
+  (* Stamp the self-overhead gauge so every written trace carries the
+     cost of its own instrumentation. *)
+  gauge "obs.overhead_s" (overhead_seconds ());
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_chrome_json ?normalize ()));
   Sys.rename tmp path
+
+(* ---- folded-stack flamegraph export -----------------------------------
+   Convert a Chrome trace document (as written by {!write}) into
+   folded-stack lines ("root;child;leaf weight") consumable by inferno /
+   flamegraph.pl / speedscope.  Stacks are rebuilt from the explicit
+   parent ids our exporter embeds in [args], not from interval
+   containment, so reconstruction is exact even for sampled traces.
+   [`Count] weights each span occurrence 1 (deterministic across runs of
+   the same workload); [`Time] weights by self time in integer
+   microseconds. *)
+let flamegraph_of_chrome ?(mode = `Time) doc =
+  match Pqc_util.Jsonx.parse doc with
+  | Error e -> Error ("trace parse error: " ^ e)
+  | Ok j -> (
+    match Option.bind (Pqc_util.Jsonx.member "traceEvents" j)
+            Pqc_util.Jsonx.to_list
+    with
+    | None -> Error "not a Chrome trace document (no traceEvents array)"
+    | Some evs ->
+      let spans = ref [] in
+      List.iter
+        (fun ev ->
+          let str k = Option.bind (Pqc_util.Jsonx.member k ev)
+                        Pqc_util.Jsonx.to_string in
+          let num k = Option.bind (Pqc_util.Jsonx.member k ev)
+                        Pqc_util.Jsonx.to_float in
+          let args = Pqc_util.Jsonx.member "args" ev in
+          let arg_str k =
+            Option.bind args (fun a ->
+                Option.bind (Pqc_util.Jsonx.member k a)
+                  Pqc_util.Jsonx.to_string)
+          in
+          match (str "ph", str "name", arg_str "id") with
+          | Some "X", Some name, Some id ->
+            let parent = Option.value ~default:"0" (arg_str "parent") in
+            let dur = Option.value ~default:0.0 (num "dur") in
+            spans := (id, (name, parent, dur)) :: !spans
+          | _ -> ())
+        evs;
+      let spans = List.rev !spans in
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun (id, s) -> Hashtbl.replace by_id id s) spans;
+      (* Self time: duration minus the summed durations of direct
+         children (clamped at 0 against timer skew). *)
+      let child_dur = Hashtbl.create 64 in
+      List.iter
+        (fun (_, (_, parent, dur)) ->
+          if parent <> "0" then
+            Hashtbl.replace child_dur parent
+              (dur
+              +. Option.value ~default:0.0 (Hashtbl.find_opt child_dur parent)))
+        spans;
+      (* Folded-format separators must not appear inside a frame name. *)
+      let frame name =
+        String.map (function ';' | ' ' | '\n' | '\t' -> '_' | c -> c) name
+      in
+      let stack_of id =
+        let rec up id acc depth =
+          if depth > 1024 then acc  (* cycle guard on malformed input *)
+          else
+            match Hashtbl.find_opt by_id id with
+            | None -> acc
+            | Some (name, parent, _) ->
+              if parent = "0" then frame name :: acc
+              else up parent (frame name :: acc) (depth + 1)
+        in
+        String.concat ";" (up id [] 0)
+      in
+      let weights = Hashtbl.create 64 in
+      List.iter
+        (fun (id, (_, _, dur)) ->
+          let w =
+            match mode with
+            | `Count -> 1
+            | `Time ->
+              let self =
+                dur
+                -. Option.value ~default:0.0 (Hashtbl.find_opt child_dur id)
+              in
+              max 0 (int_of_float (Float.round self))
+          in
+          let stack = stack_of id in
+          if stack <> "" then
+            Hashtbl.replace weights stack
+              (w + Option.value ~default:0 (Hashtbl.find_opt weights stack)))
+        spans;
+      let lines =
+        Hashtbl.fold (fun stack w acc -> (stack, w) :: acc) weights []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (stack, w) -> Printf.sprintf "%s %d" stack w)
+      in
+      Ok (String.concat "\n" lines ^ if lines = [] then "" else "\n"))
 
 let summary () =
   let t = Pqc_util.Table.create [ "name"; "kind"; "count"; "total" ] in
@@ -712,6 +1132,17 @@ let summary () =
    any other non-empty, non-"0" value enables and is treated as the
    output path for the Chrome trace.  Forked pool children exit through
    Unix._exit, which skips at_exit, so only the parent ever writes. *)
+(* PQC_TRACE_SAMPLE: keep roughly this fraction of span/profile events
+   (deterministic stride, metrics always exact).  Parsed once at load;
+   unparseable values fall back to 1.0 (keep everything). *)
+let () =
+  match Sys.getenv_opt "PQC_TRACE_SAMPLE" with
+  | None -> ()
+  | Some v -> (
+    match float_of_string_opt (String.trim v) with
+    | Some r -> set_trace_sample r
+    | None -> ())
+
 let () =
   match Sys.getenv_opt "PQC_TRACE" with
   | None -> ()

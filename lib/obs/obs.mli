@@ -48,11 +48,73 @@ type event =
   | Gauge of { name : string; value : float; ts : float; tid : int }
   | Profile of { label : string; points : point list; ts : float; tid : int }
 
+(** {2 Wall clock}
+
+    Single indirection over [Unix.gettimeofday].  Every span timestamp,
+    deadline check and bench timer in the tree reads the wall clock
+    through {!Clock.now}, so a future monotonic-clock swap (or a fake
+    clock in a test) is one line, not a sweep. *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Current wall-clock seconds via the installed hook (default
+      [Unix.gettimeofday]). *)
+
+  val set : (unit -> float) -> unit
+  (** Install a clock hook (tests only). *)
+
+  val reset : unit -> unit
+  (** Restore the default wall clock. *)
+end
+
+(** {2 Correlation contexts}
+
+    A [run_id] names one compile request; batch items derive
+    ["<run_id>#<idx>"] sub-ids from it.  Ids are minted in the parent
+    process from a deterministic counter plus a label hash, so the id
+    stream is a pure function of the request sequence — workers:1 and
+    workers:N runs mint identical ids.  The ambient context is what
+    spans, pulse-cache entries, run-log lines and degradation records
+    stamp themselves with at creation time. *)
+
+module Ctx : sig
+  val mint : string -> string
+  (** [mint label] returns a fresh deterministic id
+      ["r<counter>-<fnv1a(label)>"].  The counter restarts on
+      {!Obs.reset}. *)
+
+  val derive : string -> int -> string
+  (** [derive rid idx] is ["<rid>#<idx>"] — the per-batch-item sub-id. *)
+
+  val current : unit -> string option
+  (** Ambient context, [None] outside any request. *)
+
+  val set : string option -> unit
+
+  val with_ctx : string option -> (unit -> 'a) -> 'a
+  (** Run with the ambient context swapped, restoring on exit (also on
+      exceptions). *)
+end
+
 (** {2 Lifecycle} *)
 
 val enabled : unit -> bool
 val enable : unit -> unit
 val disable : unit -> unit
+
+val set_trace_sample : float -> unit
+(** Keep roughly this fraction of span/profile events, as a
+    deterministic stride (rate [r] keeps 1 of every [round(1/r)]
+    pushes).  Rates outside [(0, 1)] restore keep-everything.  Counters,
+    gauges and the {!Metrics} registry are never sampled, so metric
+    totals stay exact at any rate.  Also set by the [PQC_TRACE_SAMPLE]
+    environment variable at load time. *)
+
+val overhead_seconds : unit -> float
+(** Cumulative seconds the tracing layer has spent on its own
+    bookkeeping (span close, event push, histogram fold) since the last
+    {!reset} — the self-overhead gauge, written as ["obs.overhead_s"]
+    into every trace {!write}. *)
 
 val reset : unit -> unit
 (** Drop all recorded events, counters and histograms and restart the
@@ -108,6 +170,54 @@ val rollup : unit -> (string * int * float) list
     free.  Like the rest of the layer, {!Metrics.observe} is a no-op
     until {!enable}; the registry is cleared by {!reset}. *)
 
+(** {2 Flight recorder}
+
+    A bounded ring of the last N structured events per process, always
+    on (independent of {!enable}) because appends are O(1) and
+    allocation-free.  The supervising pool parent dumps its ring
+    whenever it SIGKILLs, quarantines or reaps an abnormal worker, and
+    {!Pqc_core.Fault} dumps when a fault plan fires — so a chaos failure
+    leaves a replayable event tail instead of "worker 3 died".
+
+    Capacity comes from [PQC_FLIGHT_EVENTS] (default 256); dumps are
+    written only when [PQC_FLIGHT_DIR] (or an explicit [dir]) is
+    configured, so normal runs never leave files behind. *)
+
+module Flight : sig
+  type entry = {
+    f_seq : int;  (** Monotonic per process; survives ring wrap. *)
+    f_ts : float;  (** Wall-clock seconds ({!Clock.now}). *)
+    f_kind : string;
+    f_run_id : string;  (** [""] when recorded outside any context. *)
+    f_detail : string;
+  }
+
+  val record : kind:string -> ?run_id:string -> string -> unit
+  (** Append one entry (the [string] is the detail).  O(1), no
+      allocation beyond the caller's own strings, never raises. *)
+
+  val reset : unit -> unit
+  (** Logically empty the ring (O(1)).  Forked pool children call this
+      right after the fork so a worker dump never replays parent
+      history. *)
+
+  val entries : unit -> entry list
+  (** Live window, oldest first. *)
+
+  val set_capacity : int -> unit
+  (** Resize (and clear) the ring; test hook for wrap semantics. *)
+
+  val dump : dir:string -> reason:string -> unit -> string option
+  (** Write the ring as one text file ([flight-<pid>-w<worker>-<n>.txt],
+      one entry per line) into [dir]; returns the path, or [None] when
+      the ring is empty or the write fails.  File names embed pid,
+      worker id and a per-process counter, so concurrent dumps from
+      different processes can never interleave in one file. *)
+
+  val dump_auto : reason:string -> unit -> string option
+  (** {!dump} into [PQC_FLIGHT_DIR]; no-op ([None]) when unset. *)
+end
+
 module Metrics : sig
   type stat = {
     count : int;  (** Finite observations recorded. *)
@@ -159,6 +269,33 @@ module Metrics : sig
       with count, mean, min, max, p50, p90, p99.  Non-finite values
       render as [null]. *)
 
+  type export = {
+    e_name : string;
+    e_count : int;  (** All finite observations ([e_nonpos] included). *)
+    e_sum : float;
+    e_nonpos : int;  (** Observations [<= 0], below the log grid. *)
+    e_buckets : (int * int) list;
+        (** [(bucket index, count)], index ascending. *)
+  }
+  (** Raw bucket-level view of one histogram, for exposition formats
+      that need exact buckets rather than quantile estimates. *)
+
+  val bucket_upper : int -> float
+  (** Upper edge [2^((k+1)/8)] of log bucket [k] — the ["le"] boundary
+      published for that bucket. *)
+
+  val export : unit -> export list
+  (** All non-empty histograms, sorted by name. *)
+
+  val prometheus : unit -> string
+  (** Prometheus text format (0.0.4) over the live registry plus counter
+      totals, last gauge values, and the ["obs.overhead_s"] self gauge.
+      Histograms expose the exact log buckets as cumulative ["le"]
+      series (below-grid observations fold in at the bottom; the [+Inf]
+      bucket equals [_count]), so scraped counts reconstruct the
+      registry losslessly.  Names are prefixed ["pqc_"] and sanitized to
+      the Prometheus charset. *)
+
   (** Offline histogram aggregator.  A standalone registry value that
       merges {!encode_all}-serialized registries (e.g. the per-cell
       [metrics.reg] files a bench-matrix run leaves on disk) additively,
@@ -190,6 +327,14 @@ module Metrics : sig
 
     val encode : t -> string
     (** Re-serialize the merged registry in {!encode_all} format. *)
+
+    val export : t -> export list
+    (** Bucket-level view of the merged histograms, sorted by name. *)
+
+    val prometheus : t -> string
+    (** Prometheus text exposition of the merged histograms — same
+        mapping as {!Metrics.prometheus}, minus counters and gauges
+        (serialized registries carry histograms only). *)
   end
 end
 
@@ -202,7 +347,18 @@ val to_chrome_json : ?normalize:bool -> unit -> string
     golden-fixture test so the document is bit-stable. *)
 
 val write : ?normalize:bool -> path:string -> unit -> unit
-(** Atomically write {!to_chrome_json} to [path]. *)
+(** Atomically write {!to_chrome_json} to [path], stamping the
+    ["obs.overhead_s"] self-overhead gauge first. *)
+
+val flamegraph_of_chrome :
+  ?mode:[ `Count | `Time ] -> string -> (string, string) result
+(** Convert a Chrome trace document (as written by {!write}) into
+    folded-stack lines (["root;child;leaf weight\n"], sorted by stack)
+    for inferno / flamegraph.pl / speedscope.  Stacks are rebuilt from
+    the explicit parent ids the exporter embeds in [args] — exact even
+    for sampled traces.  [`Time] (default) weights by self time in
+    integer microseconds; [`Count] weights each occurrence 1, which is
+    bit-stable across repeated runs of the same workload. *)
 
 val summary : unit -> string
 (** Rendered {!Pqc_util.Table}: span counts and total milliseconds,

@@ -12,6 +12,7 @@ type t = {
   oc : out_channel;
   algo : string;
   label : string;
+  run_id : string option;
   info : compile_info option;
   flush_every : int;
   t_start : float;
@@ -20,46 +21,41 @@ type t = {
   mutable closed : bool;
 }
 
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
+let json_string = Pqc_util.Jsonx.escape_string
 
 (* JSON has no inf/nan tokens; render them as null so every line parses. *)
 let json_float f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
 
-let create ?info ?(flush_every = 1) ~algo ~label ~path () =
+let create ?run_id ?info ?(flush_every = 1) ~algo ~label ~path () =
   let oc = open_out path in
-  let now = Unix.gettimeofday () in
-  { oc; algo; label; info; flush_every = max 1 flush_every; t_start = now;
-    t_last = now; written = 0; closed = false }
+  let now = Obs.Clock.now () in
+  (* The correlation id is captured once at creation: every record of
+     one recorder belongs to one run, and the ambient context may have
+     moved on by the time late records are written. *)
+  let run_id =
+    match run_id with Some _ as r -> r | None -> Obs.Ctx.current ()
+  in
+  { oc; algo; label; run_id; info; flush_every = max 1 flush_every;
+    t_start = now; t_last = now; written = 0; closed = false }
 
 let record t ~iteration ~energy =
   if not t.closed then begin
-    let now = Unix.gettimeofday () in
+    let now = Obs.Clock.now () in
     let iter_s = now -. t.t_last in
     t.t_last <- now;
     let buf = Buffer.create 256 in
     Buffer.add_string buf
       (Printf.sprintf
-         "{\"algo\": %s, \"label\": %s, \"iteration\": %d, \"energy\": %s, \
-          \"iteration_s\": %s, \"elapsed_s\": %s"
-         (json_string t.algo) (json_string t.label) iteration
+         "{\"algo\": %s, \"label\": %s, \"seq\": %d, \"iteration\": %d, \
+          \"energy\": %s, \"iteration_s\": %s, \"elapsed_s\": %s"
+         (json_string t.algo) (json_string t.label) (t.written + 1) iteration
          (json_float energy) (json_float iter_s)
          (json_float (now -. t.t_start)));
+    (match t.run_id with
+    | None -> ()
+    | Some rid ->
+      Buffer.add_string buf
+        (Printf.sprintf ", \"run_id\": %s" (json_string rid)));
     (match t.info with
     | None -> ()
     | Some i ->
@@ -104,9 +100,58 @@ let path_from_env () =
     let s = String.trim s in
     if s = "" then None else Some s
 
-let with_log ?info ~algo ~label ~path f =
+let with_log ?run_id ?info ~algo ~label ~path f =
   match path with
   | None -> f None
   | Some path ->
-    let t = create ?info ~algo ~label ~path () in
+    let t = create ?run_id ?info ~algo ~label ~path () in
     Fun.protect ~finally:(fun () -> close t) (fun () -> f (Some t))
+
+(* ------------------------------------------------------------------ *)
+(* Tolerant reader.                                                    *)
+
+type record = {
+  r_algo : string;
+  r_label : string;
+  r_iteration : int;
+  r_energy : float;
+  r_elapsed_s : float;
+  r_seq : int option;  (** [None] on pre-provenance records. *)
+  r_run_id : string option;  (** [None] on pre-provenance records. *)
+  r_strategy : string option;
+}
+
+let parse_record line =
+  let module J = Pqc_util.Jsonx in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match J.parse line with
+    | Error _ -> None
+    | Ok j ->
+      let str k = Option.bind (J.member k j) J.to_string in
+      let int k = Option.bind (J.member k j) J.to_int in
+      let flt k = Option.bind (J.member k j) J.to_float in
+      (* Only the fields every format version has are required; run_id
+         and seq are optional so pre-provenance logs still read. *)
+      (match (str "algo", str "label", int "iteration", flt "energy") with
+      | Some r_algo, Some r_label, Some r_iteration, Some r_energy ->
+        Some
+          { r_algo; r_label; r_iteration; r_energy;
+            r_elapsed_s = Option.value ~default:Float.nan (flt "elapsed_s");
+            r_seq = int "seq"; r_run_id = str "run_id";
+            r_strategy = str "strategy" }
+      | _ -> None)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> (
+      match parse_record line with
+      | Some r -> go (r :: acc)
+      | None -> go acc)
+  in
+  go []

@@ -40,6 +40,7 @@ type compile_info = {
 type t
 
 val create :
+  ?run_id:string ->
   ?info:compile_info ->
   ?flush_every:int ->
   algo:string ->
@@ -49,16 +50,21 @@ val create :
   t
 (** Open [path] for writing (truncating) and return a recorder.
     [algo] and [label] (e.g. ["vqe"]/["lih"]) are stamped on every
-    record.  [flush_every] (default 1 — every record) bounds how many
-    records may sit in the channel buffer; the stream is valid JSONL
-    after every flush.  Raises [Sys_error] when the path cannot be
-    opened — callers own the user-facing error. *)
+    record.  [run_id] is the correlation id stamped on every record;
+    it defaults to the {!Obs.Ctx} ambient at creation time (records
+    carry no id when neither is present — the pre-provenance format).
+    [flush_every] (default 1 — every record) bounds how many records
+    may sit in the channel buffer; the stream is valid JSONL after
+    every flush.  Raises [Sys_error] when the path cannot be opened —
+    callers own the user-facing error. *)
 
 val record : t -> iteration:int -> energy:float -> unit
 (** Append one record.  [iteration] is the 1-based variational
     iteration (objective evaluation) index; [energy] is the objective
-    value at that iteration (for QAOA, the expected cut).  No-op after
-    {!close}. *)
+    value at that iteration (for QAOA, the expected cut).  Every record
+    additionally carries a monotonic ["seq"] number (1-based, the
+    recorder's write count) so log joins can detect truncation and
+    order records without trusting timestamps.  No-op after {!close}. *)
 
 val written : t -> int
 (** Records appended so far. *)
@@ -70,6 +76,7 @@ val path_from_env : unit -> string option
 (** The [PQC_RUN_LOG] path, if set and non-empty. *)
 
 val with_log :
+  ?run_id:string ->
   ?info:compile_info ->
   algo:string ->
   label:string ->
@@ -79,3 +86,29 @@ val with_log :
 (** [with_log ~algo ~label ~path f] runs [f (Some recorder)] with the
     recorder closed afterwards (even on exceptions), or [f None] when
     [path] is [None]. *)
+
+(** {2 Tolerant reader}
+
+    Reads logs written by any format version of this module: [run_id]
+    and [seq] are absent from pre-provenance records and surface as
+    [None].  Unparseable lines (torn tails from a crashed writer) are
+    skipped, not fatal — a run log is evidence, and damaged evidence is
+    still evidence. *)
+
+type record = {
+  r_algo : string;
+  r_label : string;
+  r_iteration : int;
+  r_energy : float;
+  r_elapsed_s : float;  (** [nan] when absent. *)
+  r_seq : int option;  (** [None] on pre-provenance records. *)
+  r_run_id : string option;  (** [None] on pre-provenance records. *)
+  r_strategy : string option;  (** [None] without compile context. *)
+}
+
+val parse_record : string -> record option
+(** One JSONL line as a record; [None] on damage or a non-record line. *)
+
+val read_file : string -> record list
+(** All parseable records of a JSONL file, in file order.  Raises
+    [Sys_error] when the file cannot be opened. *)

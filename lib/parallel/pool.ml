@@ -103,10 +103,13 @@ let child_loop ~encode ~f ~items ~wr ~indices wid =
      what this child adds past this point.  The histogram registry is
      copy-on-write too: reset this child's copy so encode_all below
      ships exactly the observations made inside this worker (the parent
-     still owns everything recorded before the fork). *)
+     still owns everything recorded before the fork).  The flight ring
+     resets for the same reason: a worker dump must replay this worker's
+     tail, not inherited parent history. *)
   let m = Obs.mark () in
   Obs.set_worker wid;
   Obs.Metrics.reset ();
+  Obs.Flight.reset ();
   (try
      Obs.Span.with_ ~name:"pool.worker"
        ~attrs:[ ("worker", string_of_int wid) ]
@@ -224,8 +227,8 @@ let reap_status pid =
   | status -> Some status
   | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
 
-let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
-    items =
+let map ?workers ?min_items ?item_deadline_s ?item_retries ?item_label ~encode
+    ~decode f items =
   let requested =
     match workers with Some w -> max 1 w | None -> workers_from_env ()
   in
@@ -252,6 +255,14 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
           ("workers", string_of_int (min requested n)) ]
       (fun () ->
         let items = Array.of_list items in
+        (* Correlation label for item [i] — the run_id the supervising
+           parent stamps on flight-recorder entries, so a dump names the
+           request a killed worker was serving. *)
+        let label i =
+          match item_label with
+          | Some l -> ( match l i with "" -> Printf.sprintf "item#%d" i | s -> s)
+          | None -> Printf.sprintf "item#%d" i
+        in
         let w = min requested n in
         let results = Array.make n None in
         let strikes = Array.make n 0 in
@@ -281,7 +292,7 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
           | pid ->
             Unix.close wr;
             { pid; fd = r; buf = Buffer.create 256; wid; pending = indices;
-              current = -1; last_seen = Unix.gettimeofday () }
+              current = -1; last_seen = Obs.Clock.now () }
         in
         (* Worker [j] of [w] owns items j, j+w, j+2w, ... — round-robin
            sharding balances shards even when item cost correlates with
@@ -299,7 +310,14 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
             Obs.Metrics.absorb (frame_payload line)
           else if is_heartbeat_line line then begin
             match int_of_string_opt (frame_payload line) with
-            | Some i when i >= 0 && i < n -> wk.current <- i
+            | Some i when i >= 0 && i < n ->
+              wk.current <- i;
+              (* The claim trail is what makes a later kill attributable:
+                 the dump's tail shows which item (and which request) the
+                 worker was on when it went silent. *)
+              Obs.Flight.record ~kind:"pool.claim" ~run_id:(label i)
+                (Printf.sprintf "worker %d (pid %d) claimed item %d" wk.wid
+                   wk.pid i)
             | Some _ | None -> ()
           end
           else
@@ -332,7 +350,7 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
           | 0 -> true
           | k ->
             Buffer.add_subbytes wk.buf chunk 0 k;
-            wk.last_seen <- Unix.gettimeofday ();
+            wk.last_seen <- Obs.Clock.now ();
             split_lines wk;
             false
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
@@ -359,7 +377,13 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
             if strikes.(i) >= retries && not quarantined.(i) then begin
               quarantined.(i) <- true;
               incr nquar;
-              Obs.count "pool.quarantine"
+              Obs.count "pool.quarantine";
+              Obs.Flight.record ~kind:"pool.quarantine" ~run_id:(label i)
+                (Printf.sprintf
+                   "item %d quarantined after %d strikes (last worker %d, \
+                    pid %d)"
+                   i strikes.(i) wk.wid wk.pid);
+              ignore (Obs.Flight.dump_auto ~reason:"pool.quarantine" ())
             end
           end;
           let undelivered =
@@ -404,7 +428,14 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
                  pool.worker.hung, not as abnormal exits. *)
               if not killed then begin
                 incr abnormal;
-                Obs.count "pool.worker.abnormal_exit"
+                Obs.count "pool.worker.abnormal_exit";
+                Obs.Flight.record ~kind:"pool.abnormal_exit"
+                  ~run_id:(if wk.current >= 0 then label wk.current else "")
+                  (Printf.sprintf
+                     "reaped worker %d (pid %d) abnormal exit; last claimed \
+                      item %d span pool.item"
+                     wk.wid wk.pid wk.current);
+                ignore (Obs.Flight.dump_auto ~reason:"pool.abnormal_exit" ())
               end;
               true
           in
@@ -414,7 +445,7 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
           maybe_respawn wk ~strike:(killed || crashed)
         in
         while !live <> [] do
-          let now = Unix.gettimeofday () in
+          let now = Obs.Clock.now () in
           let timeout =
             match deadline with
             | None -> -1.0
@@ -447,7 +478,7 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
           (match deadline with
            | None -> ()
            | Some d ->
-             let now = Unix.gettimeofday () in
+             let now = Obs.Clock.now () in
              List.iter
                (fun wk ->
                  if wk.pending <> [] && now -. wk.last_seen > d then begin
@@ -457,10 +488,18 @@ let map ?workers ?min_items ?item_deadline_s ?item_retries ~encode ~decode f
                       whatever it piped before stalling. *)
                    incr hung;
                    Obs.count "pool.worker.hung";
+                   Obs.Flight.record ~kind:"pool.kill"
+                     ~run_id:
+                       (if wk.current >= 0 then label wk.current else "")
+                     (Printf.sprintf
+                        "SIGKILL worker %d (pid %d) hung on item %d span \
+                         pool.item"
+                        wk.wid wk.pid wk.current);
                    (try Unix.kill wk.pid Sys.sigkill
                     with Unix.Unix_error _ -> ());
                    drain_to_eof wk;
-                   finalize wk ~killed:true
+                   finalize wk ~killed:true;
+                   ignore (Obs.Flight.dump_auto ~reason:"pool.kill" ())
                  end)
                !live)
         done;

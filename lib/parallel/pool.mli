@@ -117,6 +117,7 @@ val map :
   ?min_items:int ->
   ?item_deadline_s:float ->
   ?item_retries:int ->
+  ?item_label:(int -> string) ->
   encode:('b -> string) ->
   decode:(string -> 'b option) ->
   ('a -> 'b) ->
@@ -137,4 +138,11 @@ val map :
     [encode] must produce a single line (no newline); a payload that
     fails to encode, decode, or checksum is recomputed in the parent
     rather than trusted.  [f] runs in the forked children {e and} in the
-    parent for recovered items, so it must be safe to call in both. *)
+    parent for recovered items, so it must be safe to call in both.
+
+    [item_label] maps an item's batch index to its correlation run_id
+    for the parent's flight-recorder trail ({!Pqc_obs.Obs.Flight}): the
+    parent records a [pool.claim] entry per heartbeat and, on a kill,
+    quarantine or abnormal reap, a matching entry naming the worker, its
+    pid and the labelled item — then dumps the ring when
+    [PQC_FLIGHT_DIR] is configured.  Defaults to ["item#<i>"]. *)

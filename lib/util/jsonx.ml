@@ -206,6 +206,32 @@ let rec parse_value c =
   | Some ('-' | '0' .. '9') -> Num (parse_number c)
   | Some ch -> fail c.pos (Printf.sprintf "unexpected character %C" ch)
 
+(* One escaper shared by every JSON writer in the tree (Obs trace
+   export, Run_log, Bench_report).  Quote, backslash and control bytes
+   are escaped (short escapes where RFC 8259 has them, [\u00XX]
+   otherwise); every byte >= 0x20 passes through raw.  UTF-8 input
+   therefore survives byte-for-byte through {!parse} — escaping high
+   bytes as Latin-1 [\u00XX] would come back as a different (doubly
+   encoded) byte sequence, breaking the round-trip the hostile-name
+   tests pin. *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 let parse src =
   let c = { src; pos = 0 } in
   match parse_value c with

@@ -17,6 +17,15 @@ type t =
   | Arr of t list
   | Obj of (string * t) list  (** Members in document order. *)
 
+val escape_string : string -> string
+(** Render a quoted JSON string literal for arbitrary bytes: the
+    standard short escapes for quote, backslash, [\n], [\r], [\t],
+    [\u00XX] for the remaining control bytes, and raw pass-through for
+    everything else (so UTF-8 survives byte-for-byte).  Always parses
+    back with {!parse}, and the parsed value equals the input exactly.
+    Shared by the trace, run-log and bench-report writers so hostile
+    names escape identically everywhere. *)
+
 val parse : string -> (t, string) result
 (** Parse one complete JSON document.  [Error msg] carries a one-line
     description with the byte offset of the failure.  Trailing

@@ -12,6 +12,7 @@ let () =
            [ { Pqc_core.Bench_report.name = "uccsd-lih";
                strategy = "strict-partial";
                engine = "numeric";
+               run_id = "bench:uccsd-lih/strict-partial";
                pulse_duration_ns = 945.8;
                sequential_s = 12.5;
                parallel_s = 5.0;
@@ -38,6 +39,8 @@ let () =
              { Pqc_core.Bench_report.name = "qaoa-er8\"p1";
                strategy = "flexible-partial";
                engine = "model";
+               (* "" is the pre-provenance form old readers round-trip. *)
+               run_id = "";
                pulse_duration_ns = 101.25;
                sequential_s = 0.0;
                parallel_s = 0.0;

@@ -315,10 +315,10 @@ let temp_path () = Filename.temp_file "pqc_analysis" ".cache"
 let sample_entries =
   [ { Pulse_cache.key = "blk[0,1]|cx 0,1"; duration_ns = 12.5; grape_runs = 3;
       grape_iterations = 120; seconds = 0.4; fidelity = Some 0.999;
-      fallback = None };
+      fallback = None; run_id = None };
     { Pulse_cache.key = "blk[2]|h 2"; duration_ns = 4.0; grape_runs = 1;
       grape_iterations = 40; seconds = 0.1; fidelity = None;
-      fallback = Some "diverged" } ]
+      fallback = Some "diverged"; run_id = None } ]
 
 let read_lines path =
   let ic = open_in path in

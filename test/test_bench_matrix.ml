@@ -370,7 +370,7 @@ let test_agg_independent_of_enable () =
 
 let experiment ?(name = "h2+line") ?(strategy = "strict-partial")
     ?(engine = "model") ?(pulse = 100.0) ?(equal_pulse = true) () =
-  { Bench_report.name; strategy; engine; pulse_duration_ns = pulse;
+  { Bench_report.name; strategy; engine; run_id = ""; pulse_duration_ns = pulse;
     sequential_s = 1.0; parallel_s = 0.5; speedup = 2.0; cache_hits = 3;
     blocks_compiled = 4; workers = 2; equal_pulse; trace = []; metrics = [] }
 

@@ -13,6 +13,7 @@ module Pulse_cache = Pqc_core.Pulse_cache
 module Engine = Pqc_core.Engine
 module Resilience = Pqc_core.Resilience
 module Fault = Pqc_core.Fault
+module Obs = Pqc_obs.Obs
 
 let quick = { Grape.fast_settings with Grape.dt = 1.0; max_iters = 40;
               target_fidelity = 0.95 }
@@ -129,13 +130,13 @@ let test_malformed_env_plan_injects_nothing () =
 let sample_entries =
   [ { Pulse_cache.key = "2;h,0;cx,0,1"; duration_ns = 3.75; grape_runs = 5;
       grape_iterations = 120; seconds = 0.5; fidelity = Some 0.991;
-      fallback = None };
+      fallback = None; run_id = None };
     { Pulse_cache.key = "1;rx(3ff0000000000000),0"; duration_ns = 1.25;
       grape_runs = 2; grape_iterations = 40; seconds = 0.04;
-      fidelity = None; fallback = Some "diverged" };
+      fidelity = None; fallback = Some "diverged"; run_id = None };
     { Pulse_cache.key = "weird\tkey\nwith\\bytes"; duration_ns = 0.5;
       grape_runs = 1; grape_iterations = 7; seconds = 0.001;
-      fidelity = Some 1.0; fallback = None } ]
+      fidelity = Some 1.0; fallback = None; run_id = None } ]
 
 let with_temp_cache f =
   let path = Filename.temp_file "pqc_chaos" ".cache" in
@@ -402,6 +403,118 @@ let test_crash_mid_and_partial_write_recovered () =
           Alcotest.(check bool) "everything recovered or quarantined" true
             (stats.Pool.recovered = List.length items)))
 
+(* --- Flight recorder: fork semantics --- *)
+
+let temp_flight_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pqc-flight-%d-%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_flight_child_ring_reset_post_fork () =
+  leak_checked (fun () ->
+      let enc, dec = int_codec in
+      (* Plant a sentinel in the parent's ring; if a forked worker's ring
+         still replays parent history, its dump would misattribute the
+         crash, so the child must start empty. *)
+      Obs.Flight.record ~kind:"test" "parent-sentinel-entry";
+      let sees_parent_history _ =
+        if
+          List.exists
+            (fun e -> e.Obs.Flight.f_detail = "parent-sentinel-entry")
+            (Obs.Flight.entries ())
+        then 1
+        else 0
+      in
+      let out, _ =
+        Pool.map ~workers:2 ~min_items:1 ~encode:enc ~decode:dec
+          sees_parent_history [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check (list int)) "child rings empty post-fork"
+        [ 0; 0; 0; 0 ] (List.map fst out))
+
+let test_flight_dumps_never_interleave () =
+  let dir = temp_flight_dir () in
+  let spawn tag =
+    match Unix.fork () with
+    | 0 ->
+      (* Child: fresh ring, a couple of tagged entries, one dump. *)
+      Obs.Flight.reset ();
+      Obs.Flight.record ~kind:"span" ~run_id:tag (tag ^ " item 0");
+      Obs.Flight.record ~kind:"span" ~run_id:tag (tag ^ " item 1");
+      ignore (Obs.Flight.dump ~dir ~reason:("test." ^ tag) ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  let p1 = spawn "w1" in
+  let p2 = spawn "w2" in
+  ignore (Unix.waitpid [] p1);
+  ignore (Unix.waitpid [] p2);
+  Obs.Flight.record ~kind:"test" "parent entry";
+  ignore (Obs.Flight.dump ~dir ~reason:"test.parent" ());
+  let files = Array.to_list (Sys.readdir dir) in
+  Alcotest.(check int) "one file per dumping process" 3 (List.length files);
+  Alcotest.(check int) "file names are unique" 3
+    (List.length (List.sort_uniq compare files));
+  (* Every file is internally consistent: its header pid matches its
+     name and its entries come from exactly one process's ring. *)
+  List.iter
+    (fun name ->
+      let body = read_whole (Filename.concat dir name) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a dump header" name)
+        true
+        (contains body "# flight-recorder dump pid=");
+      let w1 = contains body "w1 item" and w2 = contains body "w2 item" in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s holds entries from one ring only" name)
+        false (w1 && w2))
+    files
+
+let test_flight_dump_on_chaos_crash () =
+  let dir = temp_flight_dir () in
+  with_env "PQC_FLIGHT_DIR" dir (fun () ->
+      leak_checked (fun () ->
+          let enc, dec = int_codec in
+          with_hook (fun _ -> Some Pool.Crash_pre) (fun () ->
+              let out, stats =
+                Pool.map ~workers:2 ~min_items:1 ~item_retries:1
+                  ~item_label:(fun i -> Printf.sprintf "r042-deadbeef#%d" i)
+                  ~encode:enc ~decode:dec
+                  (fun x -> x + 1)
+                  [ 0; 1; 2; 3 ]
+              in
+              Alcotest.(check (list int)) "results recovered in-parent"
+                [ 1; 2; 3; 4 ] (List.map fst out);
+              Alcotest.(check bool) "crashes actually happened" true
+                (stats.Pool.abnormal_exits > 0))));
+  let files = Array.to_list (Sys.readdir dir) in
+  Alcotest.(check bool) "crash left at least one dump" true (files <> []);
+  let body =
+    String.concat "\n"
+      (List.map (fun f -> read_whole (Filename.concat dir f)) files)
+  in
+  Alcotest.(check bool) "dump names the kill/crash event" true
+    (contains body "pool.abnormal_exit" || contains body "pool.quarantine");
+  Alcotest.(check bool) "dump names the worker's last span" true
+    (contains body "span pool.item");
+  Alcotest.(check bool) "dump carries the item's run_id" true
+    (contains body "r042-deadbeef#")
+
 (* --- Engine batches: bit-equivalence to the fault-free sequential run
    under every seeded plan --- *)
 
@@ -564,6 +677,13 @@ let () =
             test_poison_batch_quarantines_and_converges;
           Alcotest.test_case "torn frames recovered" `Quick
             test_crash_mid_and_partial_write_recovered ] );
+      ( "flight-recorder",
+        [ Alcotest.test_case "child ring reset post-fork" `Quick
+            test_flight_child_ring_reset_post_fork;
+          Alcotest.test_case "dumps never interleave" `Quick
+            test_flight_dumps_never_interleave;
+          Alcotest.test_case "chaos crash leaves an attributable dump"
+            `Quick test_flight_dump_on_chaos_crash ] );
       ( "engine-equivalence",
         List.map
           (fun spec ->

@@ -339,6 +339,250 @@ let test_tracing_off_on_same_pulse () =
     (Int64.bits_of_float untraced.Strategy.duration_ns)
     (Int64.bits_of_float traced.Strategy.duration_ns)
 
+(* --- Clock indirection --- *)
+
+let test_clock_override () =
+  with_obs @@ fun () ->
+  let t = ref 100.0 in
+  Obs.Clock.set (fun () -> !t);
+  Fun.protect ~finally:Obs.Clock.reset @@ fun () ->
+  Obs.Span.with_ ~name:"fake" (fun () -> t := !t +. 2.5);
+  match List.filter (function Obs.Span _ -> true | _ -> false) (Obs.events ()) with
+  | [ Obs.Span s ] ->
+    Alcotest.(check (float 1e-9)) "span duration from the installed clock"
+      2.5 s.dur
+  | _ -> Alcotest.fail "expected exactly one span"
+
+(* --- Correlation contexts --- *)
+
+let test_ctx_mint_deterministic () =
+  Obs.reset ();
+  let a = Obs.Ctx.mint "compile:x" in
+  let b = Obs.Ctx.mint "compile:x" in
+  Obs.reset ();
+  let a' = Obs.Ctx.mint "compile:x" in
+  Alcotest.(check bool) "distinct within a run" true (a <> b);
+  Alcotest.(check string) "counter restarts on reset" a a';
+  Alcotest.(check string) "derive appends the item index" (a ^ "#3")
+    (Obs.Ctx.derive a 3);
+  Alcotest.(check (option string)) "no ambient context by default" None
+    (Obs.Ctx.current ());
+  let inner =
+    Obs.Ctx.with_ctx (Some a) (fun () -> Obs.Ctx.current ())
+  in
+  Alcotest.(check (option string)) "ambient inside with_ctx" (Some a) inner;
+  Alcotest.(check (option string)) "restored after with_ctx" None
+    (Obs.Ctx.current ())
+
+let test_ctx_stamps_spans () =
+  with_obs @@ fun () ->
+  Obs.Ctx.with_ctx (Some "r007-cafe") (fun () ->
+      Obs.Span.with_ ~name:"inside" (fun () -> ()));
+  match List.filter (function Obs.Span _ -> true | _ -> false) (Obs.events ()) with
+  | [ Obs.Span s ] ->
+    Alcotest.(check (option string)) "span carries run_id attr"
+      (Some "r007-cafe")
+      (List.assoc_opt "run_id" s.attrs)
+  | _ -> Alcotest.fail "expected exactly one span"
+
+(* --- Sampling --- *)
+
+let test_sampling_stride_keeps_metrics_exact () =
+  with_obs @@ fun () ->
+  Obs.set_trace_sample 0.25;
+  Fun.protect ~finally:(fun () -> Obs.set_trace_sample 1.0) @@ fun () ->
+  for _ = 1 to 20 do
+    Obs.Span.with_ ~name:"sampled" (fun () -> ())
+  done;
+  let spans =
+    List.length
+      (List.filter (function Obs.Span _ -> true | _ -> false) (Obs.events ()))
+  in
+  Alcotest.(check int) "stride 4 keeps 5 of 20 span events" 5 spans;
+  (* The histogram registry is never sampled: exact counts at any rate. *)
+  Alcotest.(check int) "histogram saw all 20" 20
+    (Option.get (Obs.Metrics.stats "sampled")).Obs.Metrics.count
+
+(* --- Flight recorder --- *)
+
+let test_flight_ring_wrap () =
+  Obs.Flight.set_capacity 4;
+  Fun.protect ~finally:(fun () -> Obs.Flight.set_capacity 256) @@ fun () ->
+  for i = 0 to 5 do
+    Obs.Flight.record ~kind:"k" ~run_id:"r" (Printf.sprintf "e%d" i)
+  done;
+  let es = Obs.Flight.entries () in
+  Alcotest.(check int) "window is the capacity" 4 (List.length es);
+  Alcotest.(check (list string)) "oldest evicted, order preserved"
+    [ "e2"; "e3"; "e4"; "e5" ]
+    (List.map (fun e -> e.Obs.Flight.f_detail) es);
+  Alcotest.(check (list int)) "seq survives the wrap" [ 2; 3; 4; 5 ]
+    (List.map (fun e -> e.Obs.Flight.f_seq) es);
+  Obs.Flight.reset ();
+  Alcotest.(check int) "reset empties the window" 0
+    (List.length (Obs.Flight.entries ()))
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pqc-obs-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let test_flight_dump () =
+  Obs.Flight.set_capacity 8;
+  Fun.protect ~finally:(fun () -> Obs.Flight.set_capacity 256) @@ fun () ->
+  let dir = temp_dir () in
+  Alcotest.(check (option string)) "empty ring dumps nothing" None
+    (Obs.Flight.dump ~dir ~reason:"empty" ());
+  Obs.Flight.record ~kind:"span" ~run_id:"r001-aa" "pool.item";
+  Obs.Flight.record ~kind:"pool.kill" "SIGKILL worker 2";
+  match Obs.Flight.dump ~dir ~reason:"test.kill" () with
+  | None -> Alcotest.fail "dump produced no file"
+  | Some path ->
+    let ic = open_in path in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Alcotest.(check bool) "header names the reason" true
+      (contains body "reason=test.kill");
+    Alcotest.(check bool) "entry carries run_id" true
+      (contains body "r001-aa");
+    Alcotest.(check bool) "entry carries detail" true
+      (contains body "SIGKILL worker 2");
+    Alcotest.(check bool) "dump file name embeds the pid" true
+      (contains (Filename.basename path)
+         (string_of_int (Unix.getpid ())))
+
+(* --- Shared escaper: hostile bytes always re-parse --- *)
+
+let prop_escape_roundtrip =
+  QCheck.Test.make ~name:"escape_string round-trips arbitrary bytes"
+    ~count:500
+    QCheck.(string_gen_of_size Gen.(int_range 0 64) Gen.(map Char.chr (int_bound 255)))
+    (fun s ->
+      match Pqc_util.Jsonx.parse (Pqc_util.Jsonx.escape_string s) with
+      | Ok (Pqc_util.Jsonx.Str s') -> s' = s
+      | Ok _ -> QCheck.Test.fail_report "parsed to a non-string"
+      | Error e -> QCheck.Test.fail_reportf "did not re-parse: %s" e)
+
+(* --- Prometheus exposition --- *)
+
+let test_prometheus_rendering () =
+  with_obs @@ fun () ->
+  Obs.Metrics.observe "block_s" 0.5;
+  Obs.Metrics.observe "block_s" 1.5;
+  Obs.Metrics.observe "block_s" (-1.0);
+  Obs.count ~by:3.0 "engine.searches";
+  Obs.gauge "pool.active" 2.0;
+  let doc = Obs.Metrics.prometheus () in
+  Alcotest.(check bool) "histogram TYPE line" true
+    (contains doc "# TYPE pqc_block_s histogram");
+  Alcotest.(check bool) "counter TYPE line" true
+    (contains doc "# TYPE pqc_engine_searches_total counter");
+  Alcotest.(check bool) "gauge TYPE line" true
+    (contains doc "# TYPE pqc_pool_active gauge");
+  Alcotest.(check bool) "self-overhead gauge exposed" true
+    (contains doc "pqc_obs_overhead_s");
+  Alcotest.(check bool) "+Inf bucket present" true
+    (contains doc "le=\"+Inf\"} 3");
+  Alcotest.(check bool) "histogram count exact" true
+    (contains doc "pqc_block_s_count 3");
+  (* Cumulative bucket counts must be monotonically non-decreasing. *)
+  let lines = String.split_on_char '\n' doc in
+  let buckets =
+    List.filter_map
+      (fun l ->
+        if String.length l > 17 && String.sub l 0 17 = "pqc_block_s_bucke" then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+            int_of_string_opt
+              (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "at least two bucket series" true
+    (List.length buckets >= 2);
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "bucket series cumulative" true (mono buckets)
+
+let test_prometheus_agg_matches_live () =
+  (* The offline aggregator renders the same histogram series the live
+     registry does — the property the CI checker leans on when it
+     compares a fleet export against the rollup. *)
+  with_obs @@ fun () ->
+  Obs.Metrics.observe "m" 0.25;
+  Obs.Metrics.observe "m" 4.0;
+  let line = Obs.Metrics.encode_all () in
+  let agg = Obs.Metrics.Agg.create () in
+  Obs.Metrics.Agg.absorb agg line;
+  let doc = Obs.Metrics.Agg.prometheus agg in
+  Alcotest.(check bool) "aggregated count matches" true
+    (contains doc "pqc_m_count 2");
+  Alcotest.(check bool) "aggregated +Inf equals count" true
+    (contains doc "le=\"+Inf\"} 2")
+
+(* --- Flamegraph --- *)
+
+let traced_trace () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ ~name:"root" (fun () ->
+      Obs.Span.with_ ~name:"child" (fun () ->
+          Obs.Span.with_ ~name:"leaf" (fun () -> ignore (Sys.opaque_identity 1)));
+      Obs.Span.with_ ~name:"child" (fun () -> ()));
+  Obs.to_chrome_json ()
+
+let test_flamegraph_folded_output () =
+  let doc = traced_trace () in
+  match Obs.flamegraph_of_chrome ~mode:`Count doc with
+  | Error e -> Alcotest.failf "flamegraph failed: %s" e
+  | Ok folded ->
+    Alcotest.(check bool) "leaf stack present" true
+      (contains folded "root;child;leaf 1");
+    Alcotest.(check bool) "sibling spans aggregate" true
+      (contains folded "root;child 2")
+
+let test_flamegraph_deterministic () =
+  (* `Count weighting is a pure function of the span tree: two runs of
+     the same workload must fold identically despite differing clocks. *)
+  let f1 =
+    Result.get_ok (Obs.flamegraph_of_chrome ~mode:`Count (traced_trace ()))
+  in
+  let f2 =
+    Result.get_ok (Obs.flamegraph_of_chrome ~mode:`Count (traced_trace ()))
+  in
+  Alcotest.(check string) "folded output bit-identical" f1 f2;
+  match Obs.flamegraph_of_chrome "{ not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+(* --- Overhead regression --- *)
+
+let test_overhead_bounded () =
+  with_obs @@ fun () ->
+  let spans = 10_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to spans do
+    Obs.Span.with_ ~name:"overhead.probe" (fun () -> ())
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let overhead = Obs.overhead_seconds () in
+  Alcotest.(check bool) "overhead measured" true (overhead > 0.0);
+  Alcotest.(check bool) "overhead below wall clock" true (overhead <= elapsed);
+  (* Generous absolute bound: 50us per span would still be two orders of
+     magnitude above the measured cost, so this only catches a
+     catastrophic regression (accidental allocation/IO on the hot path),
+     never scheduler noise. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "per-span overhead %.2fus under 50us"
+       (1e6 *. overhead /. float_of_int spans))
+    true
+    (overhead /. float_of_int spans < 50e-6)
+
 let () =
   Alcotest.run "obs"
     [ ( "lifecycle",
@@ -373,4 +617,35 @@ let () =
             test_chrome_normalize_stable ] );
       ( "determinism",
         [ Alcotest.test_case "tracing off/on same pulse" `Quick
-            test_tracing_off_on_same_pulse ] ) ]
+            test_tracing_off_on_same_pulse ] );
+      ( "clock",
+        [ Alcotest.test_case "span durations follow the installed clock"
+            `Quick test_clock_override ] );
+      ( "ctx",
+        [ Alcotest.test_case "mint is deterministic" `Quick
+            test_ctx_mint_deterministic;
+          Alcotest.test_case "ambient context stamps spans" `Quick
+            test_ctx_stamps_spans ] );
+      ( "sampling",
+        [ Alcotest.test_case "stride thins spans, metrics stay exact"
+            `Quick test_sampling_stride_keeps_metrics_exact ] );
+      ( "flight",
+        [ Alcotest.test_case "ring wraps oldest-first" `Quick
+            test_flight_ring_wrap;
+          Alcotest.test_case "dump writes the window" `Quick
+            test_flight_dump ] );
+      ( "escaper",
+        [ QCheck_alcotest.to_alcotest prop_escape_roundtrip ] );
+      ( "prometheus",
+        [ Alcotest.test_case "rendering and bucket monotonicity" `Quick
+            test_prometheus_rendering;
+          Alcotest.test_case "aggregator matches live registry" `Quick
+            test_prometheus_agg_matches_live ] );
+      ( "flamegraph",
+        [ Alcotest.test_case "folded stacks from parent ids" `Quick
+            test_flamegraph_folded_output;
+          Alcotest.test_case "count mode deterministic" `Quick
+            test_flamegraph_deterministic ] );
+      ( "overhead",
+        [ Alcotest.test_case "per-span cost bounded" `Quick
+            test_overhead_bounded ] ) ]

@@ -558,7 +558,7 @@ let test_metrics_merge_matches_sequential () =
 let mk_entry ?(duration = 1.0) key =
   { Pulse_cache.key; duration_ns = duration; grape_runs = 1;
     grape_iterations = 10; seconds = 0.1; fidelity = Some 0.99;
-    fallback = None }
+    fallback = None; run_id = None }
 
 let with_temp_cache f =
   let path = Filename.temp_file "pqc_parallel" ".cache" in
@@ -632,7 +632,7 @@ let test_persist_merges_across_engines () =
       Pulse_cache.merge ~path
         [ { Pulse_cache.key = Engine.block_key c2; duration_ns = 3.0;
             grape_runs = 1; grape_iterations = 5; seconds = 0.0;
-            fidelity = None; fallback = None } ];
+            fidelity = None; fallback = None; run_id = None } ];
       Engine.persist e1;
       let e3 = Engine.numeric ~settings:quick ~cache_file:path () in
       Alcotest.(check int) "both blocks on disk after re-persist" 2

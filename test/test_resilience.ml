@@ -182,13 +182,13 @@ let test_minimal_time_deadline_returns_none () =
 let sample_entries =
   [ { Pulse_cache.key = "2;h,0;cx,0,1"; duration_ns = 3.75; grape_runs = 5;
       grape_iterations = 812; seconds = 0.42; fidelity = Some 0.9991;
-      fallback = None };
+      fallback = None; run_id = None };
     { Pulse_cache.key = "1;rx(3ff0000000000000),0"; duration_ns = 1.25;
       grape_runs = 3; grape_iterations = 200; seconds = 0.05;
-      fidelity = None; fallback = Some "diverged" };
+      fidelity = None; fallback = Some "diverged"; run_id = None };
     { Pulse_cache.key = "weird\tkey\nwith\\bytes"; duration_ns = 0.5;
       grape_runs = 1; grape_iterations = 7; seconds = 0.001;
-      fidelity = Some 1.0; fallback = None } ]
+      fidelity = Some 1.0; fallback = None; run_id = None } ]
 
 let test_cache_round_trip () =
   let path = temp_path () in
@@ -394,7 +394,7 @@ let test_engine_preloaded_cache_hit () =
   let entry =
     { Pulse_cache.key; duration_ns = 2.25; grape_runs = 4;
       grape_iterations = 333; seconds = 0.02; fidelity = Some 0.997;
-      fallback = None }
+      fallback = None; run_id = None }
   in
   let path = temp_path () in
   Pulse_cache.save ~path [ entry ];
@@ -433,7 +433,7 @@ let test_engine_corrupt_cache_file_survives () =
     Pulse_cache.encode_entry
       { Pulse_cache.key = "1;h,0"; duration_ns = 1.5; grape_runs = 1;
         grape_iterations = 3; seconds = 0.0; fidelity = None;
-        fallback = None }
+        fallback = None; run_id = None }
   in
   (* Garbage with a valid record after it is mid-file damage (dropped);
      the same garbage as the final line would salvage as a torn tail. *)

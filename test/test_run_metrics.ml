@@ -191,12 +191,75 @@ let test_path_from_env () =
       Alcotest.(check (option string)) "trimmed" (Some "/tmp/run.jsonl")
         (Run_log.path_from_env ()))
 
+let test_run_log_provenance_roundtrip () =
+  with_temp_file @@ fun path ->
+  let t =
+    Run_log.create ~run_id:"r007-cafe#2" ~info:demo_info ~algo:"vqe"
+      ~label:"lih" ~path ()
+  in
+  Fun.protect ~finally:(fun () -> Run_log.close t) (fun () ->
+      for i = 1 to 3 do
+        Run_log.record t ~iteration:i ~energy:(-.float_of_int i)
+      done);
+  Run_log.close t;
+  let records = Run_log.read_file path in
+  Alcotest.(check int) "all records read back" 3 (List.length records);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check (option int)) "seq is the 1-based write count"
+        (Some (i + 1)) r.Run_log.r_seq;
+      Alcotest.(check (option string)) "run_id round-trips"
+        (Some "r007-cafe#2") r.Run_log.r_run_id;
+      Alcotest.(check int) "iteration round-trips" (i + 1)
+        r.Run_log.r_iteration;
+      Alcotest.(check (option string)) "strategy context round-trips"
+        (Some "strict-partial") r.Run_log.r_strategy)
+    records
+
+let test_run_log_run_id_defaults_to_ambient () =
+  with_temp_file @@ fun path ->
+  Pqc_obs.Obs.Ctx.with_ctx (Some "r001-ambient") (fun () ->
+      Run_log.with_log ~algo:"qaoa" ~label:"g" ~path:(Some path)
+        (fun recorder ->
+          Run_log.record (Option.get recorder) ~iteration:1 ~energy:0.5));
+  match Run_log.read_file path with
+  | [ r ] ->
+    Alcotest.(check (option string)) "ambient context captured at create"
+      (Some "r001-ambient") r.Run_log.r_run_id
+  | rs -> Alcotest.failf "expected 1 record, read %d" (List.length rs)
+
+let test_run_log_reader_tolerates_old_records () =
+  with_temp_file @@ fun path ->
+  (* A pre-provenance line (no seq/run_id — the format before schema
+     growth), a torn tail from a crashed writer, and a non-record JSON
+     object: the reader keeps the first and skips the rest. *)
+  let oc = open_out path in
+  output_string oc
+    "{\"algo\": \"vqe\", \"label\": \"H2\", \"iteration\": 7, \"energy\": \
+     -1.85, \"elapsed_s\": 0.25}\n";
+  output_string oc "{\"algo\": \"vqe\", \"label\": \"H2\", \"iter\n";
+  output_string oc "{\"note\": \"not a run record\"}\n";
+  close_out oc;
+  (match Run_log.read_file path with
+  | [ r ] ->
+    Alcotest.(check string) "algo" "vqe" r.Run_log.r_algo;
+    Alcotest.(check int) "iteration" 7 r.Run_log.r_iteration;
+    Alcotest.(check (float 1e-9)) "energy" (-1.85) r.Run_log.r_energy;
+    Alcotest.(check (option int)) "old record has no seq" None
+      r.Run_log.r_seq;
+    Alcotest.(check (option string)) "old record has no run_id" None
+      r.Run_log.r_run_id
+  | rs -> Alcotest.failf "expected 1 tolerated record, read %d"
+            (List.length rs));
+  Alcotest.(check bool) "torn line parses to None" true
+    (Run_log.parse_record "{\"algo\": \"vqe\", \"label\":" = None)
+
 (* --- Bench_report reader --- *)
 
 let experiment ?(name = "uccsd-h2") ?(pulse = 100.0) ?(parallel_s = 4.0)
     ?(equal_pulse = true) () =
   { Bench_report.name; strategy = "strict-partial"; engine = "numeric";
-    pulse_duration_ns = pulse; sequential_s = 10.0; parallel_s;
+    run_id = ""; pulse_duration_ns = pulse; sequential_s = 10.0; parallel_s;
     speedup = 10.0 /. parallel_s; cache_hits = 5; blocks_compiled = 7;
     workers = 4; equal_pulse;
     trace = [ { Bench_report.span = "engine.batch"; count = 2; total_s = 3.5 } ];
@@ -350,7 +413,13 @@ let () =
           Alcotest.test_case "qaoa jsonl" `Quick test_qaoa_run_jsonl;
           Alcotest.test_case "streaming flush" `Quick test_streaming_flush;
           Alcotest.test_case "PQC_RUN_LOG parsing" `Quick
-            test_path_from_env ] );
+            test_path_from_env;
+          Alcotest.test_case "run_id/seq round-trip" `Quick
+            test_run_log_provenance_roundtrip;
+          Alcotest.test_case "run_id defaults to ambient context" `Quick
+            test_run_log_run_id_defaults_to_ambient;
+          Alcotest.test_case "reader tolerates pre-provenance records"
+            `Quick test_run_log_reader_tolerates_old_records ] );
       ( "bench-report",
         [ Alcotest.test_case "v3 round-trip" `Quick test_report_roundtrip;
           Alcotest.test_case "older schemas tolerated" `Quick
